@@ -1,0 +1,193 @@
+package hbo_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (each iteration regenerates the full artifact on the
+// simulated substrate), plus micro-benchmarks for the load-bearing
+// components. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The printable artifacts themselves come from cmd/hbobench.
+
+import (
+	"testing"
+
+	hbo "github.com/mar-hbo/hbo"
+	"github.com/mar-hbo/hbo/internal/alloc"
+	"github.com/mar-hbo/hbo/internal/bo"
+	"github.com/mar-hbo/hbo/internal/experiments"
+	"github.com/mar-hbo/hbo/internal/mesh"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// benchArtifact runs one experiment artifact per iteration.
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	r, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B)   { benchArtifact(b, "Table I") }
+func BenchmarkFigure2a(b *testing.B) { benchArtifact(b, "Figure 2a") }
+func BenchmarkFigure2b(b *testing.B) { benchArtifact(b, "Figure 2b") }
+func BenchmarkFigure2c(b *testing.B) { benchArtifact(b, "Figure 2c") }
+func BenchmarkFigure4TableIII(b *testing.B) {
+	benchArtifact(b, "Figure 4 + Table III")
+}
+func BenchmarkFigure5TableIV(b *testing.B) {
+	benchArtifact(b, "Figure 5 + Table IV")
+}
+func BenchmarkFigure6(b *testing.B) { benchArtifact(b, "Figure 6") }
+func BenchmarkFigure7(b *testing.B) { benchArtifact(b, "Figure 7") }
+func BenchmarkFigure8(b *testing.B) { benchArtifact(b, "Figure 8") }
+func BenchmarkFigure9(b *testing.B) { benchArtifact(b, "Figure 9") }
+
+// BenchmarkActivation measures one full HBO activation (20 control periods)
+// on the heaviest scenario — the end-to-end cost of the paper's Algorithm 1
+// loop on the simulated substrate.
+func BenchmarkActivation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		app, err := hbo.New(hbo.Options{Scenario: "SC1-CF1", Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := app.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPFitPredict measures the Gaussian-process surrogate at the
+// paper's database size (20 observations, 4 dimensions).
+func BenchmarkGPFitPredict(b *testing.B) {
+	rng := sim.NewRNG(1)
+	dom := bo.Domain{N: 3, RMin: 0.1}
+	xs := make([][]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		xs[i] = dom.Sample(rng)
+		ys[i] = rng.Norm()
+	}
+	probe := dom.Sample(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gp, err := bo.NewGP(bo.Matern52{LengthScale: 0.3, SignalVar: 1}, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := gp.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+		gp.Predict(probe)
+	}
+}
+
+// BenchmarkBOSuggestion measures one EI-driven suggestion (the per-iteration
+// optimizer cost the paper bounds as O(K^3)).
+func BenchmarkBOSuggestion(b *testing.B) {
+	rng := sim.NewRNG(1)
+	dom := bo.Domain{N: 3, RMin: 0.1}
+	opt, err := bo.NewOptimizer(dom, bo.DefaultConfig(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p := dom.Sample(rng)
+		if err := opt.Observe(p, rng.Norm()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecimation measures QEM edge-collapse on a 3k-triangle mesh to
+// half resolution — the edge server's unit of work.
+func BenchmarkDecimation(b *testing.B) {
+	m, err := mesh.Blob(3000, 7, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mesh.DecimateToRatio(m, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocationHeuristic measures Algorithm 1 lines 2-22 for the CF1
+// taskset.
+func BenchmarkAllocationHeuristic(b *testing.B) {
+	prof, err := soc.ProfileTaskset(soc.Pixel7(), tasks.CF1(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := tasks.CF1()
+	ids := make([]string, len(set.Tasks))
+	for i, t := range set.Tasks {
+		ids[i] = t.ID()
+	}
+	c := []float64{0.4, 0.1, 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts, err := alloc.Counts(c, len(ids))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := alloc.Assign(counts, prof, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorSecond measures one simulated second of the fully loaded
+// SC1-CF1 system — the substrate's discrete-event throughput.
+func BenchmarkSimulatorSecond(b *testing.B) {
+	built, err := scenario.SC1CF1().Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		built.System.RunFor(1000)
+	}
+}
+
+// BenchmarkClustering measures the vertex-clustering fast path on the same
+// workload as BenchmarkDecimation, quantifying the speed gap that justifies
+// offering both on the edge server.
+func BenchmarkClustering(b *testing.B) {
+	m, err := mesh.Blob(3000, 7, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mesh.VertexClustering(m, m.TriangleCount()/2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command hbobench regenerates every table and figure of the paper's
+// evaluation section on the simulated substrate and prints the same rows
+// and series the paper reports.
+//
+// Usage:
+//
+//	hbobench                 # run everything
+//	hbobench -only "Figure 5 + Table IV"
+//	hbobench -seed 7         # change the experiment seed
+//	hbobench -list           # list artifacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/mar-hbo/hbo/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	only := flag.String("only", "", "run only the named artifact (e.g. \"Figure 6\")")
+	list := flag.Bool("list", false, "list artifacts and exit")
+	ext := flag.Bool("ext", false, "also run the ablation/extension studies")
+	csvDir := flag.String("csv", "", "also write replottable CSV series to this directory")
+	flag.Parse()
+	if err := run(*seed, *only, *list, *ext, *csvDir); err != nil {
+		fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, only string, list bool, ext bool, csvDir string) error {
+	runners := experiments.All()
+	if ext {
+		runners = experiments.AllWithExtensions()
+	}
+	if list {
+		for _, r := range runners {
+			fmt.Printf("%-22s %s\n", r.ID, r.Description)
+		}
+		return nil
+	}
+	if only != "" {
+		r, err := experiments.ByID(only)
+		if err != nil {
+			// Extension studies are addressable by -only as well.
+			for _, e := range experiments.Extensions() {
+				if strings.EqualFold(e.ID, only) {
+					r, err = e, nil
+					break
+				}
+			}
+			if err != nil {
+				return err
+			}
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		fmt.Printf("%s\n%s (seed %d)\n%s\n\n", strings.Repeat("=", 72), r.ID, seed, r.Description)
+		start := time.Now()
+		out, err := r.Run(seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Println(out.String())
+		if csvDir != "" {
+			if c, ok := out.(interface{ CSV() string }); ok {
+				if err := os.MkdirAll(csvDir, 0o755); err != nil {
+					return err
+				}
+				name := strings.ReplaceAll(strings.ReplaceAll(r.ID, " ", "_"), "+", "and")
+				path := filepath.Join(csvDir, name+".csv")
+				if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("[wrote %s]\n", path)
+			}
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", r.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

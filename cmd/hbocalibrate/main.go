@@ -1,0 +1,198 @@
+// Command hbocalibrate sweeps the SoC contention knobs and scores each
+// candidate against the paper's headline shape targets on SC1-CF1
+// (Fig. 5 / Fig. 6c):
+//
+//	ε_HBO ≈ 0.69, ε_SMQ/ε_HBO ≈ 1.5, ε_BNT/ε_HBO ≈ 2.2, ε_AllN/ε_HBO ≈ 3.5
+//
+// It exists because the paper's absolute numbers come from physical phones;
+// the simulator's free constants must be fitted once, and this tool makes
+// that fit reproducible instead of hand-tuned. Run with -top to control how
+// many best candidates are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"github.com/mar-hbo/hbo/internal/alloc"
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/render"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+type knobs struct {
+	CPURender     float64
+	RenderPerMTri float64
+	NNAPIDelta    float64 // subtracted from the NPU fraction of NNAPI-affine models
+	NNAPIContend  float64
+	MaxRender     float64
+}
+
+type outcome struct {
+	K                                 knobs
+	HBO, SMQ, SML, BNT, AllN, Quality float64
+	Score                             float64
+}
+
+func main() {
+	top := flag.Int("top", 5, "number of best candidates to print")
+	flag.Parse()
+	if err := run(*top); err != nil {
+		fmt.Fprintf(os.Stderr, "hbocalibrate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(top int) error {
+	var results []outcome
+	for _, cpuRender := range []float64{0.5, 1.0} {
+		for _, perMTri := range []float64{0.5, 0.65, 0.8, 0.95} {
+			for _, delta := range []float64{0.15, 0.25, 0.35} {
+				for _, contend := range []float64{2.5, 4, 6} {
+					for _, maxRender := range []float64{0.80, 0.92} {
+						k := knobs{
+							CPURender:     cpuRender,
+							RenderPerMTri: perMTri,
+							NNAPIDelta:    delta,
+							NNAPIContend:  contend,
+							MaxRender:     maxRender,
+						}
+						o, err := evaluate(k)
+						if err != nil {
+							return err
+						}
+						results = append(results, o)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Score < results[j].Score })
+	fmt.Println("score  cpuR perMTri dNPU cont maxR |   eps: HBO   SMQ   SML   BNT  AllN | ratios SMQ/BNT/AllN")
+	for i := 0; i < top && i < len(results); i++ {
+		o := results[i]
+		fmt.Printf("%.3f  %.2f  %.2f   %.2f %.1f %.2f | %6.2f %5.2f %5.2f %5.2f %5.2f | %4.1fx %4.1fx %4.1fx\n",
+			o.Score, o.K.CPURender, o.K.RenderPerMTri, o.K.NNAPIDelta, o.K.NNAPIContend, o.K.MaxRender,
+			o.HBO, o.SMQ, o.SML, o.BNT, o.AllN, o.SMQ/o.HBO, o.BNT/o.HBO, o.AllN/o.HBO)
+	}
+	return nil
+}
+
+// device builds a Pixel 7 profile with the candidate knobs applied.
+func device(k knobs) *soc.DeviceProfile {
+	dev := soc.Pixel7()
+	dev.CPURenderLoad = k.CPURender
+	dev.RenderUtilPerMTri = k.RenderPerMTri
+	dev.NNAPIContentionMS = k.NNAPIContend
+	dev.MaxRenderUtil = k.MaxRender
+	for _, name := range []string{tasks.MobileNetDetV1, tasks.EfficientLiteV0, tasks.MobileNetV1, tasks.InceptionV1Q} {
+		m := dev.Models[name]
+		m.NPUFraction -= k.NNAPIDelta
+		if m.NPUFraction < 0.2 {
+			m.NPUFraction = 0.2
+		}
+		dev.Models[name] = m
+	}
+	return dev
+}
+
+func evaluate(k knobs) (outcome, error) {
+	dev := device(k)
+	set := tasks.CF1()
+	prof, err := soc.ProfileTaskset(dev, set, 1)
+	if err != nil {
+		return outcome{}, err
+	}
+	lib, err := render.LibraryFor(render.SC1(), 1)
+	if err != nil {
+		return outcome{}, err
+	}
+
+	measure := func(a alloc.Assignment, x float64) (core.Measurement, error) {
+		eng := sim.NewEngine(42)
+		sys := soc.NewSystem(eng, dev, soc.DefaultConfig())
+		scene := render.NewScene(lib)
+		if err := scene.PlaceAll(render.SC1(), 1.5); err != nil {
+			return core.Measurement{}, err
+		}
+		rt, err := core.NewRuntime(sys, scene, prof, set)
+		if err != nil {
+			return core.Measurement{}, err
+		}
+		if err := rt.ApplyAllocation(a); err != nil {
+			return core.Measurement{}, err
+		}
+		if err := alloc.DistributeTriangles(scene.Objects(), x); err != nil {
+			return core.Measurement{}, err
+		}
+		rt.SyncRenderLoad()
+		sys.RunFor(1000)
+		return rt.Measure(5000)
+	}
+
+	hboAlloc := alloc.Assignment{
+		"mobilenetDetv1": tasks.NNAPI, "efficientclass-lite0": tasks.NNAPI, "mobilenetv1": tasks.NNAPI,
+		"mnist": tasks.CPU, "model-metadata": tasks.CPU, "model-metadata_2": tasks.CPU,
+	}
+	staticAlloc := alloc.Assignment{
+		"mobilenetDetv1": tasks.NNAPI, "efficientclass-lite0": tasks.NNAPI, "mobilenetv1": tasks.NNAPI,
+		"mnist": tasks.GPU, "model-metadata": tasks.GPU, "model-metadata_2": tasks.GPU,
+	}
+	bntAlloc := alloc.Assignment{ // Table IV BNT column: x stays at 1
+		"mobilenetDetv1": tasks.NNAPI, "efficientclass-lite0": tasks.CPU, "mobilenetv1": tasks.NNAPI,
+		"mnist": tasks.CPU, "model-metadata": tasks.CPU, "model-metadata_2": tasks.CPU,
+	}
+	bntAlt := hboAlloc // same allocation as HBO but forced to x = 1
+	allN := alloc.Assignment{
+		"mobilenetDetv1": tasks.NNAPI, "efficientclass-lite0": tasks.NNAPI, "mobilenetv1": tasks.NNAPI,
+		"mnist": tasks.NNAPI, "model-metadata": tasks.NNAPI, "model-metadata_2": tasks.NNAPI,
+	}
+
+	hbo, err := measure(hboAlloc, 0.72)
+	if err != nil {
+		return outcome{}, err
+	}
+	smq, err := measure(staticAlloc, 0.72)
+	if err != nil {
+		return outcome{}, err
+	}
+	sml, err := measure(staticAlloc, 0.5)
+	if err != nil {
+		return outcome{}, err
+	}
+	bnt1, err := measure(bntAlloc, 1)
+	if err != nil {
+		return outcome{}, err
+	}
+	bnt2, err := measure(bntAlt, 1)
+	if err != nil {
+		return outcome{}, err
+	}
+	alln, err := measure(allN, 1)
+	if err != nil {
+		return outcome{}, err
+	}
+
+	// BNT's own Bayesian run would pick the better of the two allocations.
+	bntEps := math.Min(bnt1.Epsilon, bnt2.Epsilon)
+	o := outcome{
+		K: k, HBO: hbo.Epsilon, SMQ: smq.Epsilon, SML: sml.Epsilon,
+		BNT: bntEps, AllN: alln.Epsilon, Quality: hbo.Quality,
+	}
+	logErr := func(got, want float64) float64 {
+		if got <= 0 || want <= 0 {
+			return 10
+		}
+		return math.Abs(math.Log(got / want))
+	}
+	o.Score = logErr(o.HBO, 0.69) +
+		logErr(o.SMQ/o.HBO, 1.5) +
+		logErr(o.BNT/o.HBO, 2.2) +
+		logErr(o.AllN/o.HBO, 3.5)
+	return o, nil
+}

@@ -1,0 +1,42 @@
+// Command hboedge runs the standalone edge server of the paper's Figure 3:
+// it serves virtual-object decimation, Eq. 1 parameter training, and remote
+// Bayesian-optimization steps over HTTP.
+//
+// Usage:
+//
+//	hboedge -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/mar-hbo/hbo/internal/edge"
+	"github.com/mar-hbo/hbo/internal/render"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	if err := run(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "hboedge: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string) error {
+	// The server's catalog covers every Table II asset.
+	catalog := append(render.SC1(), render.SC2()...)
+	specs := make([]render.ObjectSpec, 0, len(catalog))
+	for _, c := range catalog {
+		specs = append(specs, c.Spec)
+	}
+	srv, err := edge.NewServer(specs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hboedge: serving %d objects on %s (POST /decimate, /train, /bo/next)\n", len(specs), addr)
+	return http.ListenAndServe(addr, srv.Handler())
+}

@@ -1,0 +1,119 @@
+// Command hbomesh generates, decimates, and exports the catalog's stand-in
+// geometry as Wavefront OBJ — the asset-pipeline utility around the edge
+// server's decimation algorithm.
+//
+// Usage:
+//
+//	hbomesh -object apricot -ratio 0.4 -o apricot_40.obj
+//	hbomesh -in model.obj -ratio 0.25 -o model_25.obj
+//	hbomesh -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mar-hbo/hbo/internal/mesh"
+	"github.com/mar-hbo/hbo/internal/render"
+)
+
+func main() {
+	object := flag.String("object", "", "catalog object to generate (see -list)")
+	in := flag.String("in", "", "input OBJ file to decimate instead of a catalog object")
+	ratio := flag.Float64("ratio", 1.0, "decimation ratio in (0,1]")
+	out := flag.String("o", "", "output OBJ path (default stdout)")
+	list := flag.Bool("list", false, "list catalog objects and exit")
+	flag.Parse()
+	if err := run(*object, *in, *ratio, *out, *list); err != nil {
+		fmt.Fprintf(os.Stderr, "hbomesh: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func catalog() []render.ObjectCount {
+	return append(render.SC1(), render.SC2()...)
+}
+
+func run(object, in string, ratio float64, out string, list bool) error {
+	if list {
+		for _, c := range catalog() {
+			fmt.Printf("%-10s %8d triangles (Table II), %s\n", c.Spec.Name, c.Spec.MaxTriangles, shapeName(c.Spec.Shape))
+		}
+		return nil
+	}
+	if ratio <= 0 || ratio > 1 {
+		return fmt.Errorf("ratio %v out of (0,1]", ratio)
+	}
+
+	var m *mesh.Mesh
+	switch {
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		m, err = mesh.ReadOBJ(f)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+	case object != "":
+		for _, c := range catalog() {
+			if c.Spec.Name == object {
+				g, err := c.Spec.Geometry()
+				if err != nil {
+					return err
+				}
+				m = g
+				break
+			}
+		}
+		if m == nil {
+			return fmt.Errorf("unknown object %q (try -list)", object)
+		}
+	default:
+		return fmt.Errorf("need -object or -in")
+	}
+
+	before := m.TriangleCount()
+	dec, err := mesh.DecimateToRatio(m, ratio)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hbomesh: %d -> %d triangles (%.0f%%)\n",
+		before, dec.TriangleCount(), 100*float64(dec.TriangleCount())/float64(before))
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "hbomesh: closing %s: %v\n", out, err)
+			}
+		}()
+		w = f
+	}
+	return mesh.WriteOBJ(w, dec)
+}
+
+func shapeName(s render.Shape) string {
+	switch s {
+	case render.ShapeBlob:
+		return "blob"
+	case render.ShapeSphere:
+		return "sphere"
+	case render.ShapeTorus:
+		return "torus"
+	case render.ShapeBox:
+		return "box"
+	default:
+		return "unknown"
+	}
+}

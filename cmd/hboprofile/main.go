@@ -1,0 +1,106 @@
+// Command hboprofile performs the paper's one-time offline profiling: it
+// measures every model's isolation latency on every supported resource of a
+// device (regenerating Table I) and prints the priority queue P that
+// Algorithm 1 consumes.
+//
+// Usage:
+//
+//	hboprofile -device pixel7
+//	hboprofile -device s22 -taskset CF1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/state"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+func main() {
+	device := flag.String("device", "pixel7", "device: pixel7, s22")
+	taskset := flag.String("taskset", "", "optional taskset (CF1, CF2) to print the priority queue for")
+	seed := flag.Uint64("seed", 1, "profiling seed")
+	out := flag.String("o", "", "write the taskset profile as JSON to this path (requires -taskset)")
+	flag.Parse()
+	if err := run(*device, *taskset, *seed, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "hboprofile: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(device, taskset string, seed uint64, out string) error {
+	var dev *soc.DeviceProfile
+	switch strings.ToLower(device) {
+	case "pixel7", "pixel":
+		dev = soc.Pixel7()
+	case "s22", "galaxys22":
+		dev = soc.GalaxyS22()
+	default:
+		return fmt.Errorf("unknown device %q (want pixel7 or s22)", device)
+	}
+
+	rows, err := soc.TableI(dev, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Isolation profile for %s (ms):\n", dev.Name)
+	fmt.Printf("%-22s %8s %8s %8s\n", "model", "GPU", "NNAPI", "CPU")
+	for _, m := range tasks.All() {
+		row := rows[m.Name]
+		fmt.Printf("%-22s %8s %8s %8s\n", m.Name,
+			cell(row[tasks.GPU]), cell(row[tasks.NNAPI]), cell(row[tasks.CPU]))
+	}
+
+	if taskset == "" {
+		return nil
+	}
+	var set tasks.Set
+	switch strings.ToUpper(taskset) {
+	case "CF1":
+		set = tasks.CF1()
+	case "CF2":
+		set = tasks.CF2()
+	default:
+		return fmt.Errorf("unknown taskset %q (want CF1 or CF2)", taskset)
+	}
+	prof, err := soc.ProfileTaskset(dev, set, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nPriority queue P for %s (non-decreasing latency):\n", set.Name)
+	for i, e := range prof.Entries {
+		fmt.Printf("%2d. %-22s on %-5s  %.1f ms\n", i+1, e.TaskID, e.Resource, e.LatencyMS)
+	}
+	fmt.Println("\nExpected latency tau_e per task:")
+	for _, t := range set.Tasks {
+		id := t.ID()
+		fmt.Printf("  %-22s %.1f ms on %s\n", id, prof.Expected[id], prof.Best[id])
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := state.SaveProfile(f, dev.Name, prof); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote profile to %s\n", out)
+	}
+	return nil
+}
+
+func cell(v float64) string {
+	if math.IsNaN(v) {
+		return "NA"
+	}
+	return fmt.Sprintf("%.1f", v)
+}

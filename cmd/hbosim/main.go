@@ -1,0 +1,132 @@
+// Command hbosim runs a single MAR-app scenario under a chosen controller
+// (HBO or one of the paper's baselines) and prints the resulting
+// configuration and performance.
+//
+// Usage:
+//
+//	hbosim -scenario SC1-CF1 -controller hbo
+//	hbosim -scenario SC2-CF2 -controller alln -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/alloc"
+	"github.com/mar-hbo/hbo/internal/baselines"
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+func main() {
+	name := flag.String("scenario", "SC1-CF1", "scenario: SC1-CF1, SC2-CF1, SC1-CF2, SC2-CF2")
+	controller := flag.String("controller", "hbo", "controller: hbo, smq, sml, bnt, alln")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	weight := flag.Float64("w", 2.5, "latency/quality weight w (Eq. 3)")
+	flag.Parse()
+	if err := run(*name, *controller, *seed, *weight); err != nil {
+		fmt.Fprintf(os.Stderr, "hbosim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, controller string, seed uint64, weight float64) error {
+	spec, err := scenario.ByName(name)
+	if err != nil {
+		return err
+	}
+	built, err := spec.Build(seed)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Weight = weight
+
+	fmt.Printf("scenario %s on %s: %d objects (%d triangles max), %d AI tasks\n",
+		spec.Name, built.System.Device().Name,
+		built.Scene.Len(), built.Scene.TotalMaxTriangles(), len(spec.Taskset.Tasks))
+
+	start, err := built.Runtime.Measure(4000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("before optimization: Q=%.3f eps=%.3f B=%.3f\n\n",
+		start.Quality, start.Epsilon, start.Reward(weight))
+
+	switch strings.ToLower(controller) {
+	case "hbo":
+		res, err := core.RunActivation(built.Runtime, cfg, sim.NewRNG(seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("HBO solution after %d iterations (best at %d):\n", len(res.Iterations), res.BestIndex+1)
+		printAllocation(allocationStrings(res.Assignment))
+		fmt.Printf("triangle ratio: %.2f\nQ=%.3f eps=%.3f B=%.3f\n",
+			res.Ratio, res.Quality, res.Epsilon, -res.Cost)
+		fmt.Print("best-cost trajectory:")
+		for _, v := range res.BestCostTrajectory() {
+			fmt.Printf(" %.2f", v)
+		}
+		fmt.Println()
+	case "smq", "sml", "bnt", "alln":
+		// The static baselines need HBO's outcome as their target; run HBO
+		// on an identical twin build first.
+		twin, err := spec.Build(seed)
+		if err != nil {
+			return err
+		}
+		act, err := core.RunActivation(twin.Runtime, cfg, sim.NewRNG(seed))
+		if err != nil {
+			return err
+		}
+		var c baselines.Controller
+		switch strings.ToLower(controller) {
+		case "smq":
+			c = baselines.SMQ{HBORatio: act.Ratio}
+		case "sml":
+			c = baselines.SML{HBOEpsilon: act.Epsilon, RMin: cfg.RMin}
+		case "bnt":
+			c = baselines.BNT{Seed: seed}
+		case "alln":
+			c = baselines.AllN{}
+		}
+		o, err := c.Run(built.Runtime)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s solution:\n", o.Name)
+		m := make(map[string]string, len(o.Assignment))
+		for id, r := range o.Assignment {
+			m[id] = r.String()
+		}
+		printAllocation(m)
+		fmt.Printf("triangle ratio: %.2f\nQ=%.3f eps=%.3f B=%.3f\n",
+			o.Ratio, o.Quality, o.Epsilon, o.Quality-weight*o.Epsilon)
+	default:
+		return fmt.Errorf("unknown controller %q", controller)
+	}
+	return nil
+}
+
+func allocationStrings(a alloc.Assignment) map[string]string {
+	out := make(map[string]string, len(a))
+	for id, r := range a {
+		out[id] = r.String()
+	}
+	return out
+}
+
+func printAllocation(a map[string]string) {
+	ids := make([]string, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Printf("  %-22s -> %s\n", id, a[id])
+	}
+}

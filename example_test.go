@@ -1,0 +1,59 @@
+package hbo_test
+
+import (
+	"fmt"
+
+	hbo "github.com/mar-hbo/hbo"
+)
+
+// ExampleNew shows the minimal workflow: build a paper scenario and run one
+// HBO activation.
+func ExampleNew() {
+	app, err := hbo.New(hbo.Options{Scenario: "SC2-CF2", Seed: 42})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sol, err := app.Optimize()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("tasks allocated: %d\n", len(sol.Allocation))
+	fmt.Printf("ratio in range: %v\n", sol.TriangleRatio > 0 && sol.TriangleRatio <= 1)
+	// Output:
+	// tasks allocated: 3
+	// ratio in range: true
+}
+
+// ExampleScenarios lists the paper's evaluation scenarios.
+func ExampleScenarios() {
+	for _, s := range hbo.Scenarios() {
+		fmt.Println(s)
+	}
+	// Output:
+	// SC1-CF1
+	// SC2-CF1
+	// SC1-CF2
+	// SC2-CF2
+}
+
+// ExampleApp_PlaceObject scripts a scene the way a session would.
+func ExampleApp_PlaceObject() {
+	app, err := hbo.New(hbo.Options{Scenario: "SC2-CF2", Seed: 1, StartEmpty: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := app.PlaceObject("cabin", 1, 1.5); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := app.PlaceObject("hammer", 1, 2.0); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(app.Objects())
+	// Output:
+	// [cabin hammer]
+}

@@ -1,0 +1,84 @@
+// Artgallery: a user wanders a two-room AR gallery. Each room holds a
+// different set of exhibits; as the visitor moves between rooms, the
+// out-of-room exhibits leave the camera frustum (no render load, no
+// perceived quality) and the in-room ones come close. The monitored session
+// re-optimizes when a room change shifts the reward and — because the rooms
+// recur — the lookup-table extension replays remembered solutions on the
+// second lap instead of re-exploring.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	hbo "github.com/mar-hbo/hbo"
+)
+
+// room is a set of object IDs plus the viewing distance inside the room.
+type room struct {
+	name     string
+	objects  []string
+	distance float64
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "artgallery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	app, err := hbo.New(hbo.Options{Scenario: "SC1-CF1", Seed: 11})
+	if err != nil {
+		return err
+	}
+	session, err := app.StartSession(hbo.SessionOptions{UseLookup: true})
+	if err != nil {
+		return err
+	}
+
+	rooms := []room{
+		{name: "sculpture hall", objects: []string{"apricot", "bike", "Cocacola", "Cocacola_2"}, distance: 1.2},
+		{name: "aviation wing", objects: []string{"plane", "plane_2", "plane_3", "plane_4", "splane"}, distance: 1.8},
+	}
+	inRoom := func(r room) error {
+		members := map[string]bool{}
+		for _, id := range r.objects {
+			members[id] = true
+		}
+		for _, id := range app.Objects() {
+			if err := app.SetInView(id, members[id]); err != nil {
+				return err
+			}
+			if members[id] {
+				if err := app.SetDistance(id, r.distance); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// Two laps through the gallery, a minute per room.
+	for lap := 1; lap <= 2; lap++ {
+		for _, r := range rooms {
+			if err := inRoom(r); err != nil {
+				return err
+			}
+			if err := session.RunFor(60000); err != nil {
+				return err
+			}
+			m, err := app.MeasureMetrics(2000)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("lap %d, %-14s: reward %6.2f  ratio %.2f  fps %2.0f  activations so far %d (replays %d)\n",
+				lap, r.name, m.Reward, m.TriangleRatio, m.FPS, session.Activations(), session.LookupReplays())
+		}
+	}
+
+	fmt.Printf("\ntour complete: %d activations, %d served from the lookup table\n",
+		session.Activations(), session.LookupReplays())
+	return nil
+}

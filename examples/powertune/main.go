@@ -1,0 +1,68 @@
+// Powertune: the energy/thermal extension through the public API. The same
+// SC1-CF1 workload runs twice for five simulated minutes on a passively
+// cooled phone (thermal model on): once under Android's default all-NNAPI
+// policy at full quality, once under HBO's jointly optimized configuration.
+// The comparison shows the second-order payoff of HBO's load shedding: less
+// platform power, a held frame rate, and a die that stays out of the
+// throttling region.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	hbo "github.com/mar-hbo/hbo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "powertune: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("policy          minute  power(W)  fps  die(C)  latency(eps)")
+
+	// Android default: everything on NNAPI, full triangles.
+	if err := runPolicy("all-NNAPI", func(app *hbo.App) error {
+		for _, id := range app.Tasks() {
+			if err := app.SetAllocation(id, "NNAPI"); err != nil {
+				return err
+			}
+		}
+		return app.SetTriangleRatio(1)
+	}); err != nil {
+		return err
+	}
+
+	// HBO: one activation decides allocation and triangle budget jointly.
+	if err := runPolicy("HBO", func(app *hbo.App) error {
+		_, err := app.Optimize()
+		return err
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+func runPolicy(name string, configure func(*hbo.App) error) error {
+	app, err := hbo.New(hbo.Options{Scenario: "SC1-CF1", Seed: 42})
+	if err != nil {
+		return err
+	}
+	app.EnableThermal()
+	if err := configure(app); err != nil {
+		return err
+	}
+	for minute := 1; minute <= 5; minute++ {
+		m, err := app.MeasureMetrics(60000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-15s %6d  %8.2f  %3.0f  %6.1f  %12.2f\n",
+			name, minute, m.AveragePowerW, m.FPS, m.TemperatureC, m.Epsilon)
+	}
+	fmt.Println()
+	return nil
+}

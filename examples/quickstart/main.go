@@ -1,0 +1,46 @@
+// Quickstart: build the paper's most contended scenario (SC1-CF1: nine
+// high-triangle-count virtual objects, six concurrent AI tasks on a
+// simulated Pixel 7), measure the unoptimized app, run one HBO activation,
+// and print the jointly optimized configuration.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	hbo "github.com/mar-hbo/hbo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	app, err := hbo.New(hbo.Options{Scenario: "SC1-CF1", Seed: 42})
+	if err != nil {
+		return err
+	}
+
+	quality, epsilon, reward, err := app.Measure(4000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("before HBO: quality=%.3f  normalized latency=%.3f  reward=%.3f\n",
+		quality, epsilon, reward)
+
+	sol, err := app.Optimize()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nafter %d Bayesian iterations HBO chose:\n", sol.Iterations)
+	for _, id := range app.Tasks() {
+		fmt.Printf("  %-22s -> %s\n", id, sol.Allocation[id])
+	}
+	fmt.Printf("  total triangle ratio  -> %.2f\n", sol.TriangleRatio)
+	fmt.Printf("\nafter HBO: quality=%.3f  normalized latency=%.3f  reward=%.3f\n",
+		sol.Quality, sol.Epsilon, sol.Reward)
+	return nil
+}

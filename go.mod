@@ -1,0 +1,3 @@
+module github.com/mar-hbo/hbo
+
+go 1.22

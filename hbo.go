@@ -1,0 +1,219 @@
+// Package hbo is the public API of the HBO reproduction: a framework that
+// jointly decides where each AI inference task of a mobile augmented-reality
+// (MAR) app runs (CPU, GPU delegate, or NNAPI delegate) and how many
+// triangles each virtual object is rendered with, trading AI latency against
+// virtual-object quality with Bayesian optimization and allocation
+// heuristics.
+//
+// The package reproduces "Joint AI Task Allocation and Virtual Object
+// Quality Manipulation for Improved MAR App Performance" (ICDCS 2024) on a
+// simulated smartphone SoC — see DESIGN.md for the substitution argument and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// Typical use:
+//
+//	app, err := hbo.New(hbo.Options{Scenario: "SC1-CF1"})
+//	...
+//	sol, err := app.Optimize()
+//	fmt.Println(sol.TriangleRatio, sol.Allocation)
+package hbo
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/experiments"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// Options configures an App.
+type Options struct {
+	// Scenario is one of the paper's evaluation setups: "SC1-CF1",
+	// "SC2-CF1", "SC1-CF2", "SC2-CF2". Required.
+	Scenario string
+	// Seed drives every random choice (object-library training, SoC noise,
+	// Bayesian initialization). Defaults to 42.
+	Seed uint64
+	// Weight is w in the reward B = Q − w·ε. Defaults to the paper's 2.5.
+	Weight float64
+	// RMin is the minimum total triangle ratio. Defaults to 0.1.
+	RMin float64
+	// InitSamples and Iterations are the activation budget. Defaults: 5+15.
+	InitSamples int
+	Iterations  int
+	// StartEmpty trains the object library but places nothing, so the
+	// caller can script placements with PlaceObject (session-style use).
+	StartEmpty bool
+}
+
+// App is a running MAR-app simulation that HBO can optimize.
+type App struct {
+	built *scenario.Built
+	cfg   core.Config
+	rng   *sim.RNG
+}
+
+// New builds an app for the named scenario: trains the virtual-object
+// library, profiles the taskset offline, places all objects, and starts the
+// AI tasks on their profiled best resources.
+func New(opts Options) (*App, error) {
+	spec, err := scenario.ByName(opts.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	cfg := core.DefaultConfig()
+	if opts.Weight > 0 {
+		cfg.Weight = opts.Weight
+	}
+	if opts.RMin > 0 {
+		cfg.RMin = opts.RMin
+	}
+	if opts.InitSamples > 0 {
+		cfg.InitSamples = opts.InitSamples
+	}
+	if opts.Iterations > 0 {
+		cfg.Iterations = opts.Iterations
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec.StartEmpty = opts.StartEmpty
+	built, err := spec.Build(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &App{built: built, cfg: cfg, rng: sim.NewRNG(opts.Seed)}, nil
+}
+
+// Scenarios lists the available scenario names.
+func Scenarios() []string {
+	var out []string
+	for _, s := range scenario.All() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// Solution is the configuration an HBO activation converged to.
+type Solution struct {
+	// Allocation maps task ID to resource name ("CPU", "GPU", "NNAPI").
+	Allocation map[string]string
+	// TriangleRatio is the chosen total triangle count ratio x.
+	TriangleRatio float64
+	// Quality, Epsilon and Reward are the winning configuration's measured
+	// average object quality (Eq. 2), normalized AI latency (Eq. 4), and
+	// reward B = Q − w·ε (Eq. 3).
+	Quality float64
+	Epsilon float64
+	Reward  float64
+	// BestCostTrajectory is the running-minimum cost after each iteration.
+	BestCostTrajectory []float64
+	// Iterations is the number of configurations explored.
+	Iterations int
+}
+
+// Optimize runs one HBO activation (Algorithm 1 over the configured budget)
+// and leaves the app running the best configuration found.
+func (a *App) Optimize() (Solution, error) {
+	res, err := core.RunActivation(a.built.Runtime, a.cfg, a.rng)
+	if err != nil {
+		return Solution{}, err
+	}
+	sol := Solution{
+		Allocation:         make(map[string]string, len(res.Assignment)),
+		TriangleRatio:      res.Ratio,
+		Quality:            res.Quality,
+		Epsilon:            res.Epsilon,
+		Reward:             -res.Cost,
+		BestCostTrajectory: res.BestCostTrajectory(),
+		Iterations:         len(res.Iterations),
+	}
+	for id, r := range res.Assignment {
+		sol.Allocation[id] = r.String()
+	}
+	return sol, nil
+}
+
+// Measure samples the app's current performance over windowMS of simulated
+// time, returning average quality, normalized latency, and reward.
+func (a *App) Measure(windowMS float64) (quality, epsilon, reward float64, err error) {
+	m, err := a.built.Runtime.Measure(windowMS)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return m.Quality, m.Epsilon, m.Reward(a.cfg.Weight), nil
+}
+
+// PlaceObject adds one more instance of a catalog object at the given
+// distance (meters), e.g. to script a session.
+func (a *App) PlaceObject(name string, instance int, distance float64) error {
+	if _, err := a.built.Scene.Place(name, instance, distance); err != nil {
+		return err
+	}
+	a.built.Runtime.SyncRenderLoad()
+	return nil
+}
+
+// SetDistance moves the user relative to one object.
+func (a *App) SetDistance(objectID string, distance float64) error {
+	if distance <= 0 {
+		return fmt.Errorf("hbo: non-positive distance %v", distance)
+	}
+	o, err := a.built.Scene.Object(objectID)
+	if err != nil {
+		return err
+	}
+	o.Distance = distance
+	a.built.Runtime.SyncRenderLoad()
+	return nil
+}
+
+// Objects returns the on-screen object IDs in lexical order.
+func (a *App) Objects() []string {
+	return a.built.Scene.SortedIDs()
+}
+
+// Tasks returns the AI task IDs in lexical order.
+func (a *App) Tasks() []string {
+	ids := a.built.Runtime.TaskIDs()
+	sort.Strings(ids)
+	return ids
+}
+
+// TriangleRatio returns the scene's current total triangle ratio.
+func (a *App) TriangleRatio() float64 {
+	return a.built.Scene.TotalRatio()
+}
+
+// Now returns the app's simulated clock in milliseconds.
+func (a *App) Now() float64 {
+	return a.built.System.Now()
+}
+
+// Experiments lists the paper artifacts this repository can regenerate.
+func Experiments() []string {
+	var out []string
+	for _, r := range experiments.All() {
+		out = append(out, r.ID)
+	}
+	return out
+}
+
+// RunExperiment regenerates one paper artifact ("Table I", "Figure 6", ...)
+// and returns its printable report.
+func RunExperiment(id string, seed uint64) (string, error) {
+	r, err := experiments.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	out, err := r.Run(seed)
+	if err != nil {
+		return "", err
+	}
+	return out.String(), nil
+}

@@ -1,0 +1,114 @@
+package hbo_test
+
+import (
+	"strings"
+	"testing"
+
+	hbo "github.com/mar-hbo/hbo"
+)
+
+func TestNewValidatesScenario(t *testing.T) {
+	if _, err := hbo.New(hbo.Options{Scenario: "nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := hbo.New(hbo.Options{Scenario: "SC2-CF2", RMin: 2}); err == nil {
+		t.Fatal("invalid RMin accepted")
+	}
+}
+
+func TestScenariosAndExperimentsLists(t *testing.T) {
+	if got := hbo.Scenarios(); len(got) != 4 {
+		t.Fatalf("Scenarios() = %v", got)
+	}
+	if got := hbo.Experiments(); len(got) != 10 {
+		t.Fatalf("Experiments() = %v", got)
+	}
+}
+
+func TestOptimizeImprovesReward(t *testing.T) {
+	app, err := hbo.New(hbo.Options{Scenario: "SC1-CF1", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, before, err := app.Measure(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := app.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Reward <= before {
+		t.Errorf("reward %.3f -> %.3f, want improvement", before, sol.Reward)
+	}
+	if sol.TriangleRatio <= 0 || sol.TriangleRatio > 1 {
+		t.Fatalf("ratio %v", sol.TriangleRatio)
+	}
+	if len(sol.Allocation) != 6 {
+		t.Fatalf("allocation covers %d tasks", len(sol.Allocation))
+	}
+	for id, r := range sol.Allocation {
+		switch r {
+		case "CPU", "GPU", "NNAPI":
+		default:
+			t.Errorf("task %s on unknown resource %q", id, r)
+		}
+	}
+	if sol.Iterations != 20 {
+		t.Fatalf("iterations %d, want 20", sol.Iterations)
+	}
+	// The app is left running the solution.
+	if got := app.TriangleRatio(); got < sol.TriangleRatio-0.05 || got > sol.TriangleRatio+0.05 {
+		t.Errorf("app ratio %v does not reflect solution %v", got, sol.TriangleRatio)
+	}
+}
+
+func TestSceneManipulation(t *testing.T) {
+	app, err := hbo.New(hbo.Options{Scenario: "SC2-CF2", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(app.Objects()); got != 7 {
+		t.Fatalf("objects = %d", got)
+	}
+	if got := len(app.Tasks()); got != 3 {
+		t.Fatalf("tasks = %d", got)
+	}
+	if err := app.PlaceObject("cabin", 2, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(app.Objects()); got != 8 {
+		t.Fatalf("objects after placement = %d", got)
+	}
+	if err := app.SetDistance("cabin_2", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.SetDistance("cabin_2", -1); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+	if err := app.SetDistance("ghost", 2); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+	if app.Now() <= 0 {
+		// Time only advances through Measure/Optimize; trigger one.
+		if _, _, _, err := app.Measure(100); err != nil {
+			t.Fatal(err)
+		}
+		if app.Now() <= 0 {
+			t.Fatal("clock did not advance")
+		}
+	}
+}
+
+func TestRunExperimentTableI(t *testing.T) {
+	out, err := hbo.RunExperiment("Table I", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "deeplabv3") || !strings.Contains(out, "NA") {
+		t.Fatalf("Table I output unexpected:\n%s", out)
+	}
+	if _, err := hbo.RunExperiment("Figure 99", 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

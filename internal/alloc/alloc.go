@@ -1,0 +1,286 @@
+// Package alloc implements the heuristic half of the paper's HBO algorithm
+// (Algorithm 1): translating the Bayesian optimizer's fractional per-resource
+// proportions into an integer per-task allocation via a latency-sorted
+// priority queue (lines 2–22), and distributing the chosen total triangle
+// budget across virtual objects by degradation sensitivity (the TD function
+// of line 23).
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/mar-hbo/hbo/internal/render"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// Counts maps the fractional resource-usage vector c onto integer task
+// counts per resource (Algorithm 1, lines 2–12): floor each share, then hand
+// the rounding remainder to the resources with the highest usage first.
+func Counts(c []float64, m int) ([]int, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("alloc: negative task count %d", m)
+	}
+	sum := 0.0
+	for _, v := range c {
+		if v < -1e-9 || math.IsNaN(v) {
+			return nil, fmt.Errorf("alloc: invalid proportion vector %v", c)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("alloc: proportions sum to %v, want 1", sum)
+	}
+	counts := make([]int, len(c))
+	total := 0
+	for i, v := range c {
+		counts[i] = int(v * float64(m))
+		total += counts[i]
+	}
+	r := m - total
+	if r > 0 {
+		// Indexes sorted by non-increasing usage; ties broken by index for
+		// determinism.
+		order := make([]int, len(c))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return c[order[a]] > c[order[b]] })
+		for _, i := range order {
+			if r <= 0 {
+				break
+			}
+			counts[i]++
+			r--
+		}
+	}
+	return counts, nil
+}
+
+// Assignment maps task ID to the chosen resource.
+type Assignment map[string]tasks.Resource
+
+// Assign performs the greedy priority-queue allocation of Algorithm 1,
+// lines 13–22: repeatedly take the globally lowest-latency (task, resource)
+// pair; if the resource still has capacity in counts, commit it and retire
+// the task, otherwise retire the resource.
+//
+// The paper's pseudo-code can strand tasks when capacity remains only on
+// resources a task does not support (NNAPI "NA" models) — the queue drains
+// with k < M. Assign finishes with a repair pass: each stranded task takes
+// its lowest-latency resource that still has capacity, or failing that its
+// best supported resource outright, so exactly len(ids) tasks are always
+// placed.
+func Assign(counts []int, prof *soc.Profile, ids []string) (Assignment, error) {
+	if len(counts) != tasks.NumResources {
+		return nil, fmt.Errorf("alloc: counts has %d entries, want %d", len(counts), tasks.NumResources)
+	}
+	capacity := 0
+	for _, v := range counts {
+		if v < 0 {
+			return nil, fmt.Errorf("alloc: negative capacity in %v", counts)
+		}
+		capacity += v
+	}
+	if capacity != len(ids) {
+		return nil, fmt.Errorf("alloc: counts total %d but %d tasks", capacity, len(ids))
+	}
+	wanted := make(map[string]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := wanted[id]; dup {
+			return nil, fmt.Errorf("alloc: duplicate task ID %s", id)
+		}
+		wanted[id] = struct{}{}
+	}
+
+	remaining := append([]int(nil), counts...)
+	out := make(Assignment, len(ids))
+	retiredResource := make(map[tasks.Resource]bool)
+
+	// prof.Entries is sorted by non-decreasing latency: walking it in order
+	// with skip sets is equivalent to polling the paper's binary heap.
+	for _, e := range prof.Entries {
+		if len(out) == len(ids) {
+			break
+		}
+		if _, ok := wanted[e.TaskID]; !ok {
+			continue // not in this taskset
+		}
+		if _, done := out[e.TaskID]; done {
+			continue // task retired (line 20)
+		}
+		if retiredResource[e.Resource] {
+			continue // resource retired (line 22)
+		}
+		if remaining[e.Resource] == 0 {
+			retiredResource[e.Resource] = true
+			continue
+		}
+		out[e.TaskID] = e.Resource
+		remaining[e.Resource]--
+	}
+
+	// Repair pass for stranded tasks.
+	for _, id := range ids {
+		if _, done := out[id]; done {
+			continue
+		}
+		r, err := bestWithCapacity(prof, id, remaining)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = r
+		if remaining[r] > 0 {
+			remaining[r]--
+		}
+	}
+	return out, nil
+}
+
+// bestWithCapacity returns the task's lowest-latency supported resource that
+// still has capacity, falling back to its overall best supported resource.
+func bestWithCapacity(prof *soc.Profile, id string, remaining []int) (tasks.Resource, error) {
+	fallback := tasks.Resource(-1)
+	for _, e := range prof.Entries {
+		if e.TaskID != id {
+			continue
+		}
+		if fallback < 0 {
+			fallback = e.Resource
+		}
+		if remaining[e.Resource] > 0 {
+			return e.Resource, nil
+		}
+	}
+	if fallback < 0 {
+		return 0, fmt.Errorf("alloc: task %s has no profiled resource", id)
+	}
+	return fallback, nil
+}
+
+// ReferenceRatio is the common decimation ratio at which each object's
+// degradation sensitivity is probed for TD weighting.
+const ReferenceRatio = 0.3
+
+// minObjectRatio keeps every object above a floor so nothing vanishes from
+// the scene even under an aggressive total budget.
+const minObjectRatio = 0.05
+
+// DistributeTrianglesUniform is the ablation counterpart of TD: every object
+// gets the same decimation ratio regardless of its degradation sensitivity
+// or distance. Comparing Eq. 2 quality under the two policies isolates the
+// value of the paper's sensitivity weighting (experiments.RunTDStudy).
+func DistributeTrianglesUniform(objs []*render.Object, totalRatio float64) error {
+	if totalRatio < 0 || totalRatio > 1 || math.IsNaN(totalRatio) {
+		return fmt.Errorf("alloc: total triangle ratio %v out of [0,1]", totalRatio)
+	}
+	for _, o := range objs {
+		t := int(math.Round(totalRatio * float64(o.Spec.MaxTriangles)))
+		if t < 1 {
+			t = 1
+		}
+		o.Triangles = t
+	}
+	return nil
+}
+
+// DistributeTriangles implements TD (Algorithm 1, line 23): split the total
+// triangle budget totalRatio·T^max across the scene's objects, weighting by
+// each object's degradation sensitivity — the gap between its degradation at
+// the reference ratio and at full quality, at its current distance — so
+// close-by or detail-heavy objects keep more triangles. Water-filling
+// respects each object's [minObjectRatio, 1] range while conserving the
+// budget.
+func DistributeTriangles(objs []*render.Object, totalRatio float64) error {
+	if len(objs) == 0 {
+		return nil
+	}
+	if totalRatio < 0 || totalRatio > 1 || math.IsNaN(totalRatio) {
+		return fmt.Errorf("alloc: total triangle ratio %v out of [0,1]", totalRatio)
+	}
+	totalMax := 0
+	for _, o := range objs {
+		totalMax += o.Spec.MaxTriangles
+	}
+	budget := totalRatio * float64(totalMax)
+
+	type entry struct {
+		obj    *render.Object
+		weight float64 // sensitivity-scaled size
+		min    float64
+		max    float64
+	}
+	entries := make([]entry, len(objs))
+	for i, o := range objs {
+		sens := o.Params.Error(ReferenceRatio, o.Distance) - o.Params.Error(1, o.Distance)
+		if sens < 1e-3 {
+			sens = 1e-3
+		}
+		entries[i] = entry{
+			obj:    o,
+			weight: sens * float64(o.Spec.MaxTriangles),
+			min:    minObjectRatio * float64(o.Spec.MaxTriangles),
+			max:    float64(o.Spec.MaxTriangles),
+		}
+	}
+	// Sort by sensitivity weight (most sensitive first) — the paper's
+	// O(L log L) sorting step; processing order also makes cap handling
+	// deterministic.
+	sort.SliceStable(entries, func(a, b int) bool { return entries[a].weight > entries[b].weight })
+
+	// Water-fill: proportional shares with per-object caps, iterating while
+	// caps bind. Guarantee the floor first.
+	grant := make([]float64, len(entries))
+	for i := range entries {
+		grant[i] = entries[i].min
+		budget -= entries[i].min
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	active := make([]int, 0, len(entries))
+	for i := range entries {
+		active = append(active, i)
+	}
+	for budget > 1e-9 && len(active) > 0 {
+		wsum := 0.0
+		for _, i := range active {
+			wsum += entries[i].weight
+		}
+		if wsum <= 0 {
+			break
+		}
+		next := active[:0]
+		spent := 0.0
+		for _, i := range active {
+			share := budget * entries[i].weight / wsum
+			room := entries[i].max - grant[i]
+			if share >= room {
+				spent += room
+				grant[i] = entries[i].max
+			} else {
+				spent += share
+				grant[i] += share
+				next = append(next, i)
+			}
+		}
+		budget -= spent
+		if len(next) == len(active) {
+			break // nothing capped; shares are final
+		}
+		active = next
+	}
+	for i, e := range entries {
+		t := int(math.Round(grant[i]))
+		if t > e.obj.Spec.MaxTriangles {
+			t = e.obj.Spec.MaxTriangles
+		}
+		if t < 1 {
+			t = 1
+		}
+		e.obj.Triangles = t
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/mar-hbo/hbo/internal/render"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+func TestCountsPaperExample(t *testing.T) {
+	// The paper's worked example: c = [0.4, 0.1, 0.5], M = 3 -> [1, 0, 2].
+	got, err := Counts([]float64{0.4, 0.1, 0.5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Counts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCountsAlwaysSumToM(t *testing.T) {
+	f := func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw%12) + 1
+		rng := sim.NewRNG(seed)
+		c := make([]float64, 3)
+		rng.Dirichlet(1, c)
+		counts, err := Counts(c, m)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, v := range counts {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountsRemainderGoesToHighestUsage(t *testing.T) {
+	// c = [0.34, 0.33, 0.33], M = 1: floor gives [0,0,0]; the single task
+	// must land on the highest-usage resource.
+	got, err := Counts([]float64{0.34, 0.33, 0.33}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("Counts = %v, want [1 0 0]", got)
+	}
+}
+
+func TestCountsRejectsBadInput(t *testing.T) {
+	if _, err := Counts([]float64{0.5, 0.2}, 3); err == nil {
+		t.Fatal("non-normalized proportions accepted")
+	}
+	if _, err := Counts([]float64{1.5, -0.5, 0}, 3); err == nil {
+		t.Fatal("negative proportion accepted")
+	}
+	if _, err := Counts([]float64{1, 0, 0}, -1); err == nil {
+		t.Fatal("negative M accepted")
+	}
+}
+
+func cf1Profile(t *testing.T) (*soc.Profile, []string) {
+	t.Helper()
+	set := tasks.CF1()
+	prof, err := soc.ProfileTaskset(soc.Pixel7(), set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, len(set.Tasks))
+	for i, task := range set.Tasks {
+		ids[i] = task.ID()
+	}
+	return prof, ids
+}
+
+func TestAssignPlacesEveryTaskOnce(t *testing.T) {
+	prof, ids := cf1Profile(t)
+	got, err := Assign([]int{3, 0, 3}, prof, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("assigned %d tasks, want %d", len(got), len(ids))
+	}
+	used := map[tasks.Resource]int{}
+	for id, r := range got {
+		used[r]++
+		if _, err := soc.Pixel7().Model(taskModel(id)); err != nil {
+			t.Fatalf("unknown task %s in assignment", id)
+		}
+	}
+	if used[tasks.CPU] != 3 || used[tasks.NNAPI] != 3 {
+		t.Fatalf("resource usage %v, want CPU:3 NNAPI:3", used)
+	}
+}
+
+// taskModel strips an instance suffix from a task ID.
+func taskModel(id string) string {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '_' {
+			return id[:i]
+		}
+	}
+	return id
+}
+
+func TestAssignPrefersLowLatencyPairs(t *testing.T) {
+	prof, ids := cf1Profile(t)
+	// All capacity on NNAPI except one CPU slot: the NNAPI-affine tasks
+	// should take NNAPI; the CPU slot should not go to one of them.
+	got, err := Assign([]int{1, 0, 5}, prof, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"mobilenetDetv1", "mobilenetv1", "efficientclass-lite0"} {
+		if got[id] != tasks.NNAPI {
+			t.Errorf("task %s on %s, want NNAPI (its lowest-latency resource)", id, got[id])
+		}
+	}
+}
+
+func TestAssignAllOnOneResource(t *testing.T) {
+	prof, ids := cf1Profile(t)
+	got, err := Assign([]int{6, 0, 0}, prof, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range got {
+		if r != tasks.CPU {
+			t.Errorf("task %s on %s, want CPU", id, r)
+		}
+	}
+}
+
+func TestAssignRepairsNAIncompatibility(t *testing.T) {
+	// deeplabv3 on Pixel 7 supports only CPU and GPU. Force all capacity to
+	// NNAPI: the paper's pseudo-code would strand it, the repair pass must
+	// still place it.
+	set, err := tasks.Expand("na-set", []tasks.ModelCount{{Model: tasks.DeepLabV3, Count: 1}, {Model: tasks.MobileNetV1, Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := soc.ProfileTaskset(soc.Pixel7(), set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Assign([]int{0, 0, 2}, prof, []string{"deeplabv3", "mobilenetv1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["mobilenetv1"] != tasks.NNAPI {
+		t.Errorf("mobilenetv1 on %s, want NNAPI", got["mobilenetv1"])
+	}
+	if got["deeplabv3"] == tasks.NNAPI {
+		t.Error("deeplabv3 assigned to unsupported NNAPI")
+	}
+}
+
+func TestAssignValidatesInput(t *testing.T) {
+	prof, ids := cf1Profile(t)
+	if _, err := Assign([]int{1, 1}, prof, ids); err == nil {
+		t.Fatal("short counts accepted")
+	}
+	if _, err := Assign([]int{1, 1, 1}, prof, ids); err == nil {
+		t.Fatal("capacity != M accepted")
+	}
+	if _, err := Assign([]int{-1, 4, 3}, prof, ids); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if _, err := Assign([]int{3, 0, 3}, prof, []string{"a", "a", "b", "c", "d", "e"}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestAssignProperty(t *testing.T) {
+	prof, ids := cf1Profile(t)
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		c := make([]float64, 3)
+		rng.Dirichlet(1, c)
+		counts, err := Counts(c, len(ids))
+		if err != nil {
+			return false
+		}
+		got, err := Assign(counts, prof, ids)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(ids) {
+			return false
+		}
+		// No task on an unsupported resource.
+		dev := soc.Pixel7()
+		for id, r := range got {
+			mp, err := dev.Model(taskModel(id))
+			if err != nil || !mp.Supported(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sceneForTD(t *testing.T) *render.Scene {
+	t.Helper()
+	lib, err := render.LibraryFor(render.SC1(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := render.NewScene(lib)
+	if err := scene.PlaceAll(render.SC1(), 1.5); err != nil {
+		t.Fatal(err)
+	}
+	return scene
+}
+
+func TestDistributeTrianglesConservesBudget(t *testing.T) {
+	scene := sceneForTD(t)
+	for _, x := range []float64{1, 0.72, 0.5, 0.3} {
+		if err := DistributeTriangles(scene.Objects(), x); err != nil {
+			t.Fatal(err)
+		}
+		got := scene.TotalRatio()
+		if math.Abs(got-x) > 0.02 {
+			t.Errorf("total ratio after TD(%v) = %v", x, got)
+		}
+		for _, o := range scene.Objects() {
+			if o.Triangles < 1 || o.Triangles > o.Spec.MaxTriangles {
+				t.Errorf("object %s got %d triangles (max %d)", o.ID(), o.Triangles, o.Spec.MaxTriangles)
+			}
+		}
+	}
+}
+
+func TestDistributeTrianglesFavorsSensitiveObjects(t *testing.T) {
+	scene := sceneForTD(t)
+	// Make one object much closer: its degradation is more visible, so it
+	// should retain a higher ratio than the same-spec far object.
+	near, err := scene.Object("plane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := scene.Object("plane_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	near.Distance = 0.8
+	far.Distance = 6
+	if err := DistributeTriangles(scene.Objects(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if near.Ratio() <= far.Ratio() {
+		t.Errorf("near object ratio %v should exceed far object ratio %v", near.Ratio(), far.Ratio())
+	}
+}
+
+func TestDistributeTrianglesFullBudgetRestoresMax(t *testing.T) {
+	scene := sceneForTD(t)
+	if err := DistributeTriangles(scene.Objects(), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := DistributeTriangles(scene.Objects(), 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range scene.Objects() {
+		if o.Triangles != o.Spec.MaxTriangles {
+			t.Errorf("object %s at %d/%d after full budget", o.ID(), o.Triangles, o.Spec.MaxTriangles)
+		}
+	}
+}
+
+func TestDistributeTrianglesProperty(t *testing.T) {
+	scene := sceneForTD(t)
+	f := func(xRaw uint16) bool {
+		x := 0.1 + 0.9*float64(xRaw)/65535
+		if err := DistributeTriangles(scene.Objects(), x); err != nil {
+			return false
+		}
+		total := 0
+		for _, o := range scene.Objects() {
+			if o.Triangles < 1 || o.Triangles > o.Spec.MaxTriangles {
+				return false
+			}
+			total += o.Triangles
+		}
+		return math.Abs(float64(total)/float64(scene.TotalMaxTriangles())-x) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributeTrianglesValidation(t *testing.T) {
+	scene := sceneForTD(t)
+	if err := DistributeTriangles(scene.Objects(), 1.5); err == nil {
+		t.Fatal("ratio > 1 accepted")
+	}
+	if err := DistributeTriangles(scene.Objects(), math.NaN()); err == nil {
+		t.Fatal("NaN ratio accepted")
+	}
+	if err := DistributeTriangles(nil, 0.5); err != nil {
+		t.Fatal("empty scene should be a no-op")
+	}
+}

@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+func buildSC1CF1(t *testing.T) *scenario.Built {
+	t.Helper()
+	built, err := scenario.SC1CF1().Build(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return built
+}
+
+func TestSMQUsesStaticAllocationAndGivenRatio(t *testing.T) {
+	built := buildSC1CF1(t)
+	o, err := SMQ{HBORatio: 0.72}.Run(built.Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Ratio != 0.72 {
+		t.Fatalf("SMQ ratio %v, want 0.72", o.Ratio)
+	}
+	// Static best on Pixel 7: mnist and the two model-metadata instances
+	// prefer GPU; the rest prefer NNAPI (Table I).
+	for id, want := range map[string]tasks.Resource{
+		"mnist": tasks.GPU, "model-metadata": tasks.GPU, "model-metadata_2": tasks.GPU,
+		"mobilenetDetv1": tasks.NNAPI, "mobilenetv1": tasks.NNAPI, "efficientclass-lite0": tasks.NNAPI,
+	} {
+		if o.Assignment[id] != want {
+			t.Errorf("SMQ puts %s on %s, want %s", id, o.Assignment[id], want)
+		}
+	}
+	if _, err := (SMQ{}).Run(built.Runtime); err == nil {
+		t.Fatal("SMQ without ratio accepted")
+	}
+}
+
+func TestSMLWalksDownToMatchLatency(t *testing.T) {
+	built := buildSC1CF1(t)
+	// Ask SML to match a moderately low epsilon: it must reduce the ratio
+	// well below 1 (the paper's user study has SML at 0.2).
+	o, err := SML{HBOEpsilon: 0.35, RMin: 0.1}.Run(built.Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Ratio >= 0.95 {
+		t.Fatalf("SML kept ratio %v, expected reduction", o.Ratio)
+	}
+	if o.Ratio < 0.1 {
+		t.Fatalf("SML went below RMin: %v", o.Ratio)
+	}
+	// An unreachable target bottoms out at RMin instead of looping forever.
+	o2, err := SML{HBOEpsilon: 0.0, RMin: 0.1}.Run(built.Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Ratio > 0.1001 {
+		t.Fatalf("unreachable SML target should bottom out at RMin, got %v", o2.Ratio)
+	}
+}
+
+func TestBNTKeepsFullQualityAndImprovesLatency(t *testing.T) {
+	built := buildSC1CF1(t)
+	rt := built.Runtime
+	// Baseline: everything at its static-best allocation, full triangles.
+	start, err := measure(rt, "start", staticAssignment(rt), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := BNT{Seed: 9}.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Ratio != 1 {
+		t.Fatalf("BNT ratio %v, want pinned at 1", o.Ratio)
+	}
+	if o.Quality < 0.99 {
+		t.Fatalf("BNT quality %v, want full (no decimation)", o.Quality)
+	}
+	if o.Epsilon >= start.Epsilon {
+		t.Errorf("BNT epsilon %.3f did not improve on static start %.3f", o.Epsilon, start.Epsilon)
+	}
+	if len(o.Assignment) != 6 {
+		t.Fatalf("BNT assignment covers %d tasks", len(o.Assignment))
+	}
+}
+
+func TestAllNPutsEverythingOnNNAPI(t *testing.T) {
+	built := buildSC1CF1(t)
+	o, err := AllN{}.Run(built.Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range o.Assignment {
+		if r != tasks.NNAPI {
+			t.Errorf("AllN puts %s on %s", id, r)
+		}
+	}
+	if o.Ratio != 1 || o.Quality < 0.99 {
+		t.Fatalf("AllN must keep full quality: ratio %v quality %v", o.Ratio, o.Quality)
+	}
+}
+
+func TestAllNFallsBackForUnsupportedModels(t *testing.T) {
+	// deeplabv3 has no NNAPI support on Pixel 7; AllN must fall back.
+	spec := scenario.Spec{
+		Name:    "na-fallback",
+		Device:  scenario.SC1CF1().Device,
+		Objects: nil,
+		Taskset: mustSet(t),
+	}
+	built, err := spec.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := AllN{}.Run(built.Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Assignment["deeplabv3"] == tasks.NNAPI {
+		t.Fatal("AllN assigned deeplabv3 to unsupported NNAPI")
+	}
+	if o.Assignment["mobilenetv1"] != tasks.NNAPI {
+		t.Fatal("AllN should keep supported models on NNAPI")
+	}
+}
+
+func mustSet(t *testing.T) tasks.Set {
+	t.Helper()
+	s, err := tasks.Expand("na-fallback", []tasks.ModelCount{
+		{Model: tasks.DeepLabV3, Count: 1},
+		{Model: tasks.MobileNetV1, Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFigure5Shape drives HBO and all four baselines on SC1-CF1 and checks
+// the paper's headline comparison (Figs. 5b/5c): HBO achieves lower latency
+// than every baseline, SMQ matches its quality, SML matches its latency at
+// lower quality, and BNT/AllN keep full quality at much higher latency.
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full baseline comparison is slow")
+	}
+	runHBO := func() (ratio, eps, q float64) {
+		built := buildSC1CF1(t)
+		res, err := core.RunActivation(built.Runtime, core.DefaultConfig(), sim.NewRNG(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Ratio, res.Epsilon, res.Quality
+	}
+	ratio, hboEps, hboQ := runHBO()
+
+	fresh := func() *scenario.Built { return buildSC1CF1(t) }
+	smq, err := SMQ{HBORatio: ratio}.Run(fresh().Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sml, err := SML{HBOEpsilon: hboEps, RMin: 0.1}.Run(fresh().Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bnt, err := BNT{Seed: 5}.Run(fresh().Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alln, err := AllN{}.Run(fresh().Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("HBO : ratio=%.2f eps=%.3f Q=%.3f", ratio, hboEps, hboQ)
+	for _, o := range []Outcome{smq, sml, bnt, alln} {
+		t.Logf("%-4s: ratio=%.2f eps=%.3f Q=%.3f", o.Name, o.Ratio, o.Epsilon, o.Quality)
+	}
+	if smq.Epsilon <= hboEps {
+		t.Errorf("SMQ eps %.3f should exceed HBO %.3f", smq.Epsilon, hboEps)
+	}
+	if bnt.Epsilon <= hboEps {
+		t.Errorf("BNT eps %.3f should exceed HBO %.3f", bnt.Epsilon, hboEps)
+	}
+	if alln.Epsilon <= bnt.Epsilon {
+		t.Errorf("AllN eps %.3f should exceed BNT %.3f", alln.Epsilon, bnt.Epsilon)
+	}
+	if sml.Quality >= hboQ {
+		t.Errorf("SML quality %.3f should be below HBO %.3f at matched latency", sml.Quality, hboQ)
+	}
+}

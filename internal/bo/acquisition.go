@@ -1,0 +1,75 @@
+package bo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Acquisition scores a candidate point from the GP posterior; the optimizer
+// evaluates the point with the highest score next. The paper settles on
+// Expected Improvement after finding Probability of Improvement "too
+// conservative during exploration" and Lower Confidence Bound in need of "a
+// dedicated exploration/exploitation parameter" — all three are implemented
+// so the choice can be ablated (see experiments.RunAcquisitionStudy).
+type Acquisition interface {
+	// Score rates a candidate given its posterior mean/variance and the
+	// best observed cost so far; higher is better.
+	Score(mean, variance, best float64) float64
+	// Name identifies the acquisition in reports.
+	Name() string
+}
+
+// EI is Expected Improvement (the paper's choice).
+type EI struct{}
+
+var _ Acquisition = EI{}
+
+// Name implements Acquisition.
+func (EI) Name() string { return "EI" }
+
+// Score implements Acquisition.
+func (EI) Score(mean, variance, best float64) float64 {
+	return ExpectedImprovement(mean, variance, best)
+}
+
+// PI is Probability of Improvement: the posterior probability of beating the
+// incumbent by at least a small margin xi.
+type PI struct {
+	// Xi is the improvement margin; zero degenerates to pure exploitation.
+	Xi float64
+}
+
+var _ Acquisition = PI{}
+
+// Name implements Acquisition.
+func (p PI) Name() string { return "PI" }
+
+// Score implements Acquisition.
+func (p PI) Score(mean, variance, best float64) float64 {
+	sigma := math.Sqrt(variance)
+	if sigma < 1e-12 {
+		if mean < best-p.Xi {
+			return 1
+		}
+		return 0
+	}
+	return normCDF((best - p.Xi - mean) / sigma)
+}
+
+// LCB is the Lower Confidence Bound for minimization: score is the negated
+// bound mean − Beta·sigma, so lower bounds rank higher.
+type LCB struct {
+	// Beta is the exploration/exploitation trade-off parameter the paper
+	// notes must be tuned per problem.
+	Beta float64
+}
+
+var _ Acquisition = LCB{}
+
+// Name implements Acquisition.
+func (l LCB) Name() string { return fmt.Sprintf("LCB(%.1f)", l.Beta) }
+
+// Score implements Acquisition.
+func (l LCB) Score(mean, variance, _ float64) float64 {
+	return -(mean - l.Beta*math.Sqrt(variance))
+}

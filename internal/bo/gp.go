@@ -1,0 +1,308 @@
+// Package bo implements the Bayesian-optimization machinery of the paper
+// from scratch on the standard library: Gaussian-process regression with the
+// Matérn-5/2 kernel (Eq. 7, ν = 5/2, length scale 1), the Expected
+// Improvement acquisition function, and a constrained optimizer over the
+// paper's search domain — the simplex of per-resource task proportions
+// (Eqs. 8–9) crossed with the triangle-ratio interval (Eq. 10). It replaces
+// the scikit-optimize (skopt) dependency of the paper's prototype.
+package bo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kernel is a positive-definite covariance function over R^d.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+}
+
+// Matern52 is the Matérn kernel with ν = 5/2 (Eq. 7 of the paper):
+//
+//	k(r) = σ² (1 + √5 r/ℓ + 5r²/3ℓ²) exp(−√5 r/ℓ)
+type Matern52 struct {
+	// LengthScale is ℓ; the paper uses 1.
+	LengthScale float64
+	// SignalVar is σ²_φ.
+	SignalVar float64
+}
+
+var _ Kernel = Matern52{}
+
+// Eval returns the Matérn-5/2 covariance of a and b.
+func (k Matern52) Eval(a, b []float64) float64 {
+	r := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		r += d * d
+	}
+	r = math.Sqrt(r)
+	s := math.Sqrt(5) * r / k.LengthScale
+	return k.SignalVar * (1 + s + 5*r*r/(3*k.LengthScale*k.LengthScale)) * math.Exp(-s)
+}
+
+// GP is a Gaussian-process regressor (the paper's surrogate model, Eq. 6).
+// Fit factorizes the kernel matrix once; Predict then evaluates the
+// posterior mean and variance at arbitrary points.
+type GP struct {
+	kernel Kernel
+	noise  float64 // observation noise variance added to the diagonal
+
+	x     [][]float64
+	yMean float64
+	yStd  float64
+	chol  [][]float64 // lower-triangular Cholesky factor of K + noise·I
+	alpha []float64   // (K + noise·I)^{-1} of the standardized observations
+}
+
+// NewGP returns a regressor with the given kernel and observation-noise
+// variance. Noise must be positive: the measured cost in HBO is itself a
+// noisy window average.
+func NewGP(kernel Kernel, noiseVar float64) (*GP, error) {
+	if noiseVar <= 0 {
+		return nil, fmt.Errorf("bo: noise variance must be positive, got %v", noiseVar)
+	}
+	return &GP{kernel: kernel, noise: noiseVar}, nil
+}
+
+// Fit conditions the GP on observations (x, y). It copies neither slice; the
+// caller must not mutate them afterward.
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("bo: %d inputs but %d observations", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return errors.New("bo: cannot fit GP on zero observations")
+	}
+	n := len(x)
+	g.x = x
+	g.yMean = 0
+	for _, v := range y {
+		g.yMean += v
+	}
+	g.yMean /= float64(n)
+	// Standardize observations: HBO's measured costs can span orders of
+	// magnitude (a saturated configuration is catastrophically slow), and
+	// the GP prior assumes unit-scale outputs.
+	variance := 0.0
+	for _, v := range y {
+		d := v - g.yMean
+		variance += d * d
+	}
+	g.yStd = math.Sqrt(variance / float64(n))
+	if g.yStd < 1e-9 {
+		g.yStd = 1
+	}
+
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := g.kernel.Eval(x[i], x[j])
+			k[i][j] = v
+			k[j][i] = v
+		}
+		k[i][i] += g.noise
+	}
+	chol, err := cholesky(k)
+	if err != nil {
+		return err
+	}
+	g.chol = chol
+
+	centered := make([]float64, n)
+	for i, v := range y {
+		centered[i] = (v - g.yMean) / g.yStd
+	}
+	g.alpha = cholSolve(chol, centered)
+	return nil
+}
+
+// Predict returns the posterior mean and variance at point p (Eq. 6's
+// N(μ_t, σ_t²)). Variance is clamped at zero against round-off.
+func (g *GP) Predict(p []float64) (mean, variance float64) {
+	n := len(g.x)
+	if n == 0 {
+		return g.yMean, g.kernel.Eval(p, p)
+	}
+	ks := make([]float64, n)
+	for i, xi := range g.x {
+		ks[i] = g.kernel.Eval(p, xi)
+	}
+	std := 0.0
+	for i := range ks {
+		std += ks[i] * g.alpha[i]
+	}
+	mean = g.yMean + g.yStd*std
+	v := forwardSolve(g.chol, ks)
+	variance = g.kernel.Eval(p, p)
+	for _, vi := range v {
+		variance -= vi * vi
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance * g.yStd * g.yStd
+}
+
+// cholesky returns the lower-triangular factor L with L·Lᵀ = m, adding
+// growing jitter to the diagonal if the matrix is numerically indefinite.
+func cholesky(m [][]float64) ([][]float64, error) {
+	n := len(m)
+	jitter := 0.0
+	for attempt := 0; attempt < 6; attempt++ {
+		l := make([][]float64, n)
+		for i := range l {
+			l[i] = make([]float64, n)
+		}
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			for j := 0; j <= i; j++ {
+				sum := m[i][j]
+				if i == j {
+					sum += jitter
+				}
+				for k := 0; k < j; k++ {
+					sum -= l[i][k] * l[j][k]
+				}
+				if i == j {
+					if sum <= 0 {
+						ok = false
+						break
+					}
+					l[i][j] = math.Sqrt(sum)
+				} else {
+					l[i][j] = sum / l[j][j]
+				}
+			}
+		}
+		if ok {
+			return l, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, errors.New("bo: kernel matrix is not positive definite even with jitter")
+}
+
+// forwardSolve solves L·v = b for lower-triangular L.
+func forwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * v[k]
+		}
+		v[i] = sum / l[i][i]
+	}
+	return v
+}
+
+// backSolve solves Lᵀ·x = b for lower-triangular L.
+func backSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}
+
+// cholSolve solves (L·Lᵀ)·x = b.
+func cholSolve(l [][]float64, b []float64) []float64 {
+	return backSolve(l, forwardSolve(l, b))
+}
+
+// normPDF is the standard normal density.
+func normPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+// normCDF is the standard normal distribution function.
+func normCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// ExpectedImprovement returns EI for *minimization*: the expected amount by
+// which a draw from N(mean, variance) improves on best.
+func ExpectedImprovement(mean, variance, best float64) float64 {
+	sigma := math.Sqrt(variance)
+	if sigma < 1e-12 {
+		if mean < best {
+			return best - mean
+		}
+		return 0
+	}
+	z := (best - mean) / sigma
+	return (best-mean)*normCDF(z) + sigma*normPDF(z)
+}
+
+// LogMarginalLikelihood returns the log evidence of the fitted observations
+// under the GP prior (computed on the standardized targets): the standard
+// model-selection criterion for kernel hyperparameters.
+func (g *GP) LogMarginalLikelihood() float64 {
+	n := len(g.x)
+	if n == 0 || g.chol == nil {
+		return math.Inf(-1)
+	}
+	// -0.5 yᵀ K⁻¹ y  -  Σ log L_ii  -  n/2 log 2π, with y standardized.
+	// α = K⁻¹y is stored; reconstruct y = Kα to form yᵀK⁻¹y = yᵀα.
+	quadSum := 0.0
+	for i := 0; i < n; i++ {
+		yi := 0.0
+		for j := 0; j < n; j++ {
+			kij := g.kernel.Eval(g.x[i], g.x[j])
+			if i == j {
+				kij += g.noise
+			}
+			yi += kij * g.alpha[j]
+		}
+		quadSum += yi * g.alpha[i]
+	}
+	logDet := 0.0
+	for i := 0; i < n; i++ {
+		logDet += math.Log(g.chol[i][i])
+	}
+	return -0.5*quadSum - logDet - float64(n)/2*math.Log(2*math.Pi)
+}
+
+// SelectLengthScale fits a GP at each candidate length scale and returns the
+// one with the highest log marginal likelihood — simple grid-search type-II
+// maximum likelihood, the standard way BO libraries tune the Matérn kernel.
+func SelectLengthScale(x [][]float64, y []float64, noiseVar float64, candidates []float64) (float64, error) {
+	if len(candidates) == 0 {
+		return 0, errors.New("bo: no length-scale candidates")
+	}
+	best := candidates[0]
+	bestLML := math.Inf(-1)
+	for _, l := range candidates {
+		if l <= 0 {
+			return 0, fmt.Errorf("bo: non-positive candidate length scale %v", l)
+		}
+		gp, err := NewGP(Matern52{LengthScale: l, SignalVar: 1}, noiseVar)
+		if err != nil {
+			return 0, err
+		}
+		if err := gp.Fit(x, y); err != nil {
+			continue // indefinite at this scale; skip
+		}
+		if lml := gp.LogMarginalLikelihood(); lml > bestLML {
+			bestLML = lml
+			best = l
+		}
+	}
+	if math.IsInf(bestLML, -1) {
+		return 0, errors.New("bo: no candidate length scale produced a valid fit")
+	}
+	return best, nil
+}

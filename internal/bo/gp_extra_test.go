@@ -1,0 +1,90 @@
+package bo
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+func TestLogMarginalLikelihoodPrefersTrueScale(t *testing.T) {
+	// Draw a smooth function with a known characteristic scale and check
+	// the LML ranks a matching length scale above badly mismatched ones.
+	rng := sim.NewRNG(7)
+	const n = 30
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := 2 * rng.Float64()
+		xs[i] = []float64{x}
+		ys[i] = math.Sin(3*x) + 0.01*rng.Norm() // wiggles every ~2 units of 3x => scale ~0.3-0.7
+	}
+	lml := func(l float64) float64 {
+		gp, err := NewGP(Matern52{LengthScale: l, SignalVar: 1}, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gp.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		return gp.LogMarginalLikelihood()
+	}
+	good := lml(0.5)
+	tooShort := lml(0.01)
+	tooLong := lml(20)
+	if good <= tooShort || good <= tooLong {
+		t.Fatalf("LML did not prefer the matching scale: good=%v short=%v long=%v", good, tooShort, tooLong)
+	}
+}
+
+func TestSelectLengthScale(t *testing.T) {
+	rng := sim.NewRNG(9)
+	const n = 25
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := 2 * rng.Float64()
+		xs[i] = []float64{x}
+		ys[i] = math.Sin(3*x) + 0.01*rng.Norm()
+	}
+	l, err := SelectLengthScale(xs, ys, 1e-4, []float64{0.01, 0.1, 0.3, 0.5, 5, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l < 0.1 || l > 5 {
+		t.Fatalf("selected implausible length scale %v", l)
+	}
+	if _, err := SelectLengthScale(xs, ys, 1e-4, nil); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+	if _, err := SelectLengthScale(xs, ys, 1e-4, []float64{-1}); err == nil {
+		t.Fatal("negative candidate accepted")
+	}
+}
+
+func TestOptimizerAutoLengthScale(t *testing.T) {
+	cost := func(p []float64) float64 {
+		dx := p[3] - 0.7
+		return (1-p[2])*0.8 + 3*dx*dx
+	}
+	dom := Domain{N: 3, RMin: 0.3}
+	cfg := DefaultConfig()
+	cfg.AutoLengthScale = true
+	opt, err := NewOptimizer(dom, cfg, sim.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p, err := opt.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Observe(p, cost(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, best, ok := opt.Best()
+	if !ok || best > 0.4 {
+		t.Fatalf("auto-length-scale optimizer best %v, want <= 0.4", best)
+	}
+}

@@ -1,0 +1,301 @@
+package bo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// Domain is the paper's joint search space: an N-dimensional simplex of
+// per-resource task proportions c (Constraints 8–9) crossed with the
+// triangle-count ratio x in [RMin, 1] (Constraint 10). Points are encoded as
+// vectors [c_1 ... c_N, x].
+type Domain struct {
+	// N is the number of allocatable resources.
+	N int
+	// RMin is the minimum total triangle ratio R^min.
+	RMin float64
+}
+
+// Dim returns the point dimensionality (N proportions plus the ratio).
+func (d Domain) Dim() int { return d.N + 1 }
+
+// Validate checks the domain itself.
+func (d Domain) Validate() error {
+	if d.N < 1 {
+		return fmt.Errorf("bo: domain needs at least one resource, got %d", d.N)
+	}
+	if d.RMin < 0 || d.RMin > 1 {
+		return fmt.Errorf("bo: RMin %v out of [0,1]", d.RMin)
+	}
+	return nil
+}
+
+// Contains reports whether p satisfies Constraints 8–10 up to tolerance.
+func (d Domain) Contains(p []float64) bool {
+	if len(p) != d.Dim() {
+		return false
+	}
+	sum := 0.0
+	for i := 0; i < d.N; i++ {
+		if p[i] < -1e-9 || p[i] > 1+1e-9 {
+			return false
+		}
+		sum += p[i]
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return false
+	}
+	x := p[d.N]
+	return x >= d.RMin-1e-9 && x <= 1+1e-9
+}
+
+// Project maps an arbitrary vector onto the domain: proportions are clipped
+// at zero and renormalized, the ratio is clamped.
+func (d Domain) Project(p []float64) {
+	sum := 0.0
+	for i := 0; i < d.N; i++ {
+		if p[i] < 0 || math.IsNaN(p[i]) {
+			p[i] = 0
+		}
+		sum += p[i]
+	}
+	if sum <= 0 {
+		for i := 0; i < d.N; i++ {
+			p[i] = 1 / float64(d.N)
+		}
+	} else {
+		for i := 0; i < d.N; i++ {
+			p[i] /= sum
+		}
+	}
+	x := p[d.N]
+	if math.IsNaN(x) || x < d.RMin {
+		x = d.RMin
+	}
+	if x > 1 {
+		x = 1
+	}
+	p[d.N] = x
+}
+
+// Sample draws a uniform point: Dirichlet(1) on the simplex, uniform ratio.
+func (d Domain) Sample(rng *sim.RNG) []float64 {
+	p := make([]float64, d.Dim())
+	rng.Dirichlet(1, p[:d.N])
+	p[d.N] = d.RMin + (1-d.RMin)*rng.Float64()
+	return p
+}
+
+// Distance returns the Euclidean distance between two points (used for the
+// paper's Figure 6a exploration/exploitation analysis).
+func Distance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		diff := a[i] - b[i]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// Config tunes the optimizer.
+type Config struct {
+	// InitSamples is the number of random configurations explored before
+	// the GP drives acquisition (the paper uses 5).
+	InitSamples int
+	// Candidates is the size of the random candidate pool scored by EI at
+	// each suggestion.
+	Candidates int
+	// RefineSteps is the number of stochastic local-refinement steps
+	// applied to the best EI candidate.
+	RefineSteps int
+	// NoiseVar is the observation-noise variance of the GP.
+	NoiseVar float64
+	// LengthScale is the Matérn length scale ℓ (the paper uses 1).
+	LengthScale float64
+	// Acquisition selects the acquisition function; nil means EI (the
+	// paper's choice).
+	Acquisition Acquisition
+	// AutoLengthScale re-selects the Matérn length scale at every
+	// suggestion by maximizing the log marginal likelihood over a small
+	// grid, instead of using the fixed LengthScale.
+	AutoLengthScale bool
+}
+
+// DefaultConfig returns the paper-matching configuration.
+func DefaultConfig() Config {
+	return Config{
+		InitSamples: 5,
+		Candidates:  1024,
+		RefineSteps: 60,
+		NoiseVar:    0.01,
+		LengthScale: 0.3,
+		Acquisition: EI{},
+	}
+}
+
+// Optimizer is a sequential model-based minimizer of a black-box function
+// over a Domain, implementing the paper's BO(D) step (Algorithm 1, line 1).
+// It is not safe for concurrent use.
+type Optimizer struct {
+	dom Domain
+	cfg Config
+	rng *sim.RNG
+
+	xs [][]float64
+	ys []float64
+}
+
+// NewOptimizer builds an optimizer for the domain.
+func NewOptimizer(dom Domain, cfg Config, rng *sim.RNG) (*Optimizer, error) {
+	if err := dom.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitSamples < 1 {
+		return nil, fmt.Errorf("bo: InitSamples must be >= 1, got %d", cfg.InitSamples)
+	}
+	if cfg.Candidates < 1 || cfg.RefineSteps < 0 {
+		return nil, fmt.Errorf("bo: invalid search budget %d/%d", cfg.Candidates, cfg.RefineSteps)
+	}
+	if cfg.LengthScale <= 0 {
+		return nil, fmt.Errorf("bo: length scale must be positive, got %v", cfg.LengthScale)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("bo: nil RNG")
+	}
+	if cfg.Acquisition == nil {
+		cfg.Acquisition = EI{}
+	}
+	return &Optimizer{dom: dom, cfg: cfg, rng: rng}, nil
+}
+
+// Observations returns the number of recorded (point, cost) pairs.
+func (o *Optimizer) Observations() int { return len(o.xs) }
+
+// Observe records the measured cost of a previously suggested point; it is
+// Algorithm 1's database update (line 26).
+func (o *Optimizer) Observe(p []float64, cost float64) error {
+	if !o.dom.Contains(p) {
+		return fmt.Errorf("bo: observed point %v outside domain", p)
+	}
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return fmt.Errorf("bo: non-finite cost %v", cost)
+	}
+	cp := append([]float64(nil), p...)
+	o.xs = append(o.xs, cp)
+	o.ys = append(o.ys, cost)
+	return nil
+}
+
+// Best returns the lowest-cost observed point. It returns ok=false before
+// any observation.
+func (o *Optimizer) Best() (p []float64, cost float64, ok bool) {
+	if len(o.ys) == 0 {
+		return nil, 0, false
+	}
+	bi := 0
+	for i, y := range o.ys {
+		if y < o.ys[bi] {
+			bi = i
+		}
+	}
+	return append([]float64(nil), o.xs[bi]...), o.ys[bi], true
+}
+
+// Next suggests the next configuration to evaluate: random during the
+// initialization phase, then the EI-maximizing candidate under the GP
+// posterior.
+func (o *Optimizer) Next() ([]float64, error) {
+	if len(o.xs) < o.cfg.InitSamples {
+		return o.dom.Sample(o.rng), nil
+	}
+	lengthScale := o.cfg.LengthScale
+	clipped := o.clippedCosts()
+	if o.cfg.AutoLengthScale {
+		if l, err := SelectLengthScale(o.xs, clipped, o.cfg.NoiseVar,
+			[]float64{0.1, 0.2, 0.3, 0.5, 0.8, 1.2}); err == nil {
+			lengthScale = l
+		}
+	}
+	gp, err := NewGP(Matern52{LengthScale: lengthScale, SignalVar: 1}, o.cfg.NoiseVar)
+	if err != nil {
+		return nil, err
+	}
+	if err := gp.Fit(o.xs, clipped); err != nil {
+		return nil, fmt.Errorf("bo: surrogate fit: %w", err)
+	}
+	_, best, _ := o.Best()
+
+	score := func(p []float64) float64 {
+		mean, variance := gp.Predict(p)
+		return o.cfg.Acquisition.Score(mean, variance, best)
+	}
+
+	// Candidate pool: uniform draws plus perturbations of the incumbent,
+	// mixing exploration and exploitation.
+	bestPoint, _, _ := o.Best()
+	var top []float64
+	topEI := math.Inf(-1)
+	for i := 0; i < o.cfg.Candidates; i++ {
+		var cand []float64
+		if i%4 == 0 {
+			cand = o.perturb(bestPoint, 0.15)
+		} else {
+			cand = o.dom.Sample(o.rng)
+		}
+		if ei := score(cand); ei > topEI {
+			topEI = ei
+			top = cand
+		}
+	}
+	// Stochastic local refinement with a shrinking step.
+	step := 0.2
+	for i := 0; i < o.cfg.RefineSteps; i++ {
+		cand := o.perturb(top, step)
+		if ei := score(cand); ei > topEI {
+			topEI = ei
+			top = cand
+		} else {
+			step *= 0.93
+		}
+	}
+	return top, nil
+}
+
+// clippedCosts returns the observations winsorized at an upper quantile.
+// HBO's cost is unbounded above (a saturated configuration can be orders of
+// magnitude slower than a good one); feeding such outliers to the GP blows
+// up the output scale and erases the resolution needed to discriminate
+// among *good* configurations. Clipping preserves "this region is bad"
+// while keeping the interesting region's scale.
+func (o *Optimizer) clippedCosts() []float64 {
+	ys := append([]float64(nil), o.ys...)
+	sorted := append([]float64(nil), ys...)
+	sort.Float64s(sorted)
+	// 70th percentile as the clip level, but never below best + a minimal
+	// spread so early iterations (few points, all bad) still discriminate.
+	clip := sorted[(len(sorted)*7)/10]
+	if len(sorted) >= 2 {
+		if minSpread := sorted[0] + (sorted[1] - sorted[0]) + 1e-9; clip < minSpread {
+			clip = minSpread
+		}
+	}
+	for i, y := range ys {
+		if y > clip {
+			ys[i] = clip
+		}
+	}
+	return ys
+}
+
+// perturb returns a projected Gaussian perturbation of p.
+func (o *Optimizer) perturb(p []float64, scale float64) []float64 {
+	out := make([]float64, len(p))
+	for i := range p {
+		out[i] = p[i] + scale*o.rng.Norm()
+	}
+	o.dom.Project(out)
+	return out
+}

@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/alloc"
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// fixedConfig applies a hand-built allocation and triangle ratio, then
+// measures a window — used to probe the substrate with the exact
+// configurations of the paper's Table IV.
+func fixedConfig(t *testing.T, rt *core.Runtime, a alloc.Assignment, x float64) core.Measurement {
+	t.Helper()
+	if err := rt.ApplyAllocation(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.DistributeTriangles(rt.Scene.Objects(), x); err != nil {
+		t.Fatal(err)
+	}
+	rt.SyncRenderLoad()
+	rt.Sys.RunFor(1000) // settle after the switch
+	m, err := rt.Measure(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTableIVOrderingSC1CF1 probes the SC1-CF1 substrate with the paper's
+// Table IV configurations and checks the latency ordering the paper
+// reports: HBO < SMQ < BNT < AllN, with SML's latency near HBO's at lower
+// quality (Fig. 5).
+func TestTableIVOrderingSC1CF1(t *testing.T) {
+	built, err := scenario.SC1CF1().Build(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := built.Runtime
+
+	hboAlloc := alloc.Assignment{
+		"mobilenetDetv1": tasks.NNAPI, "efficientclass-lite0": tasks.NNAPI, "mobilenetv1": tasks.NNAPI,
+		"mnist": tasks.CPU, "model-metadata": tasks.CPU, "model-metadata_2": tasks.CPU,
+	}
+	staticAlloc := alloc.Assignment{ // profiled best per task (SMQ, SML)
+		"mobilenetDetv1": tasks.NNAPI, "efficientclass-lite0": tasks.NNAPI, "mobilenetv1": tasks.NNAPI,
+		"mnist": tasks.GPU, "model-metadata": tasks.GPU, "model-metadata_2": tasks.GPU,
+	}
+	bntAlloc := alloc.Assignment{ // Table IV's BNT column
+		"mobilenetDetv1": tasks.NNAPI, "efficientclass-lite0": tasks.CPU, "mobilenetv1": tasks.NNAPI,
+		"mnist": tasks.CPU, "model-metadata": tasks.CPU, "model-metadata_2": tasks.CPU,
+	}
+	allN := alloc.Assignment{
+		"mobilenetDetv1": tasks.NNAPI, "efficientclass-lite0": tasks.NNAPI, "mobilenetv1": tasks.NNAPI,
+		"mnist": tasks.NNAPI, "model-metadata": tasks.NNAPI, "model-metadata_2": tasks.NNAPI,
+	}
+
+	hbo := fixedConfig(t, rt, hboAlloc, 0.72)
+	smq := fixedConfig(t, rt, staticAlloc, 0.72)
+	sml := fixedConfig(t, rt, staticAlloc, 0.5)
+	bnt := fixedConfig(t, rt, bntAlloc, 1.0)
+	alln := fixedConfig(t, rt, allN, 1.0)
+
+	t.Logf("HBO : eps=%.3f Q=%.3f", hbo.Epsilon, hbo.Quality)
+	t.Logf("SMQ : eps=%.3f Q=%.3f (paper: ~1.5x HBO latency)", smq.Epsilon, smq.Quality)
+	t.Logf("SML : eps=%.3f Q=%.3f (paper: ~HBO latency, -14.5%% quality)", sml.Epsilon, sml.Quality)
+	t.Logf("BNT : eps=%.3f Q=%.3f (paper: ~2.2x HBO latency)", bnt.Epsilon, bnt.Quality)
+	t.Logf("AllN: eps=%.3f Q=%.3f (paper: ~3.5x HBO latency)", alln.Epsilon, alln.Quality)
+
+	// Shape assertions (see EXPERIMENTS.md): HBO beats every baseline on
+	// latency; the joint manipulation matters (BNT and AllN, which pin
+	// x = 1, are clearly worse); SML only approaches HBO's latency by
+	// giving up quality. One divergence from the paper is documented in
+	// EXPERIMENTS.md: in our substrate BNT lands below SMQ (the paper has
+	// SMQ < BNT), because static GPU-delegate placement is costlier under
+	// the simulated render contention than the paper's phones exhibit.
+	if !(hbo.Epsilon*1.3 < smq.Epsilon) {
+		t.Errorf("HBO eps %.3f should clearly beat SMQ %.3f (paper: 1.5x)", hbo.Epsilon, smq.Epsilon)
+	}
+	if !(hbo.Epsilon*1.3 < bnt.Epsilon) {
+		t.Errorf("HBO eps %.3f should clearly beat BNT %.3f (paper: 2.2x)", hbo.Epsilon, bnt.Epsilon)
+	}
+	if !(bnt.Epsilon < alln.Epsilon) {
+		t.Errorf("BNT eps %.3f should beat AllN %.3f", bnt.Epsilon, alln.Epsilon)
+	}
+	if !(hbo.Quality > sml.Quality+0.03) {
+		t.Errorf("HBO quality %.3f should beat SML %.3f at matched latency", hbo.Quality, sml.Quality)
+	}
+	if alln.Epsilon < 2*hbo.Epsilon {
+		t.Errorf("AllN eps %.3f should be at least 2x HBO %.3f (paper: 3.5x)", alln.Epsilon, hbo.Epsilon)
+	}
+}

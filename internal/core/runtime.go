@@ -1,0 +1,186 @@
+// Package core implements the paper's HBO framework itself: the runtime
+// that binds the AR scene to the SoC simulator and measures the two
+// controlled variables (average virtual-object quality Q_t of Eq. 2 and
+// normalized AI latency ε_t of Eq. 4), Algorithm 1's optimization loop, the
+// event-based activation policy of §IV-E, and the lookup-table extension
+// sketched as future work in §VI.
+package core
+
+import (
+	"fmt"
+
+	"github.com/mar-hbo/hbo/internal/alloc"
+	"github.com/mar-hbo/hbo/internal/render"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// Runtime binds one MAR app: an AR scene rendered on the device plus a set
+// of AI tasks running on the same SoC, with the offline profile needed to
+// normalize latencies.
+type Runtime struct {
+	Sys     *soc.System
+	Scene   *render.Scene
+	Profile *soc.Profile
+	// Taskset is the running AI taskset (M tasks).
+	Taskset tasks.Set
+	// lod, when set, supplies actual decimated geometry after each TD run
+	// (Fig. 3's cache/server path); nil keeps triangle bookkeeping only.
+	lod render.LODProvider
+}
+
+// NewRuntime registers every task of the set on its profiled best resource
+// (the natural app-start state, before any optimization) and synchronizes
+// the initial render load.
+func NewRuntime(sys *soc.System, scene *render.Scene, prof *soc.Profile, set tasks.Set) (*Runtime, error) {
+	rt := &Runtime{Sys: sys, Scene: scene, Profile: prof, Taskset: set}
+	for _, task := range set.Tasks {
+		best, ok := prof.Best[task.ID()]
+		if !ok {
+			return nil, fmt.Errorf("core: task %s missing from profile", task.ID())
+		}
+		if err := sys.AddTask(task, best); err != nil {
+			return nil, err
+		}
+	}
+	rt.SyncRenderLoad()
+	return rt, nil
+}
+
+// TaskIDs returns the taskset's IDs in definition order.
+func (rt *Runtime) TaskIDs() []string {
+	ids := make([]string, len(rt.Taskset.Tasks))
+	for i, task := range rt.Taskset.Tasks {
+		ids[i] = task.ID()
+	}
+	return ids
+}
+
+// SetLODProvider attaches a level-of-detail source (the edge client or a
+// local decimator); subsequent ApplyConfiguration calls fetch and attach the
+// decimated geometry Algorithm 1 line 23 redraws.
+func (rt *Runtime) SetLODProvider(p render.LODProvider) {
+	rt.lod = p
+}
+
+// SyncRenderLoad pushes the scene's current GPU rendering utilization into
+// the SoC simulator. Call after any change to object triangles or distance.
+func (rt *Runtime) SyncRenderLoad() {
+	dev := rt.Sys.Device()
+	rt.Sys.SetRenderUtil(dev.RenderUtilFor(rt.Scene.VisibleTriangles()))
+}
+
+// ApplyAllocation moves every task to its resource in the assignment.
+func (rt *Runtime) ApplyAllocation(a alloc.Assignment) error {
+	for id, r := range a {
+		if err := rt.Sys.SetAllocation(id, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyConfiguration enforces one candidate configuration (c, x): translate
+// proportions into a per-task assignment (Algorithm 1 lines 2–22), run TD to
+// redistribute triangles (line 23), and refresh the render load.
+func (rt *Runtime) ApplyConfiguration(c []float64, x float64) (alloc.Assignment, error) {
+	counts, err := alloc.Counts(c, len(rt.Taskset.Tasks))
+	if err != nil {
+		return nil, err
+	}
+	assignment, err := alloc.Assign(counts, rt.Profile, rt.TaskIDs())
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.ApplyAllocation(assignment); err != nil {
+		return nil, err
+	}
+	if err := alloc.DistributeTriangles(rt.Scene.Objects(), x); err != nil {
+		return nil, err
+	}
+	if rt.lod != nil {
+		// Refetch geometry only when an object's ratio moved visibly.
+		if err := rt.Scene.ApplyLOD(rt.lod, 0.02); err != nil {
+			return nil, err
+		}
+	}
+	rt.SyncRenderLoad()
+	return assignment, nil
+}
+
+// Measurement is one control-period observation of the system.
+type Measurement struct {
+	// Quality is Q_t (Eq. 2) under the fitted quality model.
+	Quality float64
+	// Epsilon is ε_t (Eq. 4): mean normalized latency inflation over τ_e.
+	Epsilon float64
+	// PerTaskLatency is the measured mean latency per task ID.
+	PerTaskLatency map[string]float64
+	// AveragePowerW is the platform's mean power over the window (energy
+	// extension; the paper's quality model descends from the
+	// energy-oriented eAR).
+	AveragePowerW float64
+	// FPS is the renderer's achieved frame rate under the window's load
+	// (a screen metric the paper defers to future work).
+	FPS float64
+	// DeadlineMissRate is the fraction of inferences across all tasks whose
+	// latency exceeded their issue period (stale perception results).
+	DeadlineMissRate float64
+}
+
+// Reward returns B_t = Q − w·ε (Eq. 3).
+func (m Measurement) Reward(w float64) float64 { return m.Quality - w*m.Epsilon }
+
+// Cost returns φ = −B_t (Eq. 5), the quantity BO minimizes.
+func (m Measurement) Cost(w float64) float64 { return -m.Reward(w) }
+
+// Measure runs the simulator for periodMS of virtual time and returns the
+// window's measurement.
+func (rt *Runtime) Measure(periodMS float64) (Measurement, error) {
+	if periodMS <= 0 {
+		return Measurement{}, fmt.Errorf("core: non-positive measurement period %v", periodMS)
+	}
+	rt.Sys.ResetWindow()
+	rt.Sys.ResetEnergy()
+	rt.Sys.RunFor(periodMS)
+	stats := rt.Sys.WindowStats()
+
+	dev := rt.Sys.Device()
+	m := Measurement{
+		Quality:        rt.Scene.AverageQuality(),
+		PerTaskLatency: make(map[string]float64, len(stats)),
+		AveragePowerW:  soc.AveragePowerW(rt.Sys.EnergyMJ(), periodMS),
+		FPS:            dev.FPSFor(rt.Scene.VisibleTriangles()),
+	}
+	sum := 0.0
+	n := 0
+	completions, misses := 0, 0
+	for _, id := range rt.TaskIDs() {
+		st, ok := stats[id]
+		if !ok {
+			return Measurement{}, fmt.Errorf("core: no window stats for task %s", id)
+		}
+		expected := rt.Profile.Expected[id]
+		if expected <= 0 {
+			return Measurement{}, fmt.Errorf("core: invalid expected latency for %s", id)
+		}
+		m.PerTaskLatency[id] = st.MeanLatencyMS
+		completions += st.Count
+		misses += st.DeadlineMisses
+		slow := (st.MeanLatencyMS - expected) / expected
+		if slow < 0 {
+			// Noise can dip below the profiled isolation latency; the paper's
+			// ε is an inflation measure, floor at zero.
+			slow = 0
+		}
+		sum += slow
+		n++
+	}
+	if n > 0 {
+		m.Epsilon = sum / float64(n)
+	}
+	if completions > 0 {
+		m.DeadlineMissRate = float64(misses) / float64(completions)
+	}
+	return m, nil
+}

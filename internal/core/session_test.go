@@ -1,0 +1,169 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+func sessionConfig(mode core.ActivationMode) core.SessionConfig {
+	hbo := core.DefaultConfig()
+	// Keep sessions quick: fewer iterations per activation.
+	hbo.InitSamples = 3
+	hbo.Iterations = 4
+	hbo.PeriodMS = 1000
+	cfg := core.SessionConfig{HBO: hbo, Mode: mode}
+	if mode == core.Periodic {
+		cfg.PeriodicIntervalMS = 30000
+	}
+	return cfg
+}
+
+func TestSessionActivatesOnFirstObject(t *testing.T) {
+	spec := scenario.SC2CF2()
+	spec.StartEmpty = true
+	built := buildScenario(t, spec, 11)
+	s, err := core.NewSession(built.Runtime, sessionConfig(core.EventBased), sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No objects yet: stepping must not activate.
+	if err := s.RunFor(6000); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Activations()) != 0 {
+		t.Fatalf("session activated with empty scene: %d", len(s.Activations()))
+	}
+	// Place the first object: the next step must trigger the paper's
+	// first-placement activation.
+	if _, err := built.Scene.Place("cabin", 1, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	built.Runtime.SyncRenderLoad()
+	if err := s.RunFor(4000); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Activations()) != 1 {
+		t.Fatalf("activations after first object = %d, want 1", len(s.Activations()))
+	}
+	// Steady state afterwards: the policy should be quiet. Measurement
+	// noise makes an occasional false trigger possible (the paper tunes the
+	// thresholds empirically to balance exactly this), so tolerate at most
+	// a couple of re-activations over 20 s but not periodic-like churn.
+	before := len(s.Activations())
+	if err := s.RunFor(20000); err != nil {
+		t.Fatal(err)
+	}
+	if extra := len(s.Activations()) - before; extra > 2 {
+		t.Fatalf("steady scene re-activated %d times in 20s, want <= 2", extra)
+	}
+	if len(s.Samples()) == 0 {
+		t.Fatal("session recorded no reward samples")
+	}
+}
+
+func TestSessionReactsToHeavyObjectAddition(t *testing.T) {
+	spec := scenario.SC1CF1()
+	spec.StartEmpty = true
+	built := buildScenario(t, spec, 13)
+	if _, err := built.Scene.Place("apricot", 1, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	built.Runtime.SyncRenderLoad()
+	s, err := core.NewSession(built.Runtime, sessionConfig(core.EventBased), sim.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(15000); err != nil { // first activation on existing object
+		t.Fatal(err)
+	}
+	n := len(s.Activations())
+	if n == 0 {
+		t.Fatal("no initial activation")
+	}
+	// Add the heavy bike (178k triangles): reward should collapse and the
+	// monitor should re-activate.
+	if _, err := built.Scene.Place("bike", 1, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	built.Runtime.SyncRenderLoad()
+	if err := s.RunFor(30000); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Activations()) <= n {
+		t.Fatalf("heavy object addition did not trigger activation (%d)", len(s.Activations()))
+	}
+}
+
+func TestSessionPeriodicMode(t *testing.T) {
+	built := buildScenario(t, scenario.SC2CF2(), 17)
+	cfg := sessionConfig(core.Periodic)
+	s, err := core.NewSession(built.Runtime, cfg, sim.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(95000); err != nil {
+		t.Fatal(err)
+	}
+	// Periodic activations at ~30s intervals over ~95s: roughly 3.
+	got := len(s.Activations())
+	if got < 2 || got > 5 {
+		t.Fatalf("periodic session activated %d times, want ~3", got)
+	}
+}
+
+func TestSessionLookupReplaysSolution(t *testing.T) {
+	built := buildScenario(t, scenario.SC2CF2(), 19)
+	cfg := sessionConfig(core.EventBased)
+	cfg.UseLookup = true
+	s, err := core.NewSession(built.Runtime, cfg, sim.NewRNG(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(15000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Lookup().Len() == 0 {
+		t.Fatal("lookup table empty after first activation")
+	}
+	// Disturb the scene into a new environment and back: removing and
+	// re-adding the same object returns to a remembered key, so the next
+	// activation replays instead of exploring.
+	first := len(s.Activations())
+	if err := built.Scene.Remove("hammer_2"); err != nil {
+		t.Fatal(err)
+	}
+	built.Runtime.SyncRenderLoad()
+	if err := s.RunFor(30000); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Activations()) == first {
+		t.Skip("scene change did not trigger (reward drift below threshold)")
+	}
+	var replayed bool
+	for _, a := range s.Activations() {
+		if a.FromLookup {
+			replayed = true
+		}
+	}
+	// At least the table must now contain both environments.
+	if s.Lookup().Len() < 2 && !replayed {
+		t.Fatalf("lookup table not learning environments: len=%d", s.Lookup().Len())
+	}
+}
+
+func TestSessionConfigValidation(t *testing.T) {
+	built := buildScenario(t, scenario.SC2CF2(), 23)
+	bad := sessionConfig(core.Periodic)
+	bad.PeriodicIntervalMS = 0
+	if _, err := core.NewSession(built.Runtime, bad, sim.NewRNG(1)); err == nil {
+		t.Fatal("periodic session without interval accepted")
+	}
+	bad2 := sessionConfig(core.EventBased)
+	bad2.Mode = 0
+	if _, err := core.NewSession(built.Runtime, bad2, sim.NewRNG(1)); err == nil {
+		t.Fatal("invalid mode accepted")
+	}
+}

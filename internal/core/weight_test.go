@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// TestWeightSemantics checks the economic meaning of w in Eq. 3: with w = 0
+// the optimizer has no reason to give up triangles, and with a large w it
+// sacrifices quality aggressively for latency. This is the semantic
+// regression test for the whole cost pipeline.
+func TestWeightSemantics(t *testing.T) {
+	run := func(w float64) *core.Result {
+		built, err := scenario.SC1CF1().Build(11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Weight = w
+		res, err := core.RunActivation(built.Runtime, cfg, sim.NewRNG(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	qualityOnly := run(0)
+	balanced := run(2.5)
+	latencyObsessed := run(25)
+
+	// w = 0: cost is -Q alone; full triangles are optimal.
+	if qualityOnly.Ratio < 0.95 {
+		t.Errorf("w=0 chose ratio %.2f, want ~1 (no reason to decimate)", qualityOnly.Ratio)
+	}
+	if qualityOnly.Quality < 0.99 {
+		t.Errorf("w=0 quality %.3f, want ~1", qualityOnly.Quality)
+	}
+	// Large w drives latency below the balanced configuration's, giving up
+	// quality to get there.
+	if latencyObsessed.Epsilon > balanced.Epsilon+0.05 {
+		t.Errorf("w=25 epsilon %.3f should not exceed w=2.5's %.3f", latencyObsessed.Epsilon, balanced.Epsilon)
+	}
+	// Below the render knee ε is nearly flat in x, so the exact ratio is a
+	// plateau choice; it must merely stay clearly below full quality.
+	if latencyObsessed.Ratio > 0.9 {
+		t.Errorf("w=25 ratio %.2f, want clearly below 1", latencyObsessed.Ratio)
+	}
+	// And the balanced setting sits between the extremes on quality.
+	if !(latencyObsessed.Quality <= balanced.Quality+0.05 && balanced.Quality <= qualityOnly.Quality+0.02) {
+		t.Errorf("quality ordering violated: w=25 %.3f, w=2.5 %.3f, w=0 %.3f",
+			latencyObsessed.Quality, balanced.Quality, qualityOnly.Quality)
+	}
+}
+
+// TestRMinRespected pins Constraint 10: no activation may choose a ratio
+// below R^min even when latency pressure is extreme.
+func TestRMinRespected(t *testing.T) {
+	built, err := scenario.SC1CF1().Build(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Weight = 50
+	cfg.RMin = 0.35
+	res, err := core.RunActivation(built.Runtime, cfg, sim.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.Iterations {
+		if x := it.Point[len(it.Point)-1]; x < cfg.RMin-1e-9 {
+			t.Fatalf("iteration explored ratio %v below RMin %v", x, cfg.RMin)
+		}
+	}
+	if res.Ratio < cfg.RMin-1e-9 {
+		t.Fatalf("final ratio %v below RMin %v", res.Ratio, cfg.RMin)
+	}
+}

@@ -1,0 +1,161 @@
+package edge
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"github.com/mar-hbo/hbo/internal/mesh"
+	"github.com/mar-hbo/hbo/internal/quality"
+)
+
+// Client talks to an edge Server and caches decimated meshes locally, the
+// paper's "local cache" in Figure 3. It is not safe for concurrent use; one
+// MAR app session owns one client.
+type Client struct {
+	base string
+	http *http.Client
+
+	cacheCap int
+	cache    map[cacheKey]*list.Element
+	lru      *list.List
+
+	// hits and misses instrument the cache for the ablation bench.
+	hits, misses int
+}
+
+type cacheKey struct {
+	object string
+	// ratioStep quantizes the ratio to 2% steps so near-identical requests
+	// share an entry.
+	ratioStep int
+	// fast separates vertex-clustering results from quadric ones.
+	fast bool
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	mesh *mesh.Mesh
+}
+
+func keyFor(object string, ratio float64) cacheKey {
+	return cacheKey{object: object, ratioStep: int(math.Round(ratio * 50))}
+}
+
+// NewClient builds a client for the server at base URL (no trailing slash)
+// with an LRU decimation cache of the given capacity.
+func NewClient(base string, cacheCap int) (*Client, error) {
+	if base == "" {
+		return nil, fmt.Errorf("edge: empty base URL")
+	}
+	if cacheCap < 1 {
+		return nil, fmt.Errorf("edge: cache capacity %d must be >= 1", cacheCap)
+	}
+	return &Client{
+		base:     base,
+		http:     &http.Client{},
+		cacheCap: cacheCap,
+		cache:    make(map[cacheKey]*list.Element),
+		lru:      list.New(),
+	}, nil
+}
+
+// CacheStats returns cache hit/miss counters.
+func (c *Client) CacheStats() (hits, misses int) { return c.hits, c.misses }
+
+// Decimate returns the object decimated to the given ratio (quadric edge
+// collapse), from cache when possible.
+func (c *Client) Decimate(object string, ratio float64) (*mesh.Mesh, error) {
+	return c.decimate(object, ratio, false)
+}
+
+// DecimateFast is the vertex-clustering path: coarser output, much lower
+// server latency. Fast and precise results share the cache key space with a
+// flag so one never masquerades as the other.
+func (c *Client) DecimateFast(object string, ratio float64) (*mesh.Mesh, error) {
+	return c.decimate(object, ratio, true)
+}
+
+func (c *Client) decimate(object string, ratio float64, fast bool) (*mesh.Mesh, error) {
+	if ratio <= 0 || ratio > 1 {
+		return nil, fmt.Errorf("edge: ratio %v out of (0,1]", ratio)
+	}
+	key := keyFor(object, ratio)
+	key.fast = fast
+	if el, ok := c.cache[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).mesh, nil
+	}
+	c.misses++
+	var resp DecimateResponse
+	if err := c.post("/decimate", DecimateRequest{Object: object, Ratio: ratio, Fast: fast}, &resp); err != nil {
+		return nil, err
+	}
+	m := resp.Mesh.ToMesh()
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("edge: server returned invalid mesh: %w", err)
+	}
+	c.insert(key, m)
+	return m, nil
+}
+
+func (c *Client) insert(key cacheKey, m *mesh.Mesh) {
+	el := c.lru.PushFront(&cacheEntry{key: key, mesh: m})
+	c.cache[key] = el
+	for c.lru.Len() > c.cacheCap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.cache, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Train fits Eq. 1 parameters server-side from the given samples.
+func (c *Client) Train(object string, samples []quality.Sample) (quality.Params, error) {
+	var resp TrainResponse
+	if err := c.post("/train", TrainRequest{Object: object, Samples: samples}, &resp); err != nil {
+		return quality.Params{}, err
+	}
+	p := quality.Params{A: resp.A, B: resp.B, C: resp.C, D: resp.D}
+	return p, p.Validate()
+}
+
+// BONext uploads the observation database and returns the next
+// configuration to test (remote Bayesian optimization, §VI).
+func (c *Client) BONext(resources int, rmin float64, seed uint64, obs []Observation) ([]float64, error) {
+	var resp BONextResponse
+	req := BONextRequest{Resources: resources, RMin: rmin, Seed: seed, Observations: obs}
+	if err := c.post("/bo/next", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Point) != resources+1 {
+		return nil, fmt.Errorf("edge: server returned %d-dim point, want %d", len(resp.Point), resources+1)
+	}
+	return resp.Point, nil
+}
+
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("edge: encoding %s request: %w", path, err)
+	}
+	httpResp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("edge: %s: %w", path, err)
+	}
+	defer func() {
+		_ = httpResp.Body.Close()
+	}()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		return fmt.Errorf("edge: %s returned %s: %s", path, httpResp.Status, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("edge: decoding %s response: %w", path, err)
+	}
+	return nil
+}

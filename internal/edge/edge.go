@@ -1,0 +1,253 @@
+// Package edge implements the edge-server side of the paper's Figure 3
+// architecture: a small HTTP service that runs the virtual-object decimation
+// algorithm and the Eq. 1 parameter training for its clients, plus the §VI
+// option of offloading the Bayesian-optimization step itself ("the payload
+// for exchanging such information is in the order of a few Bytes"). The
+// matching client keeps a local cache of decimated versions, exactly as the
+// paper's HBO control plane does ("each decimated version can either be
+// found in the local cache or downloaded from a server").
+package edge
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/mar-hbo/hbo/internal/bo"
+	"github.com/mar-hbo/hbo/internal/mesh"
+	"github.com/mar-hbo/hbo/internal/quality"
+	"github.com/mar-hbo/hbo/internal/render"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// DecimateRequest asks for a decimated version of a catalog object. Fast
+// selects the vertex-clustering path (coarser quality, much lower server
+// latency) instead of the default quadric edge collapse.
+type DecimateRequest struct {
+	Object string  `json:"object"`
+	Ratio  float64 `json:"ratio"`
+	Fast   bool    `json:"fast,omitempty"`
+}
+
+// MeshPayload is a wire-format triangle mesh.
+type MeshPayload struct {
+	Vertices  [][3]float64 `json:"vertices"`
+	Triangles [][3]int     `json:"triangles"`
+}
+
+// ToMesh converts the payload to a mesh.
+func (p MeshPayload) ToMesh() *mesh.Mesh {
+	m := &mesh.Mesh{
+		Vertices:  make([]mesh.Vec3, len(p.Vertices)),
+		Triangles: make([]mesh.Triangle, len(p.Triangles)),
+	}
+	for i, v := range p.Vertices {
+		m.Vertices[i] = mesh.Vec3{X: v[0], Y: v[1], Z: v[2]}
+	}
+	for i, t := range p.Triangles {
+		m.Triangles[i] = mesh.Triangle{t[0], t[1], t[2]}
+	}
+	return m
+}
+
+// FromMesh converts a mesh to its wire format.
+func FromMesh(m *mesh.Mesh) MeshPayload {
+	p := MeshPayload{
+		Vertices:  make([][3]float64, len(m.Vertices)),
+		Triangles: make([][3]int, len(m.Triangles)),
+	}
+	for i, v := range m.Vertices {
+		p.Vertices[i] = [3]float64{v.X, v.Y, v.Z}
+	}
+	for i, t := range m.Triangles {
+		p.Triangles[i] = [3]int{t[0], t[1], t[2]}
+	}
+	return p
+}
+
+// DecimateResponse carries the decimated mesh.
+type DecimateResponse struct {
+	Object    string      `json:"object"`
+	Ratio     float64     `json:"ratio"`
+	Triangles int         `json:"triangles"`
+	Mesh      MeshPayload `json:"mesh"`
+}
+
+// TrainRequest carries quality-assessment samples for Eq. 1 fitting.
+type TrainRequest struct {
+	Object  string           `json:"object"`
+	Samples []quality.Sample `json:"samples"`
+}
+
+// TrainResponse returns the fitted parameters.
+type TrainResponse struct {
+	Object string  `json:"object"`
+	A      float64 `json:"a"`
+	B      float64 `json:"b"`
+	C      float64 `json:"c"`
+	D      float64 `json:"d"`
+}
+
+// Observation is one (configuration, cost) pair of the BO database D.
+type Observation struct {
+	Point []float64 `json:"point"`
+	Cost  float64   `json:"cost"`
+}
+
+// BONextRequest uploads the BO database and domain; the server returns the
+// next configuration to test. This is the §VI remote-BO path: the payload is
+// a few dozen bytes per iteration.
+type BONextRequest struct {
+	Resources    int           `json:"resources"`
+	RMin         float64       `json:"rmin"`
+	Seed         uint64        `json:"seed"`
+	Observations []Observation `json:"observations"`
+}
+
+// BONextResponse returns the next configuration to evaluate.
+type BONextResponse struct {
+	Point []float64 `json:"point"`
+}
+
+// Server is the edge service. It owns the object catalog whose meshes it can
+// decimate. Safe for concurrent use: net/http serves each request on its own
+// goroutine.
+type Server struct {
+	specs map[string]render.ObjectSpec
+
+	mu     sync.Mutex
+	meshes map[string]*mesh.Mesh // full-quality geometry, built lazily
+}
+
+// NewServer builds a server for the given catalog.
+func NewServer(specs []render.ObjectSpec) (*Server, error) {
+	s := &Server{
+		specs:  make(map[string]render.ObjectSpec, len(specs)),
+		meshes: make(map[string]*mesh.Mesh),
+	}
+	for _, sp := range specs {
+		if _, dup := s.specs[sp.Name]; dup {
+			return nil, fmt.Errorf("edge: duplicate spec %q", sp.Name)
+		}
+		s.specs[sp.Name] = sp
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /decimate", s.handleDecimate)
+	mux.HandleFunc("POST /train", s.handleTrain)
+	mux.HandleFunc("POST /bo/next", s.handleBONext)
+	return mux
+}
+
+// geometry returns (building if needed) the full-quality mesh for an object.
+// The cache is guarded: concurrent requests for the same object build it at
+// most once while the lock is held (geometry generation is fast enough that
+// holding the lock across the build is simpler than per-key once values).
+func (s *Server) geometry(name string) (*mesh.Mesh, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.meshes[name]; ok {
+		return m, nil
+	}
+	spec, ok := s.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("edge: unknown object %q", name)
+	}
+	m, err := spec.Geometry()
+	if err != nil {
+		return nil, err
+	}
+	s.meshes[name] = m
+	return m, nil
+}
+
+func (s *Server) handleDecimate(w http.ResponseWriter, r *http.Request) {
+	var req DecimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Ratio <= 0 || req.Ratio > 1 {
+		http.Error(w, fmt.Sprintf("ratio %v out of (0,1]", req.Ratio), http.StatusBadRequest)
+		return
+	}
+	full, err := s.geometry(req.Object)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	var dec *mesh.Mesh
+	if req.Fast {
+		target := int(req.Ratio * float64(full.TriangleCount()))
+		if target < 1 {
+			target = 1
+		}
+		dec, err = mesh.VertexClustering(full, target)
+	} else {
+		dec, err = mesh.DecimateToRatio(full, req.Ratio)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, DecimateResponse{
+		Object:    req.Object,
+		Ratio:     req.Ratio,
+		Triangles: dec.TriangleCount(),
+		Mesh:      FromMesh(dec),
+	})
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req TrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	p, err := quality.Fit(req.Samples)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, TrainResponse{Object: req.Object, A: p.A, B: p.B, C: p.C, D: p.D})
+}
+
+func (s *Server) handleBONext(w http.ResponseWriter, r *http.Request) {
+	var req BONextRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dom := bo.Domain{N: req.Resources, RMin: req.RMin}
+	opt, err := bo.NewOptimizer(dom, bo.DefaultConfig(), sim.NewRNG(req.Seed))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	for _, o := range req.Observations {
+		if err := opt.Observe(o.Point, o.Cost); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+	}
+	point, err := opt.Next()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, BONextResponse{Point: point})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more useful to do than log-level
+		// reporting, which this package leaves to the caller's middleware.
+		return
+	}
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/render"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// DeviceOutcome is HBO's result on one device.
+type DeviceOutcome struct {
+	Device string
+	ScenarioOutcome
+	// StartEpsilon is the unoptimized (static-best, full-triangle) ε, so
+	// the improvement factor is visible per device.
+	StartEpsilon float64
+}
+
+// CrossDeviceResult checks the paper's §V-A remark that results are similar
+// across devices ("Due to space limitation and similarity ... we show the
+// results with the Pixel 7"): HBO run on SC1-CF1 for both calibrated
+// devices.
+type CrossDeviceResult struct {
+	Outcomes []DeviceOutcome
+}
+
+var _ fmt.Stringer = (*CrossDeviceResult)(nil)
+
+// RunCrossDevice executes one HBO activation per device on the SC1-CF1
+// combination.
+func RunCrossDevice(seed uint64) (*CrossDeviceResult, error) {
+	res := &CrossDeviceResult{}
+	for _, dev := range []func() *soc.DeviceProfile{soc.Pixel7, soc.GalaxyS22} {
+		spec := scenario.Spec{
+			Name:     "SC1-CF1",
+			Device:   dev,
+			Objects:  render.SC1(),
+			Taskset:  tasks.CF1(),
+			Distance: 1.5,
+		}
+		built, err := spec.Build(seed)
+		if err != nil {
+			return nil, err
+		}
+		start, err := built.Runtime.Measure(4000)
+		if err != nil {
+			return nil, err
+		}
+		act, err := core.RunActivation(built.Runtime, core.DefaultConfig(), sim.NewRNG(seed))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", built.System.Device().Name, err)
+		}
+		res.Outcomes = append(res.Outcomes, DeviceOutcome{
+			Device:          built.System.Device().Name,
+			ScenarioOutcome: summarizeActivation("SC1-CF1", act),
+			StartEpsilon:    start.Epsilon,
+		})
+	}
+	return res, nil
+}
+
+// Outcome finds a device's outcome.
+func (r *CrossDeviceResult) Outcome(device string) (DeviceOutcome, error) {
+	for _, o := range r.Outcomes {
+		if strings.Contains(o.Device, device) {
+			return o, nil
+		}
+	}
+	return DeviceOutcome{}, fmt.Errorf("experiments: no outcome for device %q", device)
+}
+
+// String renders the per-device comparison.
+func (r *CrossDeviceResult) String() string {
+	var b strings.Builder
+	b.WriteString("Cross-device study: HBO on SC1-CF1, both calibrated devices\n")
+	rows := [][]string{{"Device", "CPU", "GPU", "NNAPI", "Ratio", "Eps before", "Eps after", "Quality"}}
+	for _, o := range r.Outcomes {
+		rows = append(rows, []string{
+			o.Device,
+			fmt.Sprintf("%d", o.AllocationCounts[tasks.CPU]),
+			fmt.Sprintf("%d", o.AllocationCounts[tasks.GPU]),
+			fmt.Sprintf("%d", o.AllocationCounts[tasks.NNAPI]),
+			fmt.Sprintf("%.2f", o.Ratio),
+			fmt.Sprintf("%.3f", o.StartEpsilon),
+			fmt.Sprintf("%.3f", o.Epsilon),
+			fmt.Sprintf("%.3f", o.Quality),
+		})
+	}
+	b.WriteString(table(rows))
+	return b.String()
+}
+
+// Churn is one mobility pattern's activation accounting in the §VI
+// dynamic-environment study.
+type Churn struct {
+	Pattern     string
+	Activations int
+	Replays     int
+	// MeanReward is the mean monitored reward across the run.
+	MeanReward float64
+}
+
+// DynamicEnvResult is the §VI limitation study: a user who keeps moving
+// (distance oscillation) causes the event-based policy to re-activate often;
+// the lookup-table extension absorbs recurring conditions.
+type DynamicEnvResult struct {
+	Rows []Churn
+}
+
+var _ fmt.Stringer = (*DynamicEnvResult)(nil)
+
+// RunDynamicEnv runs three sessions on SC1-CF2 (heavy objects, so distance
+// genuinely moves both render load and quality): a calm user (static
+// distances), a pacing user without the lookup table, and a pacing user with
+// it.
+func RunDynamicEnv(seed uint64) (*DynamicEnvResult, error) {
+	res := &DynamicEnvResult{}
+	type variant struct {
+		name   string
+		pacing bool
+		lookup bool
+	}
+	for _, v := range []variant{
+		{"calm user", false, false},
+		{"pacing user", true, false},
+		{"pacing user + lookup", true, true},
+	} {
+		built, err := scenario.SC1CF2().Build(seed)
+		if err != nil {
+			return nil, err
+		}
+		hbo := core.DefaultConfig()
+		hbo.PeriodMS = 1000
+		hbo.SettleMS = 250
+		hbo.InitSamples = 3
+		hbo.Iterations = 5
+		// The production cooldown is disabled here on purpose: this study
+		// isolates the raw §VI churn phenomenon that the cooldown (and the
+		// lookup table) exist to mitigate.
+		hbo.CooldownMS = 0
+		cfg := core.SessionConfig{HBO: hbo, Mode: core.EventBased, UseLookup: v.lookup}
+		session, err := core.NewSession(built.Runtime, cfg, sim.NewRNG(seed))
+		if err != nil {
+			return nil, err
+		}
+		// 4 minutes: the pacing user alternates near/far every 20 s between
+		// monitor steps.
+		near := true
+		for built.System.Now() < 240000 {
+			if v.pacing && int(built.System.Now()/20000)%2 == 0 != near {
+				near = !near
+				d := 1.0
+				if !near {
+					d = 4.0
+				}
+				for _, o := range built.Scene.Objects() {
+					o.Distance = d
+				}
+				built.Runtime.SyncRenderLoad()
+			}
+			if err := session.Step(); err != nil {
+				return nil, err
+			}
+		}
+		replays := 0
+		var rewardSum float64
+		n := 0
+		for _, a := range session.Activations() {
+			if a.FromLookup {
+				replays++
+			}
+		}
+		for _, s := range session.Samples() {
+			if !s.InActivation {
+				rewardSum += s.Reward
+				n++
+			}
+		}
+		mean := 0.0
+		if n > 0 {
+			mean = rewardSum / float64(n)
+		}
+		res.Rows = append(res.Rows, Churn{
+			Pattern:     v.name,
+			Activations: len(session.Activations()),
+			Replays:     replays,
+			MeanReward:  mean,
+		})
+	}
+	return res, nil
+}
+
+// Row finds a pattern's churn record.
+func (r *DynamicEnvResult) Row(pattern string) (Churn, error) {
+	for _, row := range r.Rows {
+		if row.Pattern == pattern {
+			return row, nil
+		}
+	}
+	return Churn{}, fmt.Errorf("experiments: no churn row %q", pattern)
+}
+
+// String renders the churn comparison.
+func (r *DynamicEnvResult) String() string {
+	var b strings.Builder
+	b.WriteString("Dynamic-environment study (§VI): activation churn under user mobility\n")
+	rows := [][]string{{"Pattern", "Activations", "Lookup Replays", "Mean Reward"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Pattern,
+			fmt.Sprintf("%d", row.Activations),
+			fmt.Sprintf("%d", row.Replays),
+			fmt.Sprintf("%.3f", row.MeanReward),
+		})
+	}
+	b.WriteString(table(rows))
+	return b.String()
+}

@@ -1,0 +1,103 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) on the simulated substrate: each runner reproduces one
+// artifact's workload and parameters and renders the same rows or series the
+// paper reports. The per-experiment index lives in DESIGN.md §4;
+// paper-vs-measured numbers are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Runner regenerates one paper artifact.
+type Runner struct {
+	// ID is the paper artifact ("Table I", "Figure 2b", ...).
+	ID string
+	// Description says what the artifact shows.
+	Description string
+	// Run executes the experiment and returns a printable report.
+	Run func(seed uint64) (fmt.Stringer, error)
+}
+
+// All returns every experiment runner in paper order.
+func All() []Runner {
+	return []Runner{
+		{ID: "Table I", Description: "isolation response time of each model on each resource, both devices",
+			Run: func(seed uint64) (fmt.Stringer, error) { return RunTableI(seed) }},
+		{ID: "Figure 2a", Description: "deconv instances across CPU/GPU, scripted reallocations",
+			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure2a(seed) }},
+		{ID: "Figure 2b", Description: "five deeplabv3 instances across NNAPI/CPU with object additions",
+			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure2b(seed) }},
+		{ID: "Figure 2c", Description: "mixed taskset across GPU/NNAPI",
+			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure2c(seed) }},
+		{ID: "Figure 4 + Table III", Description: "HBO allocation, triangle ratio, and convergence across the four scenarios",
+			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure4(seed) }},
+		{ID: "Figure 5 + Table IV", Description: "HBO vs SMQ/SML/BNT/AllN on SC1-CF1",
+			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure5(seed) }},
+		{ID: "Figure 6", Description: "in-depth analysis of one SC1-CF1 activation",
+			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure6(seed) }},
+		{ID: "Figure 7", Description: "best-cost convergence across six runs, SC1-CF2 and SC2-CF2",
+			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure7(seed) }},
+		{ID: "Figure 8", Description: "event-based vs periodic activation over a scripted session",
+			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure8(seed) }},
+		{ID: "Figure 9", Description: "simulated user study, HBO vs SML at close and far distance",
+			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure9(seed) }},
+	}
+}
+
+// ByID finds a runner by artifact name.
+func ByID(id string) (Runner, error) {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown artifact %q", id)
+}
+
+// table renders rows with aligned columns; the first row is the header.
+func table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// sortedKeys returns map keys in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

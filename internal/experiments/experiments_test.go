@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+func TestRegistryCoversEveryArtifact(t *testing.T) {
+	want := []string{
+		"Table I", "Figure 2a", "Figure 2b", "Figure 2c",
+		"Figure 4 + Table III", "Figure 5 + Table IV",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d runners, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("runner %d = %s, want %s", i, all[i].ID, id)
+		}
+	}
+	if _, err := ByID("figure 6"); err != nil {
+		t.Error("ByID should be case-insensitive")
+	}
+	if _, err := ByID("Figure 99"); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+}
+
+func TestTableIMatchesCalibration(t *testing.T) {
+	res, err := RunTableI(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range soc.Devices() {
+		rows, ok := res.Rows[dev.Name]
+		if !ok {
+			t.Fatalf("no rows for %s", dev.Name)
+		}
+		for name, mp := range dev.Models {
+			for _, r := range tasks.Resources() {
+				got := rows[name][r]
+				want := mp.LatencyMS[r]
+				switch {
+				case math.IsNaN(want):
+					if !math.IsNaN(got) {
+						t.Errorf("%s/%s/%s: got %.1f, want NA", dev.Name, name, r, got)
+					}
+				default:
+					if math.Abs(got-want) > 0.05*want+0.5 {
+						t.Errorf("%s/%s/%s: got %.1f, want ~%.1f", dev.Name, name, r, got, want)
+					}
+				}
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "deeplabv3") {
+		t.Error("rendered table missing model rows")
+	}
+}
+
+func TestFigure2bShape(t *testing.T) {
+	res, err := RunFigure2b(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instance 1: CPU (0-25s) is slower than after moving to NNAPI (25-40s).
+	cpuPhase := res.Latency("deeplabv3", 5, 24)
+	nnapiAlone := res.Latency("deeplabv3", 28, 40)
+	if nnapiAlone >= cpuPhase {
+		t.Errorf("NNAPI reallocation did not help: CPU %.1f vs NNAPI %.1f", cpuPhase, nnapiAlone)
+	}
+	// Latency grows as instances pile on NNAPI (t=95..120 vs t=28..40).
+	crowded := res.Latency("deeplabv3", 100, 119)
+	if crowded <= nnapiAlone {
+		t.Errorf("crowding NNAPI did not raise latency: %.1f vs %.1f", crowded, nnapiAlone)
+	}
+	// The object additions at 150/180s spike everyone's latency.
+	loaded := res.Latency("deeplabv3", 185, 199)
+	if loaded <= crowded*1.3 {
+		t.Errorf("objects did not spike latency: loaded %.1f vs crowded %.1f", loaded, crowded)
+	}
+	// Relocating instances 5 and 4 to CPU at 200/220s relieves the others.
+	relieved := res.Latency("deeplabv3", 230, 258)
+	if relieved >= loaded {
+		t.Errorf("CPU relocation did not relieve NNAPI: %.1f vs %.1f", relieved, loaded)
+	}
+	// All five instances are recorded, and marks follow the script.
+	if got := len(res.Recorder.Names()); got != 5 {
+		t.Fatalf("recorded %d series, want 5", got)
+	}
+	if res.Marks[0].Label != "C1" || res.Marks[len(res.Marks)-1].Label != "C4" {
+		t.Fatalf("marks wrong: %+v", res.Marks)
+	}
+}
+
+func TestFigure2aAnd2cRun(t *testing.T) {
+	a, err := RunFigure2a(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Recorder.Names()) != 4 {
+		t.Fatalf("2a recorded %d series, want 4", len(a.Recorder.Names()))
+	}
+	c, err := RunFigure2c(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Recorder.Names()) != 5 {
+		t.Fatalf("2c recorded %d series, want 5", len(c.Recorder.Names()))
+	}
+	// Objects must hurt the GPU-resident task in 2a.
+	before := a.Latency("deconv-munet", 120, 139)
+	after := a.Latency("deconv-munet", 145, 168)
+	if after <= before {
+		t.Errorf("2a: objects did not slow GPU task: %.1f vs %.1f", after, before)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	res, err := RunFigure4(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 4 {
+		t.Fatalf("got %d outcomes", len(res.Outcomes))
+	}
+	sc1cf1, err := res.Outcome("SC1-CF1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2cf1, err := res.Outcome("SC2-CF1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy scenes force triangle reduction; light scenes keep quality
+	// (paper: SC1 ratios 0.72/0.85 vs SC2 ratios 1.0/0.94).
+	if sc1cf1.Ratio >= sc2cf1.Ratio {
+		t.Errorf("SC1-CF1 ratio %.2f should be below SC2-CF1 %.2f", sc1cf1.Ratio, sc2cf1.Ratio)
+	}
+	// CF1 scenarios relocate the GPU-affine tasks away from the contended
+	// accelerators (paper: model-metadata instances move to CPU).
+	if sc1cf1.AllocationCounts[tasks.CPU] == 0 {
+		t.Error("SC1-CF1 should relocate at least one task to CPU")
+	}
+	// Every scenario's trajectory is non-increasing and converges within
+	// the iteration budget.
+	for _, o := range res.Outcomes {
+		for i := 1; i < len(o.BestCost); i++ {
+			if o.BestCost[i] > o.BestCost[i-1]+1e-9 {
+				t.Errorf("%s: best cost increased at %d", o.Scenario, i)
+			}
+		}
+		if o.ConvergedAt < 1 || o.ConvergedAt > len(o.BestCost) {
+			t.Errorf("%s: converged at %d", o.Scenario, o.ConvergedAt)
+		}
+	}
+	out := res.String()
+	for _, want := range []string{"Table III", "Figure 4c", "Triangle Count Ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	res, err := RunFigure5(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d baseline rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Epsilon <= res.HBO.Epsilon {
+			t.Errorf("%s epsilon %.3f should exceed HBO %.3f", row.Name, row.Epsilon, res.HBO.Epsilon)
+		}
+		if row.LatencyRatio <= 1 {
+			t.Errorf("%s latency ratio %.2f should exceed 1", row.Name, row.LatencyRatio)
+		}
+	}
+	smq, err := res.Row("SMQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(smq.Ratio-res.HBO.Ratio) > 1e-9 {
+		t.Errorf("SMQ ratio %.2f must match HBO %.2f", smq.Ratio, res.HBO.Ratio)
+	}
+	if math.Abs(smq.Quality-res.HBO.Quality) > 0.05 {
+		t.Errorf("SMQ quality %.3f should match HBO %.3f", smq.Quality, res.HBO.Quality)
+	}
+	sml, err := res.Row("SML")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sml.Quality >= res.HBO.Quality {
+		t.Errorf("SML quality %.3f should be below HBO %.3f", sml.Quality, res.HBO.Quality)
+	}
+	for _, name := range []string{"BNT", "AllN"} {
+		row, err := res.Row(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Ratio != 1 {
+			t.Errorf("%s ratio %.2f, want 1 (no triangle regulation)", name, row.Ratio)
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	res, err := RunFigure6(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Distances) != 19 || len(res.BestCost) != 20 || len(res.Quality) != 20 {
+		t.Fatalf("series lengths %d/%d/%d", len(res.Distances), len(res.BestCost), len(res.Quality))
+	}
+	// SMQ is never faster than HBO on the majority of tasks (Fig. 6d).
+	worse := 0
+	for id, hbo := range res.HBOLatency {
+		if res.SMQLatency[id] >= hbo {
+			worse++
+		}
+	}
+	if worse < len(res.HBOLatency)/2+1 {
+		t.Errorf("SMQ slower on only %d/%d tasks", worse, len(res.HBOLatency))
+	}
+	if !strings.Contains(res.String(), "Figure 6d") {
+		t.Error("render missing panel 6d")
+	}
+}
+
+func TestFigure7Robustness(t *testing.T) {
+	res, err := RunFigure7(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"SC1-CF2", "SC2-CF2"} {
+		finals := res.FinalCosts(name)
+		if len(finals) != 6 {
+			t.Fatalf("%s has %d runs", name, len(finals))
+		}
+		// The paper's claim: all runs converge to a similar-cost solution.
+		// Require most runs to land clearly below their starting cost and
+		// in negative-cost (positive-reward) territory.
+		good := 0
+		for _, f := range finals {
+			if f < 0 {
+				good++
+			}
+		}
+		if good < 4 {
+			t.Errorf("%s: only %d/6 runs converged to positive reward: %v", name, good, finals)
+		}
+	}
+}
+
+func TestFigure8PolicyComparison(t *testing.T) {
+	res, err := RunFigure8(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Event.Activations) == 0 {
+		t.Fatal("event policy never activated")
+	}
+	// First activation fires at the first object placement.
+	if res.Event.Activations[0].TimeMS > 10000 {
+		t.Errorf("first activation at %.0fms, want near first placement", res.Event.Activations[0].TimeMS)
+	}
+	// The event policy activates less often than periodic (the paper's
+	// point: periodic wastes seven activations).
+	if len(res.Event.Activations) >= len(res.Periodic.Activations) {
+		t.Errorf("event policy used %d activations, periodic %d",
+			len(res.Event.Activations), len(res.Periodic.Activations))
+	}
+	if len(res.Periodic.Activations) < 5 {
+		t.Errorf("periodic policy activated %d times, want ~7", len(res.Periodic.Activations))
+	}
+	if len(res.Event.ObjectAdds) != 11 { // 10 objects + distance change
+		t.Errorf("recorded %d scene events, want 11", len(res.Event.ObjectAdds))
+	}
+}
+
+func TestFigure9StudyShape(t *testing.T) {
+	res, err := RunFigure9(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PanelSize != 7 {
+		t.Fatalf("panel size %d, want 7 (paper)", res.PanelSize)
+	}
+	for _, dist := range []string{"close", "far"} {
+		hbo, err := res.Condition("HBO", dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sml, err := res.Condition("SML", dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hbo.MeanScore <= sml.MeanScore {
+			t.Errorf("%s: HBO score %.1f should beat SML %.1f", dist, hbo.MeanScore, sml.MeanScore)
+		}
+		if hbo.Ratio <= sml.Ratio {
+			t.Errorf("%s: HBO ratio %.2f should exceed SML %.2f", dist, hbo.Ratio, sml.Ratio)
+		}
+	}
+	hboClose, _ := res.Condition("HBO", "close")
+	if hboClose.MeanScore < 4.3 {
+		t.Errorf("HBO close score %.1f, want near 4.9 (paper)", hboClose.MeanScore)
+	}
+}
+
+// TestEveryArtifactRunsAtAlternateSeed exercises every paper artifact and
+// extension study end-to-end at a seed none of the shape tests use, so
+// seed-specific assumptions cannot hide in the runners.
+func TestEveryArtifactRunsAtAlternateSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact sweep is slow")
+	}
+	for _, r := range AllWithExtensions() {
+		if r.ID == "Optimality" {
+			continue // brute force; covered by its own test
+		}
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			out, err := r.Run(7)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if len(out.String()) < 40 {
+				t.Fatalf("%s: implausibly short report", r.ID)
+			}
+		})
+	}
+}
+
+// TestArtifactDeterminism pins the repository-wide reproducibility claim:
+// re-running an experiment with the same seed inside one process yields
+// byte-identical reports. This is the regression test for tie-breaking leaks
+// (e.g. event creation order depending on map iteration), which surface as
+// occasional run-to-run drift long before they break a shape assertion.
+func TestArtifactDeterminism(t *testing.T) {
+	for _, id := range []string{"Figure 2b", "Figure 6"} {
+		r, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := r.Run(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.Run(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s: identical seeds produced different reports", id)
+		}
+	}
+}
+
+// TestCSVExports checks every artifact that offers replottable CSV series:
+// header present, rows well-formed, and content matching the run.
+func TestCSVExports(t *testing.T) {
+	type csver interface{ CSV() string }
+	checks := []struct {
+		id     string
+		header string
+	}{
+		{"Figure 2b", "time_ms,series,value"},
+		{"Figure 4 + Table III", "iteration,series,value"},
+		{"Figure 6", "iteration,series,value"},
+		{"Figure 7", "iteration,series,value"},
+		{"Figure 8", "time_ms,series,value"},
+	}
+	for _, c := range checks {
+		r, err := ByID(c.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Run(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv, ok := out.(csver)
+		if !ok {
+			t.Fatalf("%s does not export CSV", c.id)
+		}
+		csv := cv.CSV()
+		lines := strings.Split(strings.TrimSpace(csv), "\n")
+		if lines[0] != c.header {
+			t.Fatalf("%s: header %q, want %q", c.id, lines[0], c.header)
+		}
+		if len(lines) < 10 {
+			t.Fatalf("%s: only %d CSV rows", c.id, len(lines))
+		}
+		for i, line := range lines[1:] {
+			if strings.Count(line, ",") != 2 {
+				t.Fatalf("%s row %d malformed: %q", c.id, i+1, line)
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/render"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+	"github.com/mar-hbo/hbo/internal/trace"
+)
+
+// Mark annotates a timeline event, matching the dots ("C1", "N5") and red
+// crosses ("O") at the bottom of the paper's Figure 2.
+type Mark struct {
+	TimeS float64
+	Label string
+}
+
+// Figure2Result is one motivation-study timeline: per-task response time
+// sampled every second, with allocation-change and object-addition marks.
+type Figure2Result struct {
+	Title    string
+	Recorder *trace.Recorder
+	Marks    []Mark
+}
+
+var _ fmt.Stringer = (*Figure2Result)(nil)
+
+// String renders each task's latency timeline as an ASCII chart plus the
+// mark list.
+func (r *Figure2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	b.WriteString("marks: ")
+	for i, m := range r.Marks {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s@%.0fs", m.Label, m.TimeS)
+	}
+	b.WriteString("\n\n")
+	for _, name := range r.Recorder.Names() {
+		b.WriteString(trace.ASCIIChart(r.Recorder.Series(name), 72, 8))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Latency returns a task's mean latency over the given time window
+// (seconds), for shape assertions in tests.
+func (r *Figure2Result) Latency(task string, fromS, toS float64) float64 {
+	s := r.Recorder.Series(task)
+	if s == nil {
+		return 0
+	}
+	pts := s.Window(fromS*1000, toS*1000)
+	if len(pts) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range pts {
+		sum += p.Value
+	}
+	return sum / float64(len(pts))
+}
+
+// fig2Script drives a scripted motivation experiment on the Galaxy S22.
+type fig2Script struct {
+	title  string
+	endS   float64
+	events []fig2Event
+}
+
+type fig2Event struct {
+	atS   float64
+	label string
+	apply func(st *fig2State) error
+}
+
+// fig2State is the mutable world a script manipulates.
+type fig2State struct {
+	sys   *soc.System
+	scene *render.Scene
+	dev   *soc.DeviceProfile
+}
+
+// placeObjects adds the named catalog objects and refreshes the render load.
+func (st *fig2State) placeObjects(distance float64, names ...string) error {
+	for _, n := range names {
+		instance := 1
+		for {
+			if _, err := st.scene.Place(n, instance, distance); err == nil {
+				break
+			}
+			instance++
+			if instance > 16 {
+				return fmt.Errorf("experiments: cannot place %s", n)
+			}
+		}
+	}
+	st.sys.SetRenderUtil(st.dev.RenderUtilFor(st.scene.VisibleTriangles()))
+	return nil
+}
+
+// run executes the script, sampling every task's mean latency per second.
+func (s fig2Script) run(seed uint64) (*Figure2Result, error) {
+	dev := soc.GalaxyS22()
+	lib, err := render.LibraryFor(render.SC1(), seed)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(seed)
+	st := &fig2State{
+		sys:   soc.NewSystem(eng, dev, soc.DefaultConfig()),
+		scene: render.NewScene(lib),
+		dev:   dev,
+	}
+	res := &Figure2Result{Title: s.title, Recorder: trace.NewRecorder()}
+	next := 0
+	for sec := 0.0; sec < s.endS; sec++ {
+		for next < len(s.events) && s.events[next].atS <= sec {
+			ev := s.events[next]
+			if err := ev.apply(st); err != nil {
+				return nil, fmt.Errorf("experiments: %s at %gs: %w", ev.label, ev.atS, err)
+			}
+			res.Marks = append(res.Marks, Mark{TimeS: ev.atS, Label: ev.label})
+			next++
+		}
+		st.sys.ResetWindow()
+		st.sys.RunFor(1000)
+		for id, stats := range st.sys.WindowStats() {
+			if err := res.Recorder.Record(id, st.sys.Now(), stats.MeanLatencyMS); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// addTask registers instance n of a model on a resource.
+func addTask(model string, instance int, r tasks.Resource) func(*fig2State) error {
+	return func(st *fig2State) error {
+		return st.sys.AddTask(tasks.Task{Model: model, Instance: instance}, r)
+	}
+}
+
+// moveTask reallocates a running task.
+func moveTask(model string, instance int, r tasks.Resource) func(*fig2State) error {
+	return func(st *fig2State) error {
+		return st.sys.SetAllocation(tasks.Task{Model: model, Instance: instance}.ID(), r)
+	}
+}
+
+// RunFigure2a reproduces Fig. 2a: deconv instances shuffled between CPU and
+// GPU, then squeezed by virtual objects.
+func RunFigure2a(seed uint64) (*Figure2Result, error) {
+	s := fig2Script{
+		title: "Figure 2a: deconv instances on CPU/GPU (Galaxy S22)",
+		endS:  200,
+		events: []fig2Event{
+			{0, "C1", addTask(tasks.DeconvMUNet, 1, tasks.CPU)},
+			{20, "G1", moveTask(tasks.DeconvMUNet, 1, tasks.GPU)},
+			{40, "G2", addTask(tasks.DeconvMUNet, 2, tasks.GPU)},
+			{60, "G3", addTask(tasks.DeconvMUNet, 3, tasks.GPU)},
+			{80, "G4", addTask(tasks.DeconvMUNet, 4, tasks.GPU)},
+			{110, "C4", moveTask(tasks.DeconvMUNet, 4, tasks.CPU)},
+			{140, "O", func(st *fig2State) error {
+				return st.placeObjects(1.5, "plane", "plane", "Cocacola", "Cocacola", "bike")
+			}},
+			{170, "C3", moveTask(tasks.DeconvMUNet, 3, tasks.CPU)},
+		},
+	}
+	return s.run(seed)
+}
+
+// RunFigure2b reproduces Fig. 2b: five deeplabv3 instances on NNAPI/CPU
+// with object additions around t=150s and t=180s, following the paper's
+// narration step by step.
+func RunFigure2b(seed uint64) (*Figure2Result, error) {
+	s := fig2Script{
+		title: "Figure 2b: five deeplabv3 instances on NNAPI/CPU (Galaxy S22)",
+		endS:  260,
+		events: []fig2Event{
+			{0, "C1", addTask(tasks.DeepLabV3, 1, tasks.CPU)},
+			{25, "N1", moveTask(tasks.DeepLabV3, 1, tasks.NNAPI)},
+			{40, "N2", addTask(tasks.DeepLabV3, 2, tasks.NNAPI)},
+			{55, "N3", addTask(tasks.DeepLabV3, 3, tasks.NNAPI)},
+			{75, "N4", addTask(tasks.DeepLabV3, 4, tasks.NNAPI)},
+			{95, "N5", addTask(tasks.DeepLabV3, 5, tasks.NNAPI)},
+			{120, "C5", moveTask(tasks.DeepLabV3, 5, tasks.CPU)},
+			{140, "N5", moveTask(tasks.DeepLabV3, 5, tasks.NNAPI)},
+			{150, "O", func(st *fig2State) error { return st.placeObjects(1.5, "plane", "plane", "Cocacola", "Cocacola") }},
+			{180, "O", func(st *fig2State) error { return st.placeObjects(1.5, "bike", "splane", "plane", "plane", "apricot") }},
+			{200, "C5", moveTask(tasks.DeepLabV3, 5, tasks.CPU)},
+			{220, "C4", moveTask(tasks.DeepLabV3, 4, tasks.CPU)},
+		},
+	}
+	return s.run(seed)
+}
+
+// RunFigure2c reproduces Fig. 2c: a mixed taskset across GPU and NNAPI.
+func RunFigure2c(seed uint64) (*Figure2Result, error) {
+	s := fig2Script{
+		title: "Figure 2c: mixed taskset on GPU/NNAPI (Galaxy S22)",
+		endS:  180,
+		events: []fig2Event{
+			{0, "N1", addTask(tasks.MobileNetV1, 1, tasks.NNAPI)},
+			{0, "N1", addTask(tasks.InceptionV1Q, 1, tasks.NNAPI)},
+			{0, "G1", addTask(tasks.DeconvMUNet, 1, tasks.GPU)},
+			{30, "N2", addTask(tasks.InceptionV1Q, 2, tasks.NNAPI)},
+			{50, "G2", addTask(tasks.DeconvMUNet, 2, tasks.GPU)},
+			{80, "N2", moveTask(tasks.DeconvMUNet, 2, tasks.NNAPI)},
+			{110, "O", func(st *fig2State) error { return st.placeObjects(1.5, "plane", "splane", "bike", "Cocacola") }},
+			{140, "C2", moveTask(tasks.InceptionV1Q, 2, tasks.CPU)},
+		},
+	}
+	return s.run(seed)
+}
+
+// CSV renders the timeline as replottable rows (time_ms, series, value),
+// with allocation/object marks as zero-valued "mark:<label>" series.
+func (r *Figure2Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(r.Recorder.CSV())
+	for _, m := range r.Marks {
+		fmt.Fprintf(&b, "%.1f,mark:%s,0\n", m.TimeS*1000, m.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// ScenarioOutcome is HBO's solution for one SC×CF combination.
+type ScenarioOutcome struct {
+	Scenario string
+	// AllocationCounts is the number of tasks on each resource (Fig. 4a).
+	AllocationCounts [tasks.NumResources]int
+	// Assignment is the per-task breakdown (Table III).
+	Assignment map[string]tasks.Resource
+	// Ratio is the chosen triangle count ratio (Fig. 4b / Table III).
+	Ratio float64
+	// BestCost is the cost trajectory across iterations (Fig. 4c).
+	BestCost []float64
+	// Quality and Epsilon are the winning configuration's measurements.
+	Quality float64
+	Epsilon float64
+	// ConvergedAt is the 1-based iteration at which the final best cost was
+	// first reached (the paper: best case 7, average 13).
+	ConvergedAt int
+}
+
+// Figure4Result covers Fig. 4a-c and Table III: HBO run on all four Table II
+// scenario combinations.
+type Figure4Result struct {
+	Outcomes []ScenarioOutcome
+}
+
+var _ fmt.Stringer = (*Figure4Result)(nil)
+
+// RunFigure4 executes one HBO activation per scenario with the paper's
+// configuration (w = 2.5, 5 random seeds + 15 iterations).
+func RunFigure4(seed uint64) (*Figure4Result, error) {
+	res := &Figure4Result{}
+	for _, spec := range scenario.All() {
+		built, err := spec.Build(seed)
+		if err != nil {
+			return nil, err
+		}
+		act, err := core.RunActivation(built.Runtime, core.DefaultConfig(), sim.NewRNG(seed))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+		}
+		res.Outcomes = append(res.Outcomes, summarizeActivation(spec.Name, act))
+	}
+	return res, nil
+}
+
+// summarizeActivation converts an activation result into a scenario outcome.
+func summarizeActivation(name string, act *core.Result) ScenarioOutcome {
+	out := ScenarioOutcome{
+		Scenario:   name,
+		Assignment: make(map[string]tasks.Resource, len(act.Assignment)),
+		Ratio:      act.Ratio,
+		BestCost:   act.BestCostTrajectory(),
+		Quality:    act.Quality,
+		Epsilon:    act.Epsilon,
+	}
+	for id, r := range act.Assignment {
+		out.Assignment[id] = r
+		out.AllocationCounts[r]++
+	}
+	best := out.BestCost[len(out.BestCost)-1]
+	for i, v := range out.BestCost {
+		if v == best {
+			out.ConvergedAt = i + 1
+			break
+		}
+	}
+	return out
+}
+
+// String renders Fig. 4a (allocation counts), Fig. 4b (ratios), Table III
+// (per-task), and the Fig. 4c trajectories.
+func (r *Figure4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 4a: HBO task allocation counts per scenario\n")
+	rows := [][]string{{"Scenario", "CPU", "GPU", "NNAPI", "Ratio (Fig 4b)", "Converged@"}}
+	for _, o := range r.Outcomes {
+		rows = append(rows, []string{
+			o.Scenario,
+			fmt.Sprintf("%d", o.AllocationCounts[tasks.CPU]),
+			fmt.Sprintf("%d", o.AllocationCounts[tasks.GPU]),
+			fmt.Sprintf("%d", o.AllocationCounts[tasks.NNAPI]),
+			fmt.Sprintf("%.2f", o.Ratio),
+			fmt.Sprintf("%d", o.ConvergedAt),
+		})
+	}
+	b.WriteString(table(rows))
+
+	b.WriteString("\nTable III: per-task allocation and triangle ratio\n")
+	taskSet := map[string]struct{}{}
+	for _, o := range r.Outcomes {
+		for id := range o.Assignment {
+			taskSet[id] = struct{}{}
+		}
+	}
+	header := []string{"AI Model/Scenario"}
+	for _, o := range r.Outcomes {
+		header = append(header, o.Scenario)
+	}
+	t3 := [][]string{header}
+	for _, id := range sortedKeys(taskSet) {
+		row := []string{id}
+		for _, o := range r.Outcomes {
+			if res, ok := o.Assignment[id]; ok {
+				row = append(row, res.String())
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t3 = append(t3, row)
+	}
+	ratioRow := []string{"Triangle Count Ratio"}
+	for _, o := range r.Outcomes {
+		ratioRow = append(ratioRow, fmt.Sprintf("%.2f", o.Ratio))
+	}
+	t3 = append(t3, ratioRow)
+	b.WriteString(table(t3))
+
+	b.WriteString("\nFigure 4c: best cost through iterations\n")
+	for _, o := range r.Outcomes {
+		fmt.Fprintf(&b, "%-8s:", o.Scenario)
+		for _, v := range o.BestCost {
+			fmt.Fprintf(&b, " %6.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Outcome finds a scenario's outcome by name.
+func (r *Figure4Result) Outcome(name string) (ScenarioOutcome, error) {
+	for _, o := range r.Outcomes {
+		if o.Scenario == name {
+			return o, nil
+		}
+	}
+	return ScenarioOutcome{}, fmt.Errorf("experiments: no outcome for %s", name)
+}
+
+// CSV renders each scenario's best-cost trajectory as replottable rows.
+func (r *Figure4Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("iteration,series,value\n")
+	for _, o := range r.Outcomes {
+		for i, v := range o.BestCost {
+			fmt.Fprintf(&b, "%d,%s,%.6g\n", i+1, o.Scenario, v)
+		}
+	}
+	return b.String()
+}

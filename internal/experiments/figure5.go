@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/baselines"
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// ComparisonRow is one controller's outcome in the Fig. 5 / Table IV
+// comparison.
+type ComparisonRow struct {
+	Name       string
+	Assignment map[string]tasks.Resource
+	Ratio      float64
+	Quality    float64
+	Epsilon    float64
+	// LatencyRatio is ε relative to HBO's (the y-axis of Fig. 5c).
+	LatencyRatio float64
+	// PerTaskLatency supports the Fig. 6d style per-model breakdown.
+	PerTaskLatency map[string]float64
+}
+
+// Figure5Result covers Fig. 5a-c and Table IV on SC1-CF1.
+type Figure5Result struct {
+	HBO  ComparisonRow
+	Rows []ComparisonRow // SMQ, SML, BNT, AllN
+}
+
+var _ fmt.Stringer = (*Figure5Result)(nil)
+
+// RunFigure5 runs HBO on SC1-CF1, then each baseline on a fresh build of the
+// same scenario, deriving SMQ's ratio and SML's latency target from HBO's
+// solution as the paper does.
+func RunFigure5(seed uint64) (*Figure5Result, error) {
+	spec := scenario.SC1CF1()
+
+	hboBuilt, err := spec.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	act, err := core.RunActivation(hboBuilt.Runtime, core.DefaultConfig(), sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	// Re-measure HBO's enforced solution over the baselines' common window
+	// so all rows share a protocol.
+	m, err := hboBuilt.Runtime.Measure(5000)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure5Result{HBO: ComparisonRow{
+		Name:           "HBO",
+		Assignment:     act.Assignment,
+		Ratio:          act.Ratio,
+		Quality:        m.Quality,
+		Epsilon:        m.Epsilon,
+		LatencyRatio:   1,
+		PerTaskLatency: m.PerTaskLatency,
+	}}
+
+	controllers := []baselines.Controller{
+		baselines.SMQ{HBORatio: act.Ratio},
+		baselines.SML{HBOEpsilon: m.Epsilon, RMin: core.DefaultConfig().RMin},
+		baselines.BNT{Seed: seed},
+		baselines.AllN{},
+	}
+	for _, c := range controllers {
+		built, err := spec.Build(seed)
+		if err != nil {
+			return nil, err
+		}
+		o, err := c.Run(built.Runtime)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", c.Name(), err)
+		}
+		row := ComparisonRow{
+			Name:           o.Name,
+			Assignment:     o.Assignment,
+			Ratio:          o.Ratio,
+			Quality:        o.Quality,
+			Epsilon:        o.Epsilon,
+			PerTaskLatency: o.PerTaskLatency,
+		}
+		if m.Epsilon > 0 {
+			row.LatencyRatio = o.Epsilon / m.Epsilon
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Row finds a baseline row by name.
+func (r *Figure5Result) Row(name string) (ComparisonRow, error) {
+	if name == "HBO" {
+		return r.HBO, nil
+	}
+	for _, row := range r.Rows {
+		if row.Name == name {
+			return row, nil
+		}
+	}
+	return ComparisonRow{}, fmt.Errorf("experiments: no row %s", name)
+}
+
+// String renders Table IV plus the Fig. 5b/5c summary.
+func (r *Figure5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table IV: allocation and triangle ratio, HBO vs baselines (SC1-CF1)\n")
+	all := append([]ComparisonRow{r.HBO}, r.Rows...)
+	taskSet := map[string]struct{}{}
+	for _, row := range all {
+		for id := range row.Assignment {
+			taskSet[id] = struct{}{}
+		}
+	}
+	header := []string{"AI Model/Experiment"}
+	for _, row := range all {
+		header = append(header, row.Name)
+	}
+	t := [][]string{header}
+	for _, id := range sortedKeys(taskSet) {
+		line := []string{id}
+		for _, row := range all {
+			line = append(line, row.Assignment[id].String())
+		}
+		t = append(t, line)
+	}
+	ratio := []string{"Triangle Count Ratio"}
+	for _, row := range all {
+		ratio = append(ratio, fmt.Sprintf("%.2f", row.Ratio))
+	}
+	t = append(t, ratio)
+	b.WriteString(table(t))
+
+	b.WriteString("\nFigure 5b/5c: average quality and latency ratio\n")
+	s := [][]string{{"Controller", "Ratio", "Avg Quality", "Epsilon", "Latency vs HBO"}}
+	for _, row := range all {
+		s = append(s, []string{
+			row.Name,
+			fmt.Sprintf("%.2f", row.Ratio),
+			fmt.Sprintf("%.3f", row.Quality),
+			fmt.Sprintf("%.3f", row.Epsilon),
+			fmt.Sprintf("%.2fx", row.LatencyRatio),
+		})
+	}
+	b.WriteString(table(s))
+	return b.String()
+}

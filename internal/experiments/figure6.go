@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/baselines"
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// Figure6Result is the in-depth analysis of one SC1-CF1 activation:
+// exploration distances (6a), best-cost trajectory (6b), per-iteration
+// quality and latency (6c), and the per-model latency comparison against
+// SMQ at the same triangle ratio (6d).
+type Figure6Result struct {
+	// Distances between consecutive BO inputs (Fig. 6a).
+	Distances []float64
+	// BestCost through iterations (Fig. 6b).
+	BestCost []float64
+	// Quality and Epsilon per iteration (Fig. 6c).
+	Quality []float64
+	Epsilon []float64
+	// BestIndex marks the winning iteration (the red cross of Fig. 6c).
+	BestIndex int
+	// HBOLatency and SMQLatency map model/task to mean latency in ms at the
+	// same triangle ratio (Fig. 6d).
+	HBOLatency map[string]float64
+	SMQLatency map[string]float64
+	// Ratio is HBO's chosen triangle ratio.
+	Ratio float64
+}
+
+var _ fmt.Stringer = (*Figure6Result)(nil)
+
+// RunFigure6 performs one HBO activation on SC1-CF1 and the SMQ comparison
+// at HBO's triangle ratio.
+func RunFigure6(seed uint64) (*Figure6Result, error) {
+	spec := scenario.SC1CF1()
+	built, err := spec.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	act, err := core.RunActivation(built.Runtime, core.DefaultConfig(), sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	m, err := built.Runtime.Measure(5000)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure6Result{
+		Distances:  act.InputDistances(),
+		BestCost:   act.BestCostTrajectory(),
+		BestIndex:  act.BestIndex,
+		HBOLatency: m.PerTaskLatency,
+		Ratio:      act.Ratio,
+	}
+	for _, it := range act.Iterations {
+		res.Quality = append(res.Quality, it.Quality)
+		res.Epsilon = append(res.Epsilon, it.Epsilon)
+	}
+	smqBuilt, err := spec.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	smq, err := baselines.SMQ{HBORatio: act.Ratio}.Run(smqBuilt.Runtime)
+	if err != nil {
+		return nil, err
+	}
+	res.SMQLatency = smq.PerTaskLatency
+	return res, nil
+}
+
+// String renders the four panels as aligned numeric rows.
+func (r *Figure6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6a: Euclidean distance between consecutive BO inputs\n ")
+	for _, d := range r.Distances {
+		fmt.Fprintf(&b, " %5.2f", d)
+	}
+	b.WriteString("\n\nFigure 6b: best cost through iterations\n ")
+	for _, v := range r.BestCost {
+		fmt.Fprintf(&b, " %6.2f", v)
+	}
+	fmt.Fprintf(&b, "\n\nFigure 6c: quality and normalized latency per iteration (best = iteration %d)\n", r.BestIndex+1)
+	rows := [][]string{{"Iteration", "Avg Quality", "Avg Latency (eps)"}}
+	for i := range r.Quality {
+		marker := ""
+		if i == r.BestIndex {
+			marker = " *"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d%s", i+1, marker),
+			fmt.Sprintf("%.3f", r.Quality[i]),
+			fmt.Sprintf("%.3f", r.Epsilon[i]),
+		})
+	}
+	b.WriteString(table(rows))
+
+	fmt.Fprintf(&b, "\nFigure 6d: per-model latency (ms), HBO vs SMQ at ratio %.2f\n", r.Ratio)
+	rows = [][]string{{"Task", "HBO", "SMQ", "Improvement"}}
+	for _, id := range sortedKeys(r.HBOLatency) {
+		hbo := r.HBOLatency[id]
+		smq := r.SMQLatency[id]
+		imp := "-"
+		if hbo > 0 {
+			imp = fmt.Sprintf("%+.0f%%", (smq/hbo-1)*100)
+		}
+		rows = append(rows, []string{id, fmt.Sprintf("%.1f", hbo), fmt.Sprintf("%.1f", smq), imp})
+	}
+	b.WriteString(table(rows))
+	return b.String()
+}
+
+// CSV renders the per-iteration panels (6a-6c) as replottable rows.
+func (r *Figure6Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("iteration,series,value\n")
+	for i, d := range r.Distances {
+		fmt.Fprintf(&b, "%d,input-distance,%.6g\n", i+2, d)
+	}
+	for i := range r.BestCost {
+		fmt.Fprintf(&b, "%d,best-cost,%.6g\n", i+1, r.BestCost[i])
+		fmt.Fprintf(&b, "%d,quality,%.6g\n", i+1, r.Quality[i])
+		fmt.Fprintf(&b, "%d,epsilon,%.6g\n", i+1, r.Epsilon[i])
+	}
+	return b.String()
+}

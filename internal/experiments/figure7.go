@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// ConvergenceRun is one run's best-cost trajectory and final solution.
+type ConvergenceRun struct {
+	Run      int
+	BestCost []float64
+	Ratio    float64
+	// Proportions is the winning allocation-proportion vector (the paper
+	// quotes these for Fig. 7a's first and sixth runs).
+	Proportions []float64
+}
+
+// Figure7Result is the convergence-robustness study: six independent runs
+// of SC1-CF2 and SC2-CF2 from different random initializations.
+type Figure7Result struct {
+	// Runs maps scenario name to its six runs.
+	Runs map[string][]ConvergenceRun
+}
+
+var _ fmt.Stringer = (*Figure7Result)(nil)
+
+// FinalCosts returns the last best-cost value of each run for a scenario.
+func (r *Figure7Result) FinalCosts(scenarioName string) []float64 {
+	var out []float64
+	for _, run := range r.Runs[scenarioName] {
+		out = append(out, run.BestCost[len(run.BestCost)-1])
+	}
+	return out
+}
+
+// RunFigure7 executes six activations per scenario, varying the seed to
+// change the five random initialization points, as the paper's robustness
+// study does.
+func RunFigure7(seed uint64) (*Figure7Result, error) {
+	res := &Figure7Result{Runs: make(map[string][]ConvergenceRun)}
+	for _, spec := range []scenario.Spec{scenario.SC1CF2(), scenario.SC2CF2()} {
+		for run := 1; run <= 6; run++ {
+			runSeed := seed + uint64(run)*1000
+			built, err := spec.Build(runSeed)
+			if err != nil {
+				return nil, err
+			}
+			act, err := core.RunActivation(built.Runtime, core.DefaultConfig(), sim.NewRNG(runSeed))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s run %d: %w", spec.Name, run, err)
+			}
+			res.Runs[spec.Name] = append(res.Runs[spec.Name], ConvergenceRun{
+				Run:         run,
+				BestCost:    act.BestCostTrajectory(),
+				Ratio:       act.Ratio,
+				Proportions: act.Point[:len(act.Point)-1],
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders per-run trajectories and final solutions.
+func (r *Figure7Result) String() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(r.Runs) {
+		fmt.Fprintf(&b, "Figure 7: best-cost convergence, %s (6 runs)\n", name)
+		for _, run := range r.Runs[name] {
+			fmt.Fprintf(&b, " run %d (ratio %.2f, c = %v):", run.Run, run.Ratio, formatVec(run.Proportions))
+			for _, v := range run.BestCost {
+				fmt.Fprintf(&b, " %6.2f", v)
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatVec(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.2f", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// CSV renders every run's best-cost trajectory as replottable rows.
+func (r *Figure7Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("iteration,series,value\n")
+	for _, name := range sortedKeys(r.Runs) {
+		for _, run := range r.Runs[name] {
+			for i, v := range run.BestCost {
+				fmt.Fprintf(&b, "%d,%s-run%d,%.6g\n", i+1, name, run.Run, v)
+			}
+		}
+	}
+	return b.String()
+}

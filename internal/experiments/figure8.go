@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/render"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// SessionTrace is one activation-policy run over the scripted Fig. 8
+// timeline.
+type SessionTrace struct {
+	Policy      string
+	Samples     []core.RewardSample
+	Activations []core.ActivationMark
+	ObjectAdds  []Mark
+}
+
+// Figure8Result compares the paper's event-based activation policy (8a)
+// against periodic re-optimization (8b) on the same scripted session: ten
+// object additions (the last one heavy) followed by a user-distance change.
+type Figure8Result struct {
+	Event    SessionTrace
+	Periodic SessionTrace
+}
+
+var _ fmt.Stringer = (*Figure8Result)(nil)
+
+// fig8Catalog is the union catalog for the scripted session: lightweight
+// SC2 assets for the first placements, heavy SC1 assets for the additions
+// that push the renderer past its frame budget (the paper's 10th object has
+// ~150k triangles and triggers an activation).
+func fig8Catalog() []render.ObjectCount {
+	return append(render.SC2(), render.SC1()...)
+}
+
+// fig8Schedule is the placement script: (time s, object, instance).
+type fig8Placement struct {
+	atS      float64
+	object   string
+	instance int
+}
+
+func fig8Schedule() []fig8Placement {
+	return []fig8Placement{
+		{0, "cabin", 1},
+		{30, "apricot", 1},
+		{60, "Cocacola", 1},
+		{90, "Cocacola", 2},
+		{120, "plane", 1},
+		{150, "plane", 2},
+		{180, "plane", 3},
+		{210, "plane", 4},  // renderer approaches its frame budget
+		{240, "splane", 1}, // 9th: crosses the knee (paper: 9th triggers)
+		{255, "bike", 1},   // 10th: heaviest asset (paper's heavy add)
+	}
+}
+
+const (
+	fig8DistanceChangeS = 320
+	fig8EndS            = 420
+	fig8FarDistance     = 4.0
+)
+
+// fig8HBOConfig shortens the per-iteration control period so an activation
+// fits the session timeline, as in the paper's figure.
+func fig8HBOConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.PeriodMS = 1500
+	cfg.SettleMS = 400
+	return cfg
+}
+
+// RunFigure8 runs the scripted session under both activation policies.
+func RunFigure8(seed uint64) (*Figure8Result, error) {
+	event, err := runFig8Session(seed, core.SessionConfig{
+		HBO:  fig8HBOConfig(),
+		Mode: core.EventBased,
+	}, "event-based")
+	if err != nil {
+		return nil, err
+	}
+	periodic, err := runFig8Session(seed, core.SessionConfig{
+		HBO:                fig8HBOConfig(),
+		Mode:               core.Periodic,
+		PeriodicIntervalMS: 55000,
+	}, "periodic")
+	if err != nil {
+		return nil, err
+	}
+	return &Figure8Result{Event: *event, Periodic: *periodic}, nil
+}
+
+func runFig8Session(seed uint64, cfg core.SessionConfig, policy string) (*SessionTrace, error) {
+	lib, err := render.LibraryFor(fig8Catalog(), seed)
+	if err != nil {
+		return nil, err
+	}
+	spec := scenario.Spec{
+		Name:       "Fig8",
+		Device:     soc.Pixel7,
+		Taskset:    tasks.CF1(),
+		Distance:   1.5,
+		StartEmpty: true,
+	}
+	// Build by hand: the union catalog is not one of the Table II sets.
+	prof, err := soc.ProfileTaskset(spec.Device(), spec.Taskset, seed)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(seed)
+	sys := soc.NewSystem(eng, spec.Device(), soc.DefaultConfig())
+	scene := render.NewScene(lib)
+	rt, err := core.NewRuntime(sys, scene, prof, spec.Taskset)
+	if err != nil {
+		return nil, err
+	}
+	session, err := core.NewSession(rt, cfg, sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+
+	tr := &SessionTrace{Policy: policy}
+	schedule := fig8Schedule()
+	next := 0
+	distanceChanged := false
+	for sys.Now() < fig8EndS*1000 {
+		nowS := sys.Now() / 1000
+		for next < len(schedule) && schedule[next].atS <= nowS {
+			p := schedule[next]
+			if _, err := scene.Place(p.object, p.instance, spec.Distance); err != nil {
+				return nil, err
+			}
+			rt.SyncRenderLoad()
+			tr.ObjectAdds = append(tr.ObjectAdds, Mark{TimeS: nowS, Label: fmt.Sprintf("O%d", next+1)})
+			next++
+		}
+		if !distanceChanged && nowS >= fig8DistanceChangeS {
+			for _, o := range scene.Objects() {
+				o.Distance = fig8FarDistance
+			}
+			rt.SyncRenderLoad()
+			tr.ObjectAdds = append(tr.ObjectAdds, Mark{TimeS: nowS, Label: "D"})
+			distanceChanged = true
+		}
+		if err := session.Step(); err != nil {
+			return nil, err
+		}
+	}
+	tr.Samples = session.Samples()
+	tr.Activations = session.Activations()
+	return tr, nil
+}
+
+// String summarizes both traces: activation times and counts, plus the
+// reward timeline.
+func (r *Figure8Result) String() string {
+	var b strings.Builder
+	for _, tr := range []SessionTrace{r.Event, r.Periodic} {
+		fmt.Fprintf(&b, "Figure 8 (%s): %d activations\n", tr.Policy, len(tr.Activations))
+		b.WriteString("  object adds: ")
+		for i, m := range tr.ObjectAdds {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s@%.0fs", m.Label, m.TimeS)
+		}
+		b.WriteString("\n  activations: ")
+		for i, a := range tr.Activations {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%.0fs", a.TimeMS/1000)
+		}
+		b.WriteString("\n  reward samples (every ~10th): ")
+		for i, s := range tr.Samples {
+			if i%10 != 0 {
+				continue
+			}
+			mark := ""
+			if s.InActivation {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "%.0fs:%.2f%s ", s.TimeMS/1000, s.Reward, mark)
+		}
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}
+
+// CSV renders both policies' reward timelines and activation marks as
+// replottable rows.
+func (r *Figure8Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("time_ms,series,value\n")
+	for _, tr := range []SessionTrace{r.Event, r.Periodic} {
+		for _, s := range tr.Samples {
+			kind := "reward"
+			if s.InActivation {
+				kind = "reward-exploring"
+			}
+			fmt.Fprintf(&b, "%.1f,%s:%s,%.6g\n", s.TimeMS, tr.Policy, kind, s.Reward)
+		}
+		for _, a := range tr.Activations {
+			fmt.Fprintf(&b, "%.1f,%s:activation,0\n", a.TimeMS, tr.Policy)
+		}
+		for _, m := range tr.ObjectAdds {
+			fmt.Fprintf(&b, "%.1f,%s:mark:%s,0\n", m.TimeS*1000, tr.Policy, m.Label)
+		}
+	}
+	return b.String()
+}

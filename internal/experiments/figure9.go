@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/baselines"
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/render"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+	"github.com/mar-hbo/hbo/internal/userstudy"
+)
+
+// StudyCondition is one rated condition of the user study.
+type StudyCondition struct {
+	Controller string
+	Distance   string // "close" or "far"
+	Ratio      float64
+	// TrueQuality is the ground-truth scene quality the raters perceive.
+	TrueQuality float64
+	// MeanScore is the panel's 1-5 mean opinion score.
+	MeanScore float64
+	// Scores are the individual rater scores.
+	Scores []float64
+}
+
+// Figure9Result is the simulated §V-E user study: HBO vs SML (matched AI
+// latency) rated by a panel at close and far distances against a
+// max-quality reference.
+type Figure9Result struct {
+	PanelSize  int
+	Conditions []StudyCondition
+}
+
+var _ fmt.Stringer = (*Figure9Result)(nil)
+
+// fig9Catalog mixes heavy and lightweight objects as the paper's study does.
+func fig9Catalog() []render.ObjectCount {
+	return []render.ObjectCount{
+		{Spec: render.SC2()[0].Spec, Count: 1}, // cabin
+		{Spec: render.SC2()[1].Spec, Count: 2}, // andy x2
+		{Spec: render.SC1()[0].Spec, Count: 1}, // apricot (86k)
+		{Spec: render.SC1()[3].Spec, Count: 1}, // splane (147k)
+		{Spec: render.SC1()[4].Spec, Count: 1}, // Cocacola (94k)
+	}
+}
+
+// RunFigure9 evaluates HBO and SML at close (1 m) and far (4 m) distances
+// and collects panel scores.
+func RunFigure9(seed uint64) (*Figure9Result, error) {
+	panel, err := userstudy.NewPanel(7, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure9Result{PanelSize: panel.Size()}
+	for _, dist := range []struct {
+		label string
+		m     float64
+	}{{"close", 1.0}, {"far", 4.0}} {
+		spec := scenario.Spec{
+			Name:     "Fig9-" + dist.label,
+			Device:   soc.Pixel7,
+			Objects:  fig9Catalog(),
+			Taskset:  tasks.CF1(),
+			Distance: dist.m,
+		}
+		// HBO condition.
+		built, err := spec.Build(seed)
+		if err != nil {
+			return nil, err
+		}
+		act, err := core.RunActivation(built.Runtime, core.DefaultConfig(), sim.NewRNG(seed))
+		if err != nil {
+			return nil, err
+		}
+		trueQ := built.Scene.TrueAverageQuality()
+		scores := panel.Scores(trueQ)
+		res.Conditions = append(res.Conditions, StudyCondition{
+			Controller:  "HBO",
+			Distance:    dist.label,
+			Ratio:       act.Ratio,
+			TrueQuality: trueQ,
+			MeanScore:   mean(scores),
+			Scores:      scores,
+		})
+		// SML condition: match HBO's AI latency with the static allocation.
+		smlBuilt, err := spec.Build(seed)
+		if err != nil {
+			return nil, err
+		}
+		sml, err := baselines.SML{HBOEpsilon: act.Epsilon, RMin: core.DefaultConfig().RMin}.Run(smlBuilt.Runtime)
+		if err != nil {
+			return nil, err
+		}
+		smlQ := smlBuilt.Scene.TrueAverageQuality()
+		smlScores := panel.Scores(smlQ)
+		res.Conditions = append(res.Conditions, StudyCondition{
+			Controller:  "SML",
+			Distance:    dist.label,
+			Ratio:       sml.Ratio,
+			TrueQuality: smlQ,
+			MeanScore:   mean(smlScores),
+			Scores:      smlScores,
+		})
+	}
+	return res, nil
+}
+
+func mean(v []float64) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+// Condition finds a study condition.
+func (r *Figure9Result) Condition(controller, distance string) (StudyCondition, error) {
+	for _, c := range r.Conditions {
+		if c.Controller == controller && c.Distance == distance {
+			return c, nil
+		}
+	}
+	return StudyCondition{}, fmt.Errorf("experiments: no condition %s/%s", controller, distance)
+}
+
+// String renders the study table (the bars of Fig. 9a).
+func (r *Figure9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: user study, %d raters, 1-5 scale vs max-quality reference\n", r.PanelSize)
+	rows := [][]string{{"Condition", "Triangle Ratio", "True Quality", "Mean Score"}}
+	for _, c := range r.Conditions {
+		rows = append(rows, []string{
+			fmt.Sprintf("%s (%s)", c.Controller, c.Distance),
+			fmt.Sprintf("%.2f", c.Ratio),
+			fmt.Sprintf("%.3f", c.TrueQuality),
+			fmt.Sprintf("%.1f", c.MeanScore),
+		})
+	}
+	b.WriteString(table(rows))
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/alloc"
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// HeuristicRow is one proportion vector's outcome under both translation
+// policies.
+type HeuristicRow struct {
+	Proportions []float64
+	// PQEpsilon is ε under Algorithm 1's priority-queue assignment.
+	PQEpsilon float64
+	// RandomEpsilon is the mean ε over random assignments honoring the same
+	// per-resource counts.
+	RandomEpsilon float64
+}
+
+// HeuristicStudyResult ablates the greedy priority-queue step of Algorithm 1
+// (lines 13–22): given the same per-resource counts from the same BO output,
+// does assigning lowest-latency pairs first actually beat a random
+// assignment honoring the counts? This isolates the heuristic's contribution
+// from the Bayesian search's.
+type HeuristicStudyResult struct {
+	Rows []HeuristicRow
+	// RandomTrials is the number of random assignments averaged per row.
+	RandomTrials int
+}
+
+var _ fmt.Stringer = (*HeuristicStudyResult)(nil)
+
+// RunHeuristicStudy compares the two policies on SC1-CF1 across several BO
+// proportion vectors at the paper's triangle ratio.
+func RunHeuristicStudy(seed uint64) (*HeuristicStudyResult, error) {
+	const trials = 4
+	res := &HeuristicStudyResult{RandomTrials: trials}
+	vectors := [][]float64{
+		{0.5, 0.0, 0.5},
+		{0.34, 0.33, 0.33},
+		{0.17, 0.17, 0.66},
+		{0.0, 0.5, 0.5},
+	}
+	for _, c := range vectors {
+		row := HeuristicRow{Proportions: c}
+		// Priority-queue assignment.
+		eps, err := measureAssignmentPolicy(seed, c, nil)
+		if err != nil {
+			return nil, err
+		}
+		row.PQEpsilon = eps
+		// Random assignments honoring the same counts.
+		sum := 0.0
+		for trial := 0; trial < trials; trial++ {
+			rng := sim.NewRNG(seed + uint64(trial)*131)
+			eps, err := measureAssignmentPolicy(seed, c, rng)
+			if err != nil {
+				return nil, err
+			}
+			sum += eps
+		}
+		row.RandomEpsilon = sum / trials
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// measureAssignmentPolicy builds a fresh SC1-CF1 system, assigns tasks from
+// the proportion vector — via Algorithm 1 when rng is nil, else via a random
+// counts-honoring shuffle — and measures ε at ratio 0.72.
+func measureAssignmentPolicy(seed uint64, c []float64, rng *sim.RNG) (float64, error) {
+	built, err := scenario.SC1CF1().Build(seed)
+	if err != nil {
+		return 0, err
+	}
+	rt := built.Runtime
+	ids := rt.TaskIDs()
+	counts, err := alloc.Counts(c, len(ids))
+	if err != nil {
+		return 0, err
+	}
+	var assignment alloc.Assignment
+	if rng == nil {
+		assignment, err = alloc.Assign(counts, rt.Profile, ids)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		assignment, err = randomAssignment(counts, rt, ids, rng)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if err := rt.ApplyAllocation(assignment); err != nil {
+		return 0, err
+	}
+	if err := alloc.DistributeTriangles(rt.Scene.Objects(), 0.72); err != nil {
+		return 0, err
+	}
+	rt.SyncRenderLoad()
+	rt.Sys.RunFor(800)
+	m, err := rt.Measure(4000)
+	if err != nil {
+		return 0, err
+	}
+	return m.Epsilon, nil
+}
+
+// randomAssignment shuffles tasks onto resources honoring the counts and
+// each model's delegate compatibility (incompatible draws fall back to a
+// supported resource with remaining capacity, like Assign's repair pass).
+func randomAssignment(counts []int, rt *core.Runtime, ids []string, rng *sim.RNG) (alloc.Assignment, error) {
+	remaining := append([]int(nil), counts...)
+	dev := rt.Sys.Device()
+	out := make(alloc.Assignment, len(ids))
+	// Visit tasks in random order.
+	order := append([]string(nil), ids...)
+	for i := len(order) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	for _, id := range order {
+		mp, err := dev.Model(modelOf(id))
+		if err != nil {
+			return nil, err
+		}
+		// Collect feasible resources (capacity left + supported).
+		var feasible []tasks.Resource
+		for _, r := range tasks.Resources() {
+			if remaining[r] > 0 && mp.Supported(r) {
+				feasible = append(feasible, r)
+			}
+		}
+		if len(feasible) == 0 {
+			// Repair: any supported resource.
+			for _, r := range tasks.Resources() {
+				if mp.Supported(r) {
+					feasible = append(feasible, r)
+				}
+			}
+		}
+		r := feasible[rng.Intn(len(feasible))]
+		out[id] = r
+		if remaining[r] > 0 {
+			remaining[r]--
+		}
+	}
+	return out, nil
+}
+
+// String renders the ablation table.
+func (r *HeuristicStudyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Allocation-heuristic ablation (Algorithm 1 lines 13-22 vs random, %d trials)\n", r.RandomTrials)
+	rows := [][]string{{"Proportions c", "PQ eps", "Random eps", "PQ advantage"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			formatVec(row.Proportions),
+			fmt.Sprintf("%.3f", row.PQEpsilon),
+			fmt.Sprintf("%.3f", row.RandomEpsilon),
+			fmt.Sprintf("%+.0f%%", (row.RandomEpsilon/row.PQEpsilon-1)*100),
+		})
+	}
+	b.WriteString(table(rows))
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/alloc"
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// OracleConfig is one exhaustively evaluated configuration.
+type OracleConfig struct {
+	Assignment alloc.Assignment
+	Ratio      float64
+	Cost       float64
+	Quality    float64
+	Epsilon    float64
+}
+
+// OptimalityResult quantifies the paper's "near-optimal" claim on a
+// tractable instance: SC2-CF2 has M = 3 tasks over N = 3 resources, so the
+// joint space (27 allocations × a ratio grid) can be brute-forced and HBO's
+// converged cost compared against the true optimum.
+type OptimalityResult struct {
+	// Oracle is the best configuration found by exhaustive search.
+	Oracle OracleConfig
+	// Evaluated is the number of configurations the oracle measured.
+	Evaluated int
+	// HBO is the activation's converged cost on an identical twin system.
+	HBO OracleConfig
+	// GapPercent is (HBO reward − oracle reward) relative to the oracle's
+	// reward magnitude; zero means HBO matched the optimum.
+	GapPercent float64
+	// HBOEvaluations is the number of configurations HBO measured (its
+	// sample efficiency against Evaluated).
+	HBOEvaluations int
+}
+
+var _ fmt.Stringer = (*OptimalityResult)(nil)
+
+// ratioGrid is the oracle's triangle-ratio discretization.
+var ratioGrid = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// RunOptimalityStudy brute-forces SC2-CF2 and runs HBO on an identical twin.
+func RunOptimalityStudy(seed uint64) (*OptimalityResult, error) {
+	spec := scenario.SC2CF2()
+	cfg := core.DefaultConfig()
+
+	// Enumerate every per-task allocation (skipping unsupported ones) at
+	// every grid ratio, each measured on a fresh twin so history does not
+	// leak between configurations.
+	built, err := spec.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	ids := built.Runtime.TaskIDs()
+	m := len(ids)
+	dev := built.System.Device()
+
+	res := &OptimalityResult{Oracle: OracleConfig{Cost: math.Inf(1)}}
+	total := 1
+	for i := 0; i < m; i++ {
+		total *= tasks.NumResources
+	}
+	for enc := 0; enc < total; enc++ {
+		assignment := make(alloc.Assignment, m)
+		code := enc
+		supported := true
+		for _, id := range ids {
+			r := tasks.Resource(code % tasks.NumResources)
+			code /= tasks.NumResources
+			mp, err := dev.Model(modelOf(id))
+			if err != nil {
+				return nil, err
+			}
+			if !mp.Supported(r) {
+				supported = false
+				break
+			}
+			assignment[id] = r
+		}
+		if !supported {
+			continue
+		}
+		for _, x := range ratioGrid {
+			twin, err := spec.Build(seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := twin.Runtime.ApplyAllocation(assignment); err != nil {
+				return nil, err
+			}
+			if err := alloc.DistributeTriangles(twin.Scene.Objects(), x); err != nil {
+				return nil, err
+			}
+			twin.Runtime.SyncRenderLoad()
+			twin.System.RunFor(500)
+			meas, err := twin.Runtime.Measure(cfg.PeriodMS)
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluated++
+			if cost := meas.Cost(cfg.Weight); cost < res.Oracle.Cost {
+				res.Oracle = OracleConfig{
+					Assignment: cloneAssignment(assignment),
+					Ratio:      x,
+					Cost:       cost,
+					Quality:    meas.Quality,
+					Epsilon:    meas.Epsilon,
+				}
+			}
+		}
+	}
+
+	// HBO on an identical twin.
+	twin, err := spec.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	act, err := core.RunActivation(twin.Runtime, cfg, sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	res.HBO = OracleConfig{
+		Assignment: act.Assignment,
+		Ratio:      act.Ratio,
+		Cost:       act.Cost,
+		Quality:    act.Quality,
+		Epsilon:    act.Epsilon,
+	}
+	res.HBOEvaluations = len(act.Iterations)
+	oracleReward := -res.Oracle.Cost
+	hboReward := -res.HBO.Cost
+	scale := math.Abs(oracleReward)
+	if scale < 0.1 {
+		scale = 0.1
+	}
+	res.GapPercent = (oracleReward - hboReward) / scale * 100
+	return res, nil
+}
+
+func modelOf(id string) string {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '_' {
+			return id[:i]
+		}
+	}
+	return id
+}
+
+func cloneAssignment(a alloc.Assignment) alloc.Assignment {
+	out := make(alloc.Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the oracle comparison.
+func (r *OptimalityResult) String() string {
+	var b strings.Builder
+	b.WriteString("Optimality study: exhaustive oracle vs HBO on SC2-CF2\n")
+	fmt.Fprintf(&b, "oracle searched %d configurations; HBO measured %d\n\n", r.Evaluated, r.HBOEvaluations)
+	rows := [][]string{{"", "Ratio", "Cost", "Quality", "Epsilon"}}
+	rows = append(rows, []string{"Oracle", fmt.Sprintf("%.2f", r.Oracle.Ratio),
+		fmt.Sprintf("%.3f", r.Oracle.Cost), fmt.Sprintf("%.3f", r.Oracle.Quality), fmt.Sprintf("%.3f", r.Oracle.Epsilon)})
+	rows = append(rows, []string{"HBO", fmt.Sprintf("%.2f", r.HBO.Ratio),
+		fmt.Sprintf("%.3f", r.HBO.Cost), fmt.Sprintf("%.3f", r.HBO.Quality), fmt.Sprintf("%.3f", r.HBO.Epsilon)})
+	b.WriteString(table(rows))
+	fmt.Fprintf(&b, "\nreward gap to optimum: %.1f%% (lower is better)\n", r.GapPercent)
+	for _, id := range sortedKeys(r.Oracle.Assignment) {
+		fmt.Fprintf(&b, "  %-22s oracle %-6s hbo %-6s\n", id, r.Oracle.Assignment[id], r.HBO.Assignment[id])
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/render"
+)
+
+// FitRow is one object's training-fidelity record.
+type FitRow struct {
+	Object string
+	// Severity and Gamma are the ground-truth law parameters derived from
+	// the object's real geometry.
+	Severity float64
+	Gamma    float64
+	// RMSE is the root-mean-square error between the fitted Eq. 1 model and
+	// the ground truth over the operating grid.
+	RMSE float64
+	// WorstAbs is the largest absolute model error on the grid.
+	WorstAbs float64
+}
+
+// QualityFitResult validates the offline training pipeline the paper
+// inherits from eAR: for every Table II asset, how closely does the fitted
+// quadratic of Eq. 1 track the geometry-derived ground-truth degradation?
+// The residual here is a noise floor every HBO decision inherits.
+type QualityFitResult struct {
+	Rows []FitRow
+}
+
+var _ fmt.Stringer = (*QualityFitResult)(nil)
+
+// RunQualityFit trains the full Table II catalog and measures fit fidelity
+// on a ratio × distance grid.
+func RunQualityFit(seed uint64) (*QualityFitResult, error) {
+	catalog := append(render.SC1(), render.SC2()...)
+	lib, err := render.LibraryFor(catalog, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &QualityFitResult{}
+	ratios := []float64{0.15, 0.3, 0.45, 0.6, 0.75, 0.9, 1.0}
+	dists := []float64{0.7, 1, 1.5, 2.5, 4}
+	for _, c := range catalog {
+		truth, err := lib.Truth(c.Spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		params, err := lib.Params(c.Spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		var sumSq, worst float64
+		n := 0
+		for _, r := range ratios {
+			for _, d := range dists {
+				diff := math.Abs(params.Error(r, d) - truth.Error(r, d))
+				sumSq += diff * diff
+				if diff > worst {
+					worst = diff
+				}
+				n++
+			}
+		}
+		res.Rows = append(res.Rows, FitRow{
+			Object:   c.Spec.Name,
+			Severity: truth.Severity,
+			Gamma:    truth.Gamma,
+			RMSE:     math.Sqrt(sumSq / float64(n)),
+			WorstAbs: worst,
+		})
+	}
+	return res, nil
+}
+
+// String renders the per-object fit table.
+func (r *QualityFitResult) String() string {
+	var b strings.Builder
+	b.WriteString("Quality-model training fidelity (Eq. 1 fit vs geometry-derived truth)\n")
+	rows := [][]string{{"Object", "Severity", "Gamma", "RMSE", "Worst |err|"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Object,
+			fmt.Sprintf("%.2f", row.Severity),
+			fmt.Sprintf("%.2f", row.Gamma),
+			fmt.Sprintf("%.3f", row.RMSE),
+			fmt.Sprintf("%.3f", row.WorstAbs),
+		})
+	}
+	b.WriteString(table(rows))
+	return b.String()
+}

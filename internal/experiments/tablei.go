@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// TableIResult holds the regenerated Table I: per-device isolation response
+// times of every registry model on GPU, NNAPI and CPU.
+type TableIResult struct {
+	// Rows maps device name -> model name -> latency vector.
+	Rows map[string]map[string][tasks.NumResources]float64
+}
+
+var _ fmt.Stringer = (*TableIResult)(nil)
+
+// RunTableI profiles every model in isolation on both calibrated devices,
+// reproducing the measurement protocol behind the paper's Table I.
+func RunTableI(seed uint64) (*TableIResult, error) {
+	res := &TableIResult{Rows: make(map[string]map[string][tasks.NumResources]float64)}
+	for _, dev := range soc.Devices() {
+		rows, err := soc.TableI(dev, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows[dev.Name] = rows
+	}
+	return res, nil
+}
+
+// String renders the table in the paper's layout: one row per model, (GPU,
+// NNAPI, CPU) columns per device, NA for unsupported delegates.
+func (r *TableIResult) String() string {
+	var b strings.Builder
+	b.WriteString("Table I: isolation response time (ms) per model and resource\n")
+	header := []string{"AI Model", "Task"}
+	var devices []string
+	for _, dev := range soc.Devices() {
+		if _, ok := r.Rows[dev.Name]; ok {
+			devices = append(devices, dev.Name)
+			header = append(header, dev.Name+" GPU", "NNAPI", "CPU")
+		}
+	}
+	rows := [][]string{header}
+	for _, m := range tasks.All() {
+		row := []string{m.Name, m.Kind.String()}
+		for _, dev := range devices {
+			lat := r.Rows[dev][m.Name]
+			for _, res := range []tasks.Resource{tasks.GPU, tasks.NNAPI, tasks.CPU} {
+				if math.IsNaN(lat[res]) {
+					row = append(row, "NA")
+				} else {
+					row = append(row, fmt.Sprintf("%.1f", lat[res]))
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(table(rows))
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/alloc"
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+	"github.com/mar-hbo/hbo/internal/trace"
+)
+
+// ThermalSample is one point of the thermal timeline.
+type ThermalSample struct {
+	TimeS        float64
+	TemperatureC float64
+	Epsilon      float64
+}
+
+// ThermalTrace is one configuration's five-minute thermal run.
+type ThermalTrace struct {
+	Name    string
+	Samples []ThermalSample
+}
+
+// Final returns the last sample.
+func (t ThermalTrace) Final() ThermalSample {
+	if len(t.Samples) == 0 {
+		return ThermalSample{}
+	}
+	return t.Samples[len(t.Samples)-1]
+}
+
+// ThermalStudyResult is the opt-in thermal extension: with die temperature
+// and throttling modeled, configurations that run the SoC hot degrade over
+// minutes — a second-order argument for HBO's load shedding that the
+// paper's minutes-long runs flirt with but do not isolate.
+type ThermalStudyResult struct {
+	Traces []ThermalTrace
+}
+
+var _ fmt.Stringer = (*ThermalStudyResult)(nil)
+
+// RunThermalStudy runs HBO's Table IV configuration and AllN for five
+// simulated minutes each with the thermal model enabled, sampling every ten
+// seconds.
+func RunThermalStudy(seed uint64) (*ThermalStudyResult, error) {
+	configs := []struct {
+		name  string
+		alloc func(rt *core.Runtime) alloc.Assignment
+		ratio float64
+	}{
+		{"HBO-config", func(rt *core.Runtime) alloc.Assignment {
+			return alloc.Assignment{
+				"mobilenetDetv1": tasks.NNAPI, "efficientclass-lite0": tasks.NNAPI, "mobilenetv1": tasks.NNAPI,
+				"mnist": tasks.CPU, "model-metadata": tasks.CPU, "model-metadata_2": tasks.CPU,
+			}
+		}, 0.72},
+		{"AllN", func(rt *core.Runtime) alloc.Assignment {
+			a := make(alloc.Assignment)
+			for _, task := range rt.Taskset.Tasks {
+				a[task.ID()] = tasks.NNAPI
+			}
+			return a
+		}, 1.0},
+	}
+	res := &ThermalStudyResult{}
+	for _, cfg := range configs {
+		built, err := scenario.SC1CF1().Build(seed)
+		if err != nil {
+			return nil, err
+		}
+		built.System.SetThermal(soc.DefaultThermal())
+		rt := built.Runtime
+		if err := rt.ApplyAllocation(cfg.alloc(rt)); err != nil {
+			return nil, err
+		}
+		if err := alloc.DistributeTriangles(rt.Scene.Objects(), cfg.ratio); err != nil {
+			return nil, err
+		}
+		rt.SyncRenderLoad()
+		tr := ThermalTrace{Name: cfg.name}
+		for step := 0; step < 30; step++ { // 30 × 10 s = 5 minutes
+			m, err := rt.Measure(10000)
+			if err != nil {
+				return nil, err
+			}
+			tr.Samples = append(tr.Samples, ThermalSample{
+				TimeS:        rt.Sys.Now() / 1000,
+				TemperatureC: rt.Sys.Temperature(),
+				Epsilon:      m.Epsilon,
+			})
+		}
+		res.Traces = append(res.Traces, tr)
+	}
+	return res, nil
+}
+
+// Trace finds a configuration's trace.
+func (r *ThermalStudyResult) Trace(name string) (ThermalTrace, error) {
+	for _, t := range r.Traces {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return ThermalTrace{}, fmt.Errorf("experiments: no thermal trace %s", name)
+}
+
+// String renders temperature timelines and the end state.
+func (r *ThermalStudyResult) String() string {
+	var b strings.Builder
+	b.WriteString("Thermal extension: 5 minutes of sustained SC1-CF1 load (thermal model on)\n\n")
+	for _, tr := range r.Traces {
+		var temp trace.Series
+		temp.Name = tr.Name + " temperature (C)"
+		for _, s := range tr.Samples {
+			_ = temp.Add(s.TimeS*1000, s.TemperatureC)
+		}
+		b.WriteString(trace.ASCIIChart(&temp, 60, 6))
+		f := tr.Final()
+		fmt.Fprintf(&b, "  final: %.1f C, eps %.2f\n\n", f.TemperatureC, f.Epsilon)
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// VertexClustering simplifies the mesh to at most target triangles by
+// snapping vertices to a uniform grid and collapsing each occupied cell to
+// its centroid — the classic fast-but-coarse alternative to quadric edge
+// collapse. The edge server can use it as a low-latency path when a client
+// needs a decimated version faster than QEM can produce one; the tests
+// quantify the quality gap between the two.
+func VertexClustering(m *Mesh, target int) (*Mesh, error) {
+	if target < 1 {
+		return nil, fmt.Errorf("mesh: clustering target %d must be >= 1", target)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if target >= m.TriangleCount() {
+		return m.Clone().Compact(), nil
+	}
+	// Binary search the largest grid resolution whose result still fits the
+	// target, starting from a geometric guess (cells scale with the square
+	// of resolution for surfaces) to keep the search window tight.
+	guess := int(math.Sqrt(float64(target) / 2))
+	if guess < 1 {
+		guess = 1
+	}
+	lo, hi := 1, 256
+	if g := guess * 4; g < hi {
+		// Verify the reduced window still brackets the answer.
+		if clusteredCount(m, g) > target {
+			hi = g
+		}
+	}
+	best := 1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if n := clusteredCount(m, mid); n <= target {
+			best = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	out := clusterAt(m, best)
+	return out, nil
+}
+
+// cellKey packs a grid cell's (x, y, z) into one integer: 21 bits per axis
+// comfortably covers the 256-cell maximum resolution and keeps the hot maps
+// integer-keyed.
+type cellKey int64
+
+// cellOf maps a vertex into the grid.
+func cellOf(v, lo Vec3, inv float64) cellKey {
+	x := int64(math.Floor((v.X - lo.X) * inv))
+	y := int64(math.Floor((v.Y - lo.Y) * inv))
+	z := int64(math.Floor((v.Z - lo.Z) * inv))
+	return cellKey(x | y<<21 | z<<42)
+}
+
+// gridParams computes the cell size inverse for a resolution.
+func gridParams(m *Mesh, resolution int) (Vec3, float64) {
+	lo, hi := m.Bounds()
+	extent := math.Max(hi.X-lo.X, math.Max(hi.Y-lo.Y, hi.Z-lo.Z))
+	if extent <= 0 {
+		extent = 1
+	}
+	return lo, float64(resolution) / (extent * 1.0000001)
+}
+
+// clusteredCount returns the surviving triangle count at a resolution
+// without building the mesh.
+func clusteredCount(m *Mesh, resolution int) int {
+	lo, inv := gridParams(m, resolution)
+	cellOfVert := make([]cellKey, len(m.Vertices))
+	for i, v := range m.Vertices {
+		cellOfVert[i] = cellOf(v, lo, inv)
+	}
+	seen := make(map[[3]cellKey]struct{}, len(m.Triangles)/2)
+	count := 0
+	for _, t := range m.Triangles {
+		a, b, c := cellOfVert[t[0]], cellOfVert[t[1]], cellOfVert[t[2]]
+		if a == b || b == c || a == c {
+			continue
+		}
+		key := sortedTriple(a, b, c)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		count++
+	}
+	return count
+}
+
+// clusterAt builds the clustered mesh at a resolution.
+func clusterAt(m *Mesh, resolution int) *Mesh {
+	lo, inv := gridParams(m, resolution)
+	cellIndex := make(map[cellKey]int, len(m.Vertices)/4)
+	var sums []Vec3
+	var counts []int
+	vertCell := make([]int, len(m.Vertices))
+	for i, v := range m.Vertices {
+		key := cellOf(v, lo, inv)
+		idx, ok := cellIndex[key]
+		if !ok {
+			idx = len(sums)
+			cellIndex[key] = idx
+			sums = append(sums, Vec3{})
+			counts = append(counts, 0)
+		}
+		sums[idx] = sums[idx].Add(v)
+		counts[idx]++
+		vertCell[i] = idx
+	}
+	out := &Mesh{Vertices: make([]Vec3, len(sums))}
+	for i := range sums {
+		out.Vertices[i] = sums[i].Scale(1 / float64(counts[i]))
+	}
+	seen := make(map[[3]int]struct{})
+	for _, t := range m.Triangles {
+		a, b, c := vertCell[t[0]], vertCell[t[1]], vertCell[t[2]]
+		if a == b || b == c || a == c {
+			continue
+		}
+		key := [3]int{a, b, c}
+		sort.Ints(key[:])
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out.Triangles = append(out.Triangles, Triangle{a, b, c})
+	}
+	return out.Compact()
+}
+
+// sortedTriple canonicalizes three cell keys for dedup.
+func sortedTriple(a, b, c cellKey) [3]cellKey {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return [3]cellKey{a, b, c}
+}

@@ -1,0 +1,107 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVertexClusteringReachesTarget(t *testing.T) {
+	m, err := SphereWithTriangles(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []int{2000, 800, 200, 50} {
+		out, err := VertexClustering(m, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		if out.TriangleCount() > target {
+			t.Errorf("target %d: got %d triangles", target, out.TriangleCount())
+		}
+		if out.TriangleCount() == 0 {
+			t.Errorf("target %d: collapsed to nothing", target)
+		}
+	}
+}
+
+func TestVertexClusteringPreservesBounds(t *testing.T) {
+	m, err := Blob(3000, 7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := VertexClustering(m, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo0, hi0 := m.Bounds()
+	lo1, hi1 := out.Bounds()
+	diag := hi0.Sub(lo0).Norm()
+	if lo1.Sub(lo0).Norm() > 0.2*diag || hi1.Sub(hi0).Norm() > 0.2*diag {
+		t.Fatalf("bounds moved too far: %v..%v -> %v..%v", lo0, hi0, lo1, hi1)
+	}
+}
+
+func TestVertexClusteringNoOpAboveCount(t *testing.T) {
+	m, err := SphereWithTriangles(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := VertexClustering(m, m.TriangleCount()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TriangleCount() != m.TriangleCount() {
+		t.Fatalf("no-op changed count %d -> %d", m.TriangleCount(), out.TriangleCount())
+	}
+	if _, err := VertexClustering(m, 0); err == nil {
+		t.Fatal("zero target accepted")
+	}
+}
+
+// TestQEMBeatsClusteringOnQuality quantifies why QEM is the edge server's
+// default and clustering only the fast path: at the same triangle budget the
+// quadric result deviates less from the original surface.
+func TestQEMBeatsClusteringOnQuality(t *testing.T) {
+	m, err := Blob(4000, 11, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 400
+	qem, err := Decimate(m, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus, err := VertexClustering(m, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devQEM := meanNearestDistance(m, qem)
+	devClus := meanNearestDistance(m, clus)
+	if devQEM >= devClus {
+		t.Fatalf("QEM deviation %.5f should be below clustering %.5f at %d triangles",
+			devQEM, devClus, target)
+	}
+}
+
+// meanNearestDistance samples original vertices and measures the mean
+// distance to the nearest simplified vertex.
+func meanNearestDistance(orig, simplified *Mesh) float64 {
+	step := len(orig.Vertices)/200 + 1
+	sum := 0.0
+	n := 0
+	for i := 0; i < len(orig.Vertices); i += step {
+		v := orig.Vertices[i]
+		best := math.Inf(1)
+		for _, w := range simplified.Vertices {
+			if d := v.Sub(w).Norm(); d < best {
+				best = d
+			}
+		}
+		sum += best
+		n++
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,379 @@
+package mesh
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// quadric is a symmetric 4x4 error quadric stored as its upper triangle:
+// [a11 a12 a13 a14 a22 a23 a24 a33 a34 a44].
+type quadric [10]float64
+
+func (q *quadric) addPlane(a, b, c, d float64) {
+	q[0] += a * a
+	q[1] += a * b
+	q[2] += a * c
+	q[3] += a * d
+	q[4] += b * b
+	q[5] += b * c
+	q[6] += b * d
+	q[7] += c * c
+	q[8] += c * d
+	q[9] += d * d
+}
+
+func (q *quadric) add(o *quadric) {
+	for i := range q {
+		q[i] += o[i]
+	}
+}
+
+// eval returns v^T Q v for the homogeneous point (v, 1).
+func (q *quadric) eval(v Vec3) float64 {
+	return q[0]*v.X*v.X + 2*q[1]*v.X*v.Y + 2*q[2]*v.X*v.Z + 2*q[3]*v.X +
+		q[4]*v.Y*v.Y + 2*q[5]*v.Y*v.Z + 2*q[6]*v.Y +
+		q[7]*v.Z*v.Z + 2*q[8]*v.Z +
+		q[9]
+}
+
+// optimal solves for the position minimizing the quadric, returning ok=false
+// when the system is near-singular (flat regions).
+func (q *quadric) optimal() (Vec3, bool) {
+	a11, a12, a13 := q[0], q[1], q[2]
+	a22, a23 := q[4], q[5]
+	a33 := q[7]
+	b := Vec3{-q[3], -q[6], -q[8]}
+	det := a11*(a22*a33-a23*a23) - a12*(a12*a33-a23*a13) + a13*(a12*a23-a22*a13)
+	if math.Abs(det) < 1e-12 {
+		return Vec3{}, false
+	}
+	inv := 1 / det
+	x := (b.X*(a22*a33-a23*a23) - a12*(b.Y*a33-a23*b.Z) + a13*(b.Y*a23-a22*b.Z)) * inv
+	y := (a11*(b.Y*a33-a23*b.Z) - b.X*(a12*a33-a13*a23) + a13*(a12*b.Z-b.Y*a13)) * inv
+	z := (a11*(a22*b.Z-b.Y*a23) - a12*(a12*b.Z-b.Y*a13) + b.X*(a12*a23-a22*a13)) * inv
+	return Vec3{x, y, z}, true
+}
+
+// collapse is a candidate edge contraction in the priority queue.
+type collapse struct {
+	u, v  int // vertex indices; v merges into u
+	cost  float64
+	pos   Vec3
+	verU  int // vertex versions at push time; stale entries are skipped
+	verV  int
+	index int
+}
+
+type collapseHeap []*collapse
+
+func (h collapseHeap) Len() int { return len(h) }
+
+// Less orders by cost with a deterministic (u, v) tie-break so equal-cost
+// collapses pop in the same order every run.
+func (h collapseHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	if h[i].u != h[j].u {
+		return h[i].u < h[j].u
+	}
+	return h[i].v < h[j].v
+}
+func (h collapseHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *collapseHeap) Push(x any)   { c := x.(*collapse); c.index = len(*h); *h = append(*h, c) }
+func (h *collapseHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
+
+// decimator holds the working state of one QEM simplification run.
+type decimator struct {
+	verts    []Vec3
+	quadrics []quadric
+	version  []int
+	faces    []Triangle
+	faceOK   []bool
+	// vertFaces maps vertex -> set of incident live face indices.
+	vertFaces []map[int]struct{}
+	liveFaces int
+	queue     collapseHeap
+}
+
+// Decimate simplifies the mesh to at most target triangles using
+// quadric-error-metric edge collapse (Garland-Heckbert). The input mesh is
+// not modified. Decimation is monotone: a smaller target never yields more
+// triangles. Targets at or above the current count return a compacted copy.
+func Decimate(m *Mesh, target int) (*Mesh, error) {
+	if target < 0 {
+		return nil, fmt.Errorf("mesh: negative decimation target %d", target)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if target >= m.TriangleCount() {
+		return m.Clone().Compact(), nil
+	}
+	d := newDecimator(m)
+	for d.liveFaces > target {
+		if !d.step() {
+			break // no valid collapse remains
+		}
+	}
+	return d.extract(), nil
+}
+
+func newDecimator(m *Mesh) *decimator {
+	d := &decimator{
+		verts:     append([]Vec3(nil), m.Vertices...),
+		quadrics:  make([]quadric, len(m.Vertices)),
+		version:   make([]int, len(m.Vertices)),
+		faces:     append([]Triangle(nil), m.Triangles...),
+		faceOK:    make([]bool, len(m.Triangles)),
+		vertFaces: make([]map[int]struct{}, len(m.Vertices)),
+		liveFaces: len(m.Triangles),
+	}
+	for i := range d.vertFaces {
+		d.vertFaces[i] = make(map[int]struct{})
+	}
+	for fi, t := range d.faces {
+		d.faceOK[fi] = true
+		for _, v := range t {
+			d.vertFaces[v][fi] = struct{}{}
+		}
+		a, b, c := d.verts[t[0]], d.verts[t[1]], d.verts[t[2]]
+		n := b.Sub(a).Cross(c.Sub(a))
+		ln := n.Norm()
+		if ln < 1e-15 {
+			continue
+		}
+		n = n.Scale(1 / ln)
+		off := -n.Dot(a)
+		for _, v := range t {
+			d.quadrics[v].addPlane(n.X, n.Y, n.Z, off)
+		}
+	}
+	// Seed the queue with every edge once (u < v).
+	seen := make(map[[2]int]struct{})
+	for _, t := range d.faces {
+		edges := [3][2]int{{t[0], t[1]}, {t[1], t[2]}, {t[2], t[0]}}
+		for _, e := range edges {
+			u, v := e[0], e[1]
+			if u > v {
+				u, v = v, u
+			}
+			key := [2]int{u, v}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			d.pushCollapse(u, v)
+		}
+	}
+	return d
+}
+
+func (d *decimator) pushCollapse(u, v int) {
+	var q quadric
+	q = d.quadrics[u]
+	q.add(&d.quadrics[v])
+	pos, ok := q.optimal()
+	if !ok {
+		// Pick the best of endpoints and midpoint.
+		mid := d.verts[u].Add(d.verts[v]).Scale(0.5)
+		pos = mid
+		best := q.eval(mid)
+		if c := q.eval(d.verts[u]); c < best {
+			best, pos = c, d.verts[u]
+		}
+		if c := q.eval(d.verts[v]); c < best {
+			pos = d.verts[v]
+		}
+	}
+	cost := q.eval(pos)
+	if cost < 0 {
+		cost = 0 // numeric noise on flat regions
+	}
+	heap.Push(&d.queue, &collapse{
+		u: u, v: v, cost: cost, pos: pos,
+		verU: d.version[u], verV: d.version[v],
+	})
+}
+
+// step performs the cheapest valid collapse; it returns false when the queue
+// is exhausted.
+func (d *decimator) step() bool {
+	for d.queue.Len() > 0 {
+		c := heap.Pop(&d.queue).(*collapse)
+		if c.verU != d.version[c.u] || c.verV != d.version[c.v] {
+			continue // stale entry
+		}
+		if len(d.vertFaces[c.u]) == 0 || len(d.vertFaces[c.v]) == 0 {
+			continue // dangling vertex
+		}
+		if !d.sharesEdge(c.u, c.v) {
+			continue // edge disappeared through earlier collapses
+		}
+		if d.wouldFlip(c) {
+			// Penalize instead of dropping forever: requeue with the
+			// midpoint, which flips less often, unless already midpoint.
+			mid := d.verts[c.u].Add(d.verts[c.v]).Scale(0.5)
+			if mid != c.pos {
+				c2 := *c
+				c2.pos = mid
+				c2.cost = c.cost + 1e-6
+				heap.Push(&d.queue, &c2)
+				continue
+			}
+			continue
+		}
+		d.apply(c)
+		return true
+	}
+	return false
+}
+
+// sharesEdge reports whether u and v still share a live face.
+func (d *decimator) sharesEdge(u, v int) bool {
+	for fi := range d.vertFaces[u] {
+		if _, ok := d.vertFaces[v][fi]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// wouldFlip reports whether moving u and v to the collapse position inverts
+// any surviving incident face normal.
+func (d *decimator) wouldFlip(c *collapse) bool {
+	check := func(vertex, other int) bool {
+		for fi := range d.vertFaces[vertex] {
+			t := d.faces[fi]
+			// Faces containing both endpoints disappear; skip them.
+			if contains(t, c.u) && contains(t, c.v) {
+				continue
+			}
+			var before, after [3]Vec3
+			for k, vi := range t {
+				before[k] = d.verts[vi]
+				if vi == vertex {
+					after[k] = c.pos
+				} else {
+					after[k] = d.verts[vi]
+				}
+			}
+			n0 := before[1].Sub(before[0]).Cross(before[2].Sub(before[0]))
+			n1 := after[1].Sub(after[0]).Cross(after[2].Sub(after[0]))
+			if n0.Dot(n1) < 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return check(c.u, c.v) || check(c.v, c.u)
+}
+
+func contains(t Triangle, v int) bool { return t[0] == v || t[1] == v || t[2] == v }
+
+// apply performs the collapse: v merges into u at the optimal position.
+func (d *decimator) apply(c *collapse) {
+	u, v := c.u, c.v
+	d.verts[u] = c.pos
+	q := d.quadrics[v]
+	d.quadrics[u].add(&q)
+	d.version[u]++
+	d.version[v]++
+
+	// Kill faces containing both endpoints.
+	for fi := range d.vertFaces[v] {
+		t := d.faces[fi]
+		if contains(t, u) {
+			if d.faceOK[fi] {
+				d.faceOK[fi] = false
+				d.liveFaces--
+			}
+			for _, w := range t {
+				delete(d.vertFaces[w], fi)
+			}
+		}
+	}
+	// Rewire v's remaining faces to u.
+	for fi := range d.vertFaces[v] {
+		t := &d.faces[fi]
+		for k := range t {
+			if t[k] == v {
+				t[k] = u
+			}
+		}
+		// The rewire may have created a degenerate face if u already
+		// appeared; kill it.
+		if t[0] == t[1] || t[1] == t[2] || t[0] == t[2] {
+			if d.faceOK[fi] {
+				d.faceOK[fi] = false
+				d.liveFaces--
+			}
+			for _, w := range *t {
+				delete(d.vertFaces[w], fi)
+			}
+			continue
+		}
+		d.vertFaces[u][fi] = struct{}{}
+	}
+	d.vertFaces[v] = make(map[int]struct{})
+
+	// Refresh collapse candidates around u, visiting neighbours in a
+	// deterministic order (map iteration order must not influence heap
+	// insertion sequence, or same-seed runs would produce different
+	// meshes).
+	neighborSet := make(map[int]struct{})
+	for fi := range d.vertFaces[u] {
+		for _, w := range d.faces[fi] {
+			if w != u {
+				neighborSet[w] = struct{}{}
+			}
+		}
+	}
+	neighbors := make([]int, 0, len(neighborSet))
+	for w := range neighborSet {
+		neighbors = append(neighbors, w)
+	}
+	sort.Ints(neighbors)
+	for _, w := range neighbors {
+		a, b := u, w
+		if a > b {
+			a, b = b, a
+		}
+		d.pushCollapse(a, b)
+	}
+}
+
+// extract builds the simplified mesh from the live faces.
+func (d *decimator) extract() *Mesh {
+	out := &Mesh{Vertices: d.verts}
+	for fi, ok := range d.faceOK {
+		if ok {
+			out.Triangles = append(out.Triangles, d.faces[fi])
+		}
+	}
+	return out.Compact()
+}
+
+// DecimateToRatio simplifies the mesh to ratio times its current triangle
+// count (the paper's decimation ratio R). Ratio is clamped to [0, 1].
+func DecimateToRatio(m *Mesh, ratio float64) (*Mesh, error) {
+	if math.IsNaN(ratio) {
+		return nil, fmt.Errorf("mesh: NaN decimation ratio")
+	}
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	return Decimate(m, int(math.Round(ratio*float64(m.TriangleCount()))))
+}

@@ -1,0 +1,149 @@
+// Package mesh implements the triangle-mesh substrate of the reproduction:
+// mesh representation, procedural generators standing in for the paper's 3D
+// assets (Table II), and quadric-error-metric edge-collapse decimation — the
+// "virtual object decimation algorithm" that the paper's edge server runs
+// (Fig. 3) to produce reduced-triangle-count versions of each object.
+package mesh
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or vector in model space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product of v and w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Triangle indexes three vertices of a mesh, counter-clockwise when viewed
+// from outside.
+type Triangle [3]int
+
+// Mesh is an indexed triangle mesh.
+type Mesh struct {
+	Vertices  []Vec3
+	Triangles []Triangle
+}
+
+// TriangleCount returns the number of triangles.
+func (m *Mesh) TriangleCount() int { return len(m.Triangles) }
+
+// Clone returns a deep copy of the mesh.
+func (m *Mesh) Clone() *Mesh {
+	out := &Mesh{
+		Vertices:  make([]Vec3, len(m.Vertices)),
+		Triangles: make([]Triangle, len(m.Triangles)),
+	}
+	copy(out.Vertices, m.Vertices)
+	copy(out.Triangles, m.Triangles)
+	return out
+}
+
+// Validate checks structural invariants: triangle indices in range, no
+// degenerate (repeated-index) triangles.
+func (m *Mesh) Validate() error {
+	n := len(m.Vertices)
+	for i, t := range m.Triangles {
+		for _, v := range t {
+			if v < 0 || v >= n {
+				return fmt.Errorf("mesh: triangle %d references vertex %d of %d", i, v, n)
+			}
+		}
+		if t[0] == t[1] || t[1] == t[2] || t[0] == t[2] {
+			return fmt.Errorf("mesh: triangle %d is degenerate: %v", i, t)
+		}
+	}
+	return nil
+}
+
+// Bounds returns the axis-aligned bounding box (min, max) of the mesh. An
+// empty mesh returns zero vectors.
+func (m *Mesh) Bounds() (Vec3, Vec3) {
+	if len(m.Vertices) == 0 {
+		return Vec3{}, Vec3{}
+	}
+	lo, hi := m.Vertices[0], m.Vertices[0]
+	for _, v := range m.Vertices[1:] {
+		lo.X = math.Min(lo.X, v.X)
+		lo.Y = math.Min(lo.Y, v.Y)
+		lo.Z = math.Min(lo.Z, v.Z)
+		hi.X = math.Max(hi.X, v.X)
+		hi.Y = math.Max(hi.Y, v.Y)
+		hi.Z = math.Max(hi.Z, v.Z)
+	}
+	return lo, hi
+}
+
+// SurfaceArea returns the total triangle area of the mesh.
+func (m *Mesh) SurfaceArea() float64 {
+	total := 0.0
+	for _, t := range m.Triangles {
+		a := m.Vertices[t[0]]
+		b := m.Vertices[t[1]]
+		c := m.Vertices[t[2]]
+		total += b.Sub(a).Cross(c.Sub(a)).Norm() / 2
+	}
+	return total
+}
+
+// Centroid returns the vertex centroid of the mesh.
+func (m *Mesh) Centroid() Vec3 {
+	if len(m.Vertices) == 0 {
+		return Vec3{}
+	}
+	var sum Vec3
+	for _, v := range m.Vertices {
+		sum = sum.Add(v)
+	}
+	return sum.Scale(1 / float64(len(m.Vertices)))
+}
+
+// Compact removes vertices not referenced by any triangle, remapping
+// indices. It returns the same mesh for chaining.
+func (m *Mesh) Compact() *Mesh {
+	used := make([]bool, len(m.Vertices))
+	for _, t := range m.Triangles {
+		for _, v := range t {
+			used[v] = true
+		}
+	}
+	remap := make([]int, len(m.Vertices))
+	var verts []Vec3
+	for i, u := range used {
+		if u {
+			remap[i] = len(verts)
+			verts = append(verts, m.Vertices[i])
+		} else {
+			remap[i] = -1
+		}
+	}
+	for i, t := range m.Triangles {
+		m.Triangles[i] = Triangle{remap[t[0]], remap[t[1]], remap[t[2]]}
+	}
+	m.Vertices = verts
+	return m
+}

@@ -1,0 +1,111 @@
+package mesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOBJRoundTrip(t *testing.T) {
+	m, err := Blob(1000, 5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteOBJ(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOBJ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TriangleCount() != m.TriangleCount() {
+		t.Fatalf("triangles %d -> %d", m.TriangleCount(), back.TriangleCount())
+	}
+	if len(back.Vertices) != len(m.Vertices) {
+		t.Fatalf("vertices %d -> %d", len(m.Vertices), len(back.Vertices))
+	}
+	for i := range m.Vertices {
+		d := m.Vertices[i].Sub(back.Vertices[i]).Norm()
+		if d > 1e-9 {
+			t.Fatalf("vertex %d moved by %v", i, d)
+		}
+	}
+}
+
+func TestReadOBJQuadFanAndSlashes(t *testing.T) {
+	src := `
+# a unit quad with texture/normal indices
+v 0 0 0
+v 1 0 0
+v 1 1 0
+v 0 1 0
+vn 0 0 1
+vt 0 0
+f 1/1/1 2/1/1 3/1/1 4/1/1
+`
+	m, err := ReadOBJ(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TriangleCount() != 2 {
+		t.Fatalf("quad fanned into %d triangles, want 2", m.TriangleCount())
+	}
+}
+
+func TestReadOBJNegativeIndices(t *testing.T) {
+	src := `
+v 0 0 0
+v 1 0 0
+v 0 1 0
+f -3 -2 -1
+`
+	m, err := ReadOBJ(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TriangleCount() != 1 || m.Triangles[0] != (Triangle{0, 1, 2}) {
+		t.Fatalf("negative-index face parsed as %v", m.Triangles)
+	}
+}
+
+func TestReadOBJErrors(t *testing.T) {
+	cases := map[string]string{
+		"no geometry":      "# empty\n",
+		"short vertex":     "v 1 2\nf 1 1 1\n",
+		"bad float":        "v a b c\n",
+		"zero face index":  "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 0 1 2\n",
+		"out of range":     "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 9\n",
+		"short face":       "v 0 0 0\nv 1 0 0\nf 1 2\n",
+		"bad face integer": "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 x\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadOBJ(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadOBJSkipsDegenerateFaces(t *testing.T) {
+	src := `
+v 0 0 0
+v 1 0 0
+v 0 1 0
+f 1 1 2
+f 1 2 3
+`
+	m, err := ReadOBJ(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TriangleCount() != 1 {
+		t.Fatalf("degenerate face not skipped: %d triangles", m.TriangleCount())
+	}
+}
+
+func TestWriteOBJRejectsInvalidMesh(t *testing.T) {
+	bad := &Mesh{Vertices: []Vec3{{0, 0, 0}}, Triangles: []Triangle{{0, 1, 2}}}
+	if err := WriteOBJ(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("invalid mesh serialized")
+	}
+}

@@ -1,0 +1,88 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStatsSphere(t *testing.T) {
+	m, err := SphereWithTriangles(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(m)
+	if !st.IsWatertight() {
+		t.Fatalf("sphere not watertight: %+v", st)
+	}
+	if st.EulerCharacteristic != 2 || st.Genus() != 0 {
+		t.Fatalf("sphere topology wrong: chi=%d genus=%d", st.EulerCharacteristic, st.Genus())
+	}
+	// Volume approaches 4/3 pi from below for an inscribed polyhedron.
+	want := 4.0 / 3 * math.Pi
+	if st.Volume > want || st.Volume < 0.97*want {
+		t.Fatalf("sphere volume %v, want just under %v", st.Volume, want)
+	}
+	if st.SphereVolumeError() > 0.05 {
+		t.Fatalf("sphere volume error %v", st.SphereVolumeError())
+	}
+	if st.MeanEdgeLength <= 0 {
+		t.Fatal("mean edge length not computed")
+	}
+}
+
+func TestStatsTorus(t *testing.T) {
+	m, err := Torus(0.3, 24, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(m)
+	if !st.IsWatertight() {
+		t.Fatalf("torus not watertight: %+v", st)
+	}
+	if st.EulerCharacteristic != 0 || st.Genus() != 1 {
+		t.Fatalf("torus topology wrong: chi=%d genus=%d", st.EulerCharacteristic, st.Genus())
+	}
+	// Analytic torus volume: 2 pi^2 R r^2 with R=1, r=0.3.
+	want := 2 * math.Pi * math.Pi * 0.09
+	if math.Abs(st.Volume-want)/want > 0.05 {
+		t.Fatalf("torus volume %v, want ~%v", st.Volume, want)
+	}
+}
+
+func TestStatsBoxHasBoundaries(t *testing.T) {
+	m, err := Box(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(m)
+	// Box faces are generated independently: edges along the seams are
+	// boundaries, so the surface is not watertight and genus is undefined.
+	if st.IsWatertight() {
+		t.Fatal("independently-faced box should not be watertight")
+	}
+	if st.BoundaryEdges == 0 {
+		t.Fatal("box should have boundary edges at the seams")
+	}
+	if st.Genus() != -1 {
+		t.Fatalf("genus of non-watertight mesh = %d, want -1", st.Genus())
+	}
+}
+
+func TestDecimationPreservesTopologyClass(t *testing.T) {
+	m, err := SphereWithTriangles(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decimate(m, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(dec)
+	// QEM on a closed surface should keep it closed and spherical.
+	if !st.IsWatertight() {
+		t.Fatalf("decimated sphere not watertight: %+v", st)
+	}
+	if st.Genus() != 0 {
+		t.Fatalf("decimated sphere genus = %d", st.Genus())
+	}
+}

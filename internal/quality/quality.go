@@ -1,0 +1,228 @@
+// Package quality implements the virtual-object quality model of the paper
+// (§III-A): the per-object degradation error of Eq. 1, the average
+// on-screen quality of Eq. 2, and — because the paper borrows the model from
+// eAR with parameters "trained offline" — the training pipeline itself:
+// fitting (a, b, c, d) to image-quality-assessment samples by alternating
+// least squares.
+package quality
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params are the trained per-object coefficients of Eq. 1:
+//
+//	D_error(R, D) = (a·R² + b·R + c) / D^d
+//
+// where R is the decimation ratio (selected/maximum triangles) and D the
+// user-object distance.
+type Params struct {
+	A, B, C, D float64
+}
+
+// Error returns the normalized degradation error for decimation ratio r at
+// distance dist, clamped to [0, 1]. Distances are clamped below at a small
+// epsilon so the model stays finite when the user walks into an object.
+func (p Params) Error(r, dist float64) float64 {
+	if dist < 0.1 {
+		dist = 0.1
+	}
+	e := (p.A*r*r + p.B*r + p.C) / math.Pow(dist, p.D)
+	if e < 0 {
+		return 0
+	}
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// Quality returns 1 − Error, the per-object term of Eq. 2.
+func (p Params) Quality(r, dist float64) float64 {
+	return 1 - p.Error(r, dist)
+}
+
+// Validate rejects parameter sets that cannot come from a sane fit.
+func (p Params) Validate() error {
+	for _, v := range []float64{p.A, p.B, p.C, p.D} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("quality: non-finite parameter in %+v", p)
+		}
+	}
+	if p.D < 0 {
+		return fmt.Errorf("quality: negative distance exponent %v", p.D)
+	}
+	return nil
+}
+
+// ObjectState is one on-screen virtual object's current quality inputs.
+type ObjectState struct {
+	Params Params
+	// Ratio is the object's current decimation ratio R in [0, 1].
+	Ratio float64
+	// Distance is the current user-object distance in meters.
+	Distance float64
+}
+
+// Average computes Eq. 2: the mean of (1 − D_error) across the on-screen
+// objects. An empty scene has perfect quality by convention (nothing is
+// degraded).
+func Average(objects []ObjectState) float64 {
+	if len(objects) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, o := range objects {
+		sum += o.Params.Quality(o.Ratio, o.Distance)
+	}
+	return sum / float64(len(objects))
+}
+
+// Sample is one offline quality-assessment measurement: the observed
+// degradation error of an object rendered at ratio R viewed from distance
+// Dist, as produced by an image-quality metric such as GMSD.
+type Sample struct {
+	R, Dist, Error float64
+}
+
+// ErrTooFewSamples is returned when a fit is attempted with fewer samples
+// than free parameters.
+var ErrTooFewSamples = errors.New("quality: need at least 4 samples spanning 2 distances")
+
+// Fit trains Eq. 1's parameters from measurement samples by alternating
+// least squares: holding d fixed, (a, b, c) is a linear least-squares
+// problem on errors rescaled by Dist^d; holding the quadratic fixed, d is a
+// log-log regression. A handful of alternations converge because each step
+// is globally optimal for its block.
+func Fit(samples []Sample) (Params, error) {
+	if len(samples) < 4 {
+		return Params{}, ErrTooFewSamples
+	}
+	dists := map[float64]struct{}{}
+	for _, s := range samples {
+		if s.R < 0 || s.R > 1 || s.Dist <= 0 || math.IsNaN(s.Error) {
+			return Params{}, fmt.Errorf("quality: invalid sample %+v", s)
+		}
+		dists[s.Dist] = struct{}{}
+	}
+	p := Params{D: 1}
+	if len(dists) == 1 {
+		// Single-distance data cannot identify d; pin it at zero so the
+		// quadratic absorbs everything.
+		p.D = 0
+	}
+	for iter := 0; iter < 20; iter++ {
+		a, b, c, err := fitQuadratic(samples, p.D)
+		if err != nil {
+			return Params{}, err
+		}
+		p.A, p.B, p.C = a, b, c
+		if len(dists) == 1 {
+			break
+		}
+		d, ok := fitExponent(samples, p)
+		if !ok {
+			break
+		}
+		if math.Abs(d-p.D) < 1e-6 {
+			p.D = d
+			break
+		}
+		p.D = d
+	}
+	if p.D < 0 {
+		p.D = 0
+	}
+	return p, p.Validate()
+}
+
+// fitQuadratic solves min Σ (a·R² + b·R + c − Error·Dist^d)² by normal
+// equations.
+func fitQuadratic(samples []Sample, d float64) (a, b, c float64, err error) {
+	// Design matrix columns: R², R, 1. Accumulate X^T X and X^T y.
+	var m [3][3]float64
+	var rhs [3]float64
+	for _, s := range samples {
+		y := s.Error * math.Pow(s.Dist, d)
+		x := [3]float64{s.R * s.R, s.R, 1}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += x[i] * x[j]
+			}
+			rhs[i] += x[i] * y
+		}
+	}
+	sol, ok := solve3(m, rhs)
+	if !ok {
+		return 0, 0, 0, errors.New("quality: quadratic fit is singular (too few distinct ratios)")
+	}
+	return sol[0], sol[1], sol[2], nil
+}
+
+// fitExponent regresses log(q(R)/Error) against log(Dist) to recover d.
+// Samples where the quadratic predicts non-positive error carry no distance
+// information and are skipped.
+func fitExponent(samples []Sample, p Params) (float64, bool) {
+	var sx, sy, sxx, sxy float64
+	n := 0.0
+	for _, s := range samples {
+		q := p.A*s.R*s.R + p.B*s.R + p.C
+		if q <= 1e-9 || s.Error <= 1e-9 {
+			continue
+		}
+		x := math.Log(s.Dist)
+		y := math.Log(q / s.Error)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n < 2 {
+		return 0, false
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return 0, false
+	}
+	return (n*sxy - sx*sy) / den, true
+}
+
+// solve3 solves a 3x3 linear system by Gaussian elimination with partial
+// pivoting.
+func solve3(m [3][3]float64, rhs [3]float64) ([3]float64, bool) {
+	a := m
+	b := rhs
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-12 {
+			return [3]float64{}, false
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		for r := col + 1; r < 3; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < 3; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [3]float64
+	for r := 2; r >= 0; r-- {
+		x[r] = b[r]
+		for c := r + 1; c < 3; c++ {
+			x[r] -= a[r][c] * x[c]
+		}
+		x[r] /= a[r][r]
+	}
+	return x, true
+}

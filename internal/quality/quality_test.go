@@ -1,0 +1,220 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/mar-hbo/hbo/internal/mesh"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+func TestParamsErrorClamping(t *testing.T) {
+	p := Params{A: 2, B: -4, C: 2, D: 1} // 2(R-1)^2: 2 at R=0, 0 at R=1
+	if e := p.Error(1, 1); e != 0 {
+		t.Fatalf("error at R=1 should be 0, got %v", e)
+	}
+	if e := p.Error(0, 1); e != 1 {
+		t.Fatalf("error at R=0 should clamp to 1, got %v", e)
+	}
+	// Distance reduces error.
+	if p.Error(0.5, 4) >= p.Error(0.5, 1) {
+		t.Fatal("error should decrease with distance")
+	}
+	// Distance clamped below.
+	if e := p.Error(0.5, 0); math.IsInf(e, 0) || math.IsNaN(e) {
+		t.Fatalf("error at zero distance = %v", e)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{A: 1, B: -2, C: 1, D: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Params{A: math.NaN()}).Validate(); err == nil {
+		t.Fatal("NaN params passed validation")
+	}
+	if err := (Params{D: -1}).Validate(); err == nil {
+		t.Fatal("negative exponent passed validation")
+	}
+}
+
+func TestAverageQuality(t *testing.T) {
+	if q := Average(nil); q != 1 {
+		t.Fatalf("empty scene quality = %v, want 1", q)
+	}
+	objs := []ObjectState{
+		{Params: Params{A: 0, B: 0, C: 0, D: 1}, Ratio: 1, Distance: 1},   // perfect
+		{Params: Params{A: 0, B: 0, C: 0.5, D: 0}, Ratio: 1, Distance: 1}, // error 0.5
+	}
+	if q := Average(objs); math.Abs(q-0.75) > 1e-12 {
+		t.Fatalf("average quality = %v, want 0.75", q)
+	}
+}
+
+func TestFitRecoversQuadraticExactly(t *testing.T) {
+	want := Params{A: 0.6, B: -1.1, C: 0.5, D: 1.2}
+	var samples []Sample
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for _, d := range []float64{0.5, 1, 2, 4} {
+			e := (want.A*r*r + want.B*r + want.C) / math.Pow(d, want.D)
+			samples = append(samples, Sample{R: r, Dist: d, Error: e})
+		}
+	}
+	got, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pair := range map[string][2]float64{
+		"A": {got.A, want.A}, "B": {got.B, want.B}, "C": {got.C, want.C}, "D": {got.D, want.D},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-3 {
+			t.Errorf("param %s = %v, want %v", name, pair[0], pair[1])
+		}
+	}
+}
+
+func TestFitApproximatesTruthUnderNoise(t *testing.T) {
+	truth := Truth{Severity: 0.7, Gamma: 1.6, DistExp: 1.1}
+	rng := sim.NewRNG(5)
+	p, err := Train(truth, rng, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted model should track the truth within a coarse tolerance
+	// over the operating range.
+	var worst float64
+	for _, r := range []float64{0.3, 0.5, 0.7, 0.9, 1.0} {
+		for _, d := range []float64{0.7, 1, 2, 3} {
+			diff := math.Abs(p.Error(r, d) - truth.Error(r, d))
+			if diff > worst {
+				worst = diff
+			}
+		}
+	}
+	if worst > 0.12 {
+		t.Fatalf("worst fit error = %v, want <= 0.12", worst)
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("empty fit succeeded")
+	}
+	bad := []Sample{{R: 2, Dist: 1, Error: 0.1}, {R: 0.1, Dist: 1, Error: 0.1}, {R: 0.2, Dist: 1, Error: 0.1}, {R: 0.3, Dist: 1, Error: 0.1}}
+	if _, err := Fit(bad); err == nil {
+		t.Fatal("out-of-range ratio accepted")
+	}
+	// All samples at the same ratio: the quadratic is unidentifiable.
+	same := []Sample{{R: 0.5, Dist: 1, Error: 0.1}, {R: 0.5, Dist: 2, Error: 0.05}, {R: 0.5, Dist: 4, Error: 0.02}, {R: 0.5, Dist: 8, Error: 0.01}}
+	if _, err := Fit(same); err == nil {
+		t.Fatal("unidentifiable fit succeeded")
+	}
+}
+
+func TestFitSingleDistancePinsExponent(t *testing.T) {
+	var samples []Sample
+	for _, r := range []float64{0.1, 0.4, 0.7, 1.0} {
+		samples = append(samples, Sample{R: r, Dist: 1, Error: 0.5 * (1 - r)})
+	}
+	p, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.D != 0 {
+		t.Fatalf("single-distance fit exponent = %v, want 0", p.D)
+	}
+}
+
+func TestTruthErrorProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		truth := Truth{
+			Severity: 0.2 + 0.8*rng.Float64(),
+			Gamma:    0.8 + 2*rng.Float64(),
+			DistExp:  0.5 + rng.Float64(),
+		}
+		r1, r2 := rng.Float64(), rng.Float64()
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		d := 0.3 + 3*rng.Float64()
+		// More triangles (higher ratio) can never look worse.
+		if truth.Error(r2, d) > truth.Error(r1, d)+1e-12 {
+			return false
+		}
+		e := truth.Error(r1, d)
+		return e >= 0 && e <= 1 && truth.Error(1, d) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricDeviationDecreasesWithRatio(t *testing.T) {
+	m, err := mesh.Blob(3000, 11, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d20, err := GeometricDeviation(m, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d80, err := GeometricDeviation(m, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d20 <= d80 {
+		t.Fatalf("deviation at 20%% (%v) should exceed deviation at 80%% (%v)", d20, d80)
+	}
+	if d80 < 0 {
+		t.Fatalf("negative deviation %v", d80)
+	}
+}
+
+func TestTruthFromMesh(t *testing.T) {
+	detailed, err := mesh.Blob(3000, 13, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, err := mesh.SphereWithTriangles(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := TruthFromMesh(detailed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := TruthFromMesh(smooth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Severity <= ts.Severity {
+		t.Fatalf("detailed mesh severity %v should exceed smooth %v", td.Severity, ts.Severity)
+	}
+	for _, tr := range []Truth{td, ts} {
+		if tr.Severity < 0.05 || tr.Severity > 1 || tr.Gamma < 0.8 || tr.Gamma > 3 {
+			t.Fatalf("truth out of range: %+v", tr)
+		}
+	}
+}
+
+func TestSolve3(t *testing.T) {
+	m := [3][3]float64{{2, 1, 0}, {1, 3, 1}, {0, 1, 2}}
+	rhs := [3]float64{3, 8, 5}
+	x, ok := solve3(m, rhs)
+	if !ok {
+		t.Fatal("solve3 reported singular")
+	}
+	// Verify residual.
+	for i := 0; i < 3; i++ {
+		got := m[i][0]*x[0] + m[i][1]*x[1] + m[i][2]*x[2]
+		if math.Abs(got-rhs[i]) > 1e-9 {
+			t.Fatalf("row %d residual: got %v want %v", i, got, rhs[i])
+		}
+	}
+	singular := [3][3]float64{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}}
+	if _, ok := solve3(singular, rhs); ok {
+		t.Fatal("singular system solved")
+	}
+}

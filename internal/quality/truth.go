@@ -1,0 +1,163 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mar-hbo/hbo/internal/mesh"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// Truth is the synthetic ground-truth perceptual degradation of one object,
+// standing in for GMSD measurements of real rendered frames (the paper's
+// image-quality-assessment step, borrowed from eAR). The parametric form
+//
+//	error(R, D) = Severity · (1 − R)^Gamma / D^DistExp
+//
+// is deliberately NOT the quadratic of Eq. 1, so the trained model inherits
+// a fitting error exactly as the paper's does.
+type Truth struct {
+	// Severity is the maximum degradation at R → 0 viewed from 1 m.
+	Severity float64
+	// Gamma shapes how quickly quality is lost as triangles are removed;
+	// high-curvature objects have low Gamma (immediate visible loss).
+	Gamma float64
+	// DistExp is the true distance exponent (farther objects hide loss).
+	DistExp float64
+}
+
+// Error returns the true degradation error, clamped to [0, 1].
+func (t Truth) Error(r, dist float64) float64 {
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	if dist < 0.1 {
+		dist = 0.1
+	}
+	e := t.Severity * math.Pow(1-r, t.Gamma) / math.Pow(dist, t.DistExp)
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// Measure simulates one GMSD measurement: the true error with multiplicative
+// observation noise.
+func (t Truth) Measure(r, dist float64, rng *sim.RNG, noiseSigma float64) float64 {
+	e := t.Error(r, dist) * rng.LogNormal(noiseSigma)
+	if e > 1 {
+		e = 1
+	}
+	return e
+}
+
+// CollectSamples runs the offline quality-assessment protocol: measure the
+// object at every (ratio, distance) pair in the grid.
+func CollectSamples(t Truth, ratios, dists []float64, rng *sim.RNG, noiseSigma float64) []Sample {
+	out := make([]Sample, 0, len(ratios)*len(dists))
+	for _, r := range ratios {
+		for _, d := range dists {
+			out = append(out, Sample{R: r, Dist: d, Error: t.Measure(r, d, rng, noiseSigma)})
+		}
+	}
+	return out
+}
+
+// Train runs the full offline pipeline for one object: collect GMSD samples
+// on a standard grid and fit Eq. 1's parameters, as the paper's server-side
+// "virtual object parameter training" does.
+func Train(t Truth, rng *sim.RNG, noiseSigma float64) (Params, error) {
+	ratios := []float64{0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0}
+	dists := []float64{0.5, 1, 2, 4}
+	return Fit(CollectSamples(t, ratios, dists, rng, noiseSigma))
+}
+
+// GeometricDeviation decimates the mesh to the given ratio and returns the
+// RMS distance from the original vertices to the nearest decimated vertex,
+// normalized by the bounding-box diagonal — a pure-geometry stand-in for
+// rendering-based quality metrics, used when a real mesh is available.
+func GeometricDeviation(m *mesh.Mesh, ratio float64) (float64, error) {
+	if m.TriangleCount() == 0 {
+		return 0, fmt.Errorf("quality: empty mesh")
+	}
+	dec, err := mesh.DecimateToRatio(m, ratio)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := m.Bounds()
+	diag := hi.Sub(lo).Norm()
+	if diag == 0 {
+		return 0, fmt.Errorf("quality: degenerate mesh bounds")
+	}
+	// Sample at most a few hundred original vertices for tractability.
+	step := len(m.Vertices)/256 + 1
+	var sumSq float64
+	n := 0
+	for i := 0; i < len(m.Vertices); i += step {
+		v := m.Vertices[i]
+		best := math.Inf(1)
+		for _, w := range dec.Vertices {
+			if d := v.Sub(w).Norm(); d < best {
+				best = d
+			}
+		}
+		sumSq += best * best
+		n++
+	}
+	return math.Sqrt(sumSq/float64(n)) / diag, nil
+}
+
+// TruthFromMesh derives a plausible ground-truth degradation law from real
+// geometry: severity and gamma come from measured geometric deviation at two
+// decimation levels, so detailed (high-curvature) meshes really do degrade
+// faster than smooth ones.
+func TruthFromMesh(m *mesh.Mesh, distExp float64) (Truth, error) {
+	d20, err := GeometricDeviation(m, 0.2)
+	if err != nil {
+		return Truth{}, err
+	}
+	d50, err := GeometricDeviation(m, 0.5)
+	if err != nil {
+		return Truth{}, err
+	}
+	// error(R) = S(1-R)^γ: two equations at R=0.2, R=0.5. The geometric
+	// deviations are small fractions of the diagonal; amplify into the
+	// perceptual range.
+	const amplify = 18.0
+	e20 := clamp01(amplify * d20)
+	e50 := clamp01(amplify * d50)
+	gamma := 1.6
+	if d20 > 1e-9 && d50 > 1e-9 && d20 > d50 {
+		gamma = math.Log(e20/e50) / math.Log(0.8/0.5)
+	}
+	if gamma < 0.8 {
+		gamma = 0.8
+	}
+	if gamma > 3 {
+		gamma = 3
+	}
+	severity := e20 / math.Pow(0.8, gamma)
+	if severity > 1 {
+		severity = 1
+	}
+	if severity < 0.05 {
+		severity = 0.05
+	}
+	if distExp <= 0 {
+		distExp = 1
+	}
+	return Truth{Severity: severity, Gamma: gamma, DistExp: distExp}, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

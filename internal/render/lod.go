@@ -1,0 +1,76 @@
+package render
+
+import (
+	"fmt"
+
+	"github.com/mar-hbo/hbo/internal/mesh"
+)
+
+// LODProvider supplies a decimated version of a catalog object at a given
+// ratio. The edge client implements it (Fig. 3's cache → server path); a
+// LocalDecimator implements it for offline operation.
+type LODProvider interface {
+	// Decimate returns the object's geometry at the given triangle ratio.
+	Decimate(object string, ratio float64) (*mesh.Mesh, error)
+}
+
+// LocalDecimator runs quadric edge collapse on the spec's own geometry,
+// caching full-quality meshes per object — the no-edge-server fallback.
+type LocalDecimator struct {
+	lib    *Library
+	meshes map[string]*mesh.Mesh
+}
+
+// NewLocalDecimator builds a provider over a trained library.
+func NewLocalDecimator(lib *Library) *LocalDecimator {
+	return &LocalDecimator{lib: lib, meshes: make(map[string]*mesh.Mesh)}
+}
+
+// Decimate implements LODProvider.
+func (d *LocalDecimator) Decimate(object string, ratio float64) (*mesh.Mesh, error) {
+	spec, ok := d.lib.specs[object]
+	if !ok {
+		return nil, fmt.Errorf("render: unknown object %q", object)
+	}
+	full, ok := d.meshes[object]
+	if !ok {
+		g, err := spec.Geometry()
+		if err != nil {
+			return nil, err
+		}
+		d.meshes[object] = g
+		full = g
+	}
+	return mesh.DecimateToRatio(full, ratio)
+}
+
+// ApplyLOD fetches each object's decimated geometry at its current ratio and
+// attaches it — the "redraw decimated virtual objects" step of Algorithm 1
+// line 23, made concrete. Objects whose ratio moved less than minDelta since
+// their last fetch keep their current geometry (the provider's cache and
+// this threshold together bound churn).
+func (s *Scene) ApplyLOD(p LODProvider, minDelta float64) error {
+	if p == nil {
+		return fmt.Errorf("render: nil LOD provider")
+	}
+	for _, o := range s.objects {
+		ratio := o.Ratio()
+		if o.Geometry != nil && absf(ratio-o.GeometryRatio) < minDelta {
+			continue
+		}
+		g, err := p.Decimate(o.Spec.Name, ratio)
+		if err != nil {
+			return fmt.Errorf("render: LOD for %s: %w", o.ID(), err)
+		}
+		o.Geometry = g
+		o.GeometryRatio = ratio
+	}
+	return nil
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

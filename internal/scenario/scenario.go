@@ -1,0 +1,123 @@
+// Package scenario assembles the paper's experimental setups (Table II):
+// device + virtual-object set + AI taskset combinations (SC{1,2} × CF{1,2}),
+// plus the scripted timelines behind the motivation study (Fig. 2) and the
+// activation study (Fig. 8).
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/render"
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// Spec is a reproducible experimental setup.
+type Spec struct {
+	// Name identifies the combination ("SC1-CF1").
+	Name string
+	// Device builds a fresh device profile.
+	Device func() *soc.DeviceProfile
+	// Objects is the Table II object list (may be empty for AI-only runs).
+	Objects []render.ObjectCount
+	// Taskset is the AI taskset.
+	Taskset tasks.Set
+	// Distance is the initial user-object distance for every placement.
+	Distance float64
+	// StartEmpty trains the object library but places nothing, for
+	// experiments that script their own object additions (Figs. 2 and 8).
+	StartEmpty bool
+}
+
+// Built is a fully assembled scenario ready to run.
+type Built struct {
+	Spec    Spec
+	Engine  *sim.Engine
+	System  *soc.System
+	Library *render.Library
+	Scene   *render.Scene
+	Profile *soc.Profile
+	Runtime *core.Runtime
+}
+
+// Build assembles the scenario deterministically from the seed: train the
+// object library, profile the taskset offline, place all objects at the
+// initial distance, and start every AI task on its profiled best resource.
+func (s Spec) Build(seed uint64) (*Built, error) {
+	if s.Device == nil {
+		return nil, fmt.Errorf("scenario %s: nil device", s.Name)
+	}
+	dev := s.Device()
+	lib, err := render.LibraryFor(s.Objects, seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	prof, err := soc.ProfileTaskset(dev, s.Taskset, seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	eng := sim.NewEngine(seed)
+	sys := soc.NewSystem(eng, dev, soc.DefaultConfig())
+	scene := render.NewScene(lib)
+	if !s.StartEmpty {
+		if err := scene.PlaceAll(s.Objects, s.Distance); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	rt, err := core.NewRuntime(sys, scene, prof, s.Taskset)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return &Built{
+		Spec:    s,
+		Engine:  eng,
+		System:  sys,
+		Library: lib,
+		Scene:   scene,
+		Profile: prof,
+		Runtime: rt,
+	}, nil
+}
+
+// defaultDistance is the initial user-object distance used across the
+// evaluation scenarios.
+const defaultDistance = 1.5
+
+// SC1CF1 returns the heavy-objects/six-tasks scenario on the Pixel 7 — the
+// paper's most contended combination (§V-C uses it for the baseline
+// comparison).
+func SC1CF1() Spec {
+	return Spec{Name: "SC1-CF1", Device: soc.Pixel7, Objects: render.SC1(), Taskset: tasks.CF1(), Distance: defaultDistance}
+}
+
+// SC2CF1 returns light objects with the six-task CF1 set.
+func SC2CF1() Spec {
+	return Spec{Name: "SC2-CF1", Device: soc.Pixel7, Objects: render.SC2(), Taskset: tasks.CF1(), Distance: defaultDistance}
+}
+
+// SC1CF2 returns heavy objects with the three-task CF2 set.
+func SC1CF2() Spec {
+	return Spec{Name: "SC1-CF2", Device: soc.Pixel7, Objects: render.SC1(), Taskset: tasks.CF2(), Distance: defaultDistance}
+}
+
+// SC2CF2 returns the lightest combination.
+func SC2CF2() Spec {
+	return Spec{Name: "SC2-CF2", Device: soc.Pixel7, Objects: render.SC2(), Taskset: tasks.CF2(), Distance: defaultDistance}
+}
+
+// All returns the four evaluation scenarios in paper order.
+func All() []Spec {
+	return []Spec{SC1CF1(), SC2CF1(), SC1CF2(), SC2CF2()}
+}
+
+// ByName finds an evaluation scenario by its paper name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q", name)
+}

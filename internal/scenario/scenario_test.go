@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"testing"
+)
+
+func TestAllScenarioNames(t *testing.T) {
+	want := []string{"SC1-CF1", "SC2-CF1", "SC1-CF2", "SC2-CF2"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("got %d scenarios", len(all))
+	}
+	for i, s := range all {
+		if s.Name != want[i] {
+			t.Errorf("scenario %d = %s, want %s", i, s.Name, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("SC1-CF2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Taskset.Tasks) != 3 {
+		t.Fatalf("SC1-CF2 has %d tasks, want 3", len(s.Taskset.Tasks))
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestBuildSC2CF2(t *testing.T) {
+	built, err := SC2CF2().Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Scene.Len() != 7 {
+		t.Fatalf("scene has %d objects, want 7", built.Scene.Len())
+	}
+	if got := len(built.System.TaskIDs()); got != 3 {
+		t.Fatalf("system has %d tasks, want 3", got)
+	}
+	// Tasks start on their profiled best resources.
+	for id, best := range built.Profile.Best {
+		got, err := built.System.Allocation(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != best {
+			t.Errorf("task %s starts on %s, want %s", id, got, best)
+		}
+	}
+	// Render load synced to the full-quality scene.
+	if built.System.RenderUtil() <= 0 {
+		t.Fatal("render util not synced")
+	}
+}
+
+func TestBuildStartEmpty(t *testing.T) {
+	spec := SC1CF1()
+	spec.StartEmpty = true
+	built, err := spec.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Scene.Len() != 0 {
+		t.Fatalf("StartEmpty scene has %d objects", built.Scene.Len())
+	}
+	// The library still knows the catalog.
+	if _, err := built.Scene.Place("bike", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRejectsNilDevice(t *testing.T) {
+	spec := SC1CF1()
+	spec.Device = nil
+	if _, err := spec.Build(1); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := SC2CF2().Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SC2CF2().Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := a.System.MeanLatencies(2000)
+	lb := b.System.MeanLatencies(2000)
+	for id, v := range la {
+		if lb[id] != v {
+			t.Errorf("task %s differs across same-seed builds: %v vs %v", id, v, lb[id])
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Action is the callback executed when a scheduled event fires. The engine
+// clock has already advanced to the event time when the action runs.
+type Action func()
+
+// Event is a scheduled callback in virtual time. Events are ordered by time,
+// with sequence number as a deterministic tie-breaker.
+type Event struct {
+	time   float64
+	seq    uint64
+	action Action
+	// canceled events stay in the heap but are skipped when popped; this is
+	// cheaper than heap removal and keeps cancellation O(1).
+	canceled bool
+	index    int
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel marks the event so it is skipped when its time comes. Canceling an
+// already-fired or already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulation engine. Time is in
+// milliseconds of virtual time. The zero value is not usable; construct with
+// NewEngine.
+type Engine struct {
+	now   float64
+	seq   uint64
+	queue eventQueue
+	rng   *RNG
+}
+
+// NewEngine returns an engine with the clock at zero and the given seed for
+// its root random stream.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time in milliseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// RNG returns the engine's root random stream. Consumers that need isolation
+// from each other should call RNG().Split() once at setup.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// At schedules action at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: it always indicates a model bug, and silently clamping
+// would hide it.
+func (e *Engine) At(t float64, action Action) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %.6f before now %.6f", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
+	}
+	e.seq++
+	ev := &Event{time: t, seq: e.seq, action: action}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules action delay milliseconds from now.
+func (e *Engine) After(delay float64, action Action) *Event {
+	return e.At(e.now+delay, action)
+}
+
+// Step fires the next pending event, advancing the clock to its time. It
+// returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		ev.action()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the next event would be after t, then
+// advances the clock to exactly t. Events scheduled by fired actions are
+// honored if they fall within the horizon.
+func (e *Engine) RunUntil(t float64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%.6f) is before now %.6f", t, e.now))
+	}
+	for {
+		next, ok := e.peek()
+		if !ok || next.time > t {
+			break
+		}
+		e.Step()
+	}
+	e.now = t
+}
+
+// Pending reports the number of live (non-canceled) events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) peek() (*Event, bool) {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if ev.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return ev, true
+	}
+	return nil, false
+}

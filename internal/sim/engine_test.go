@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var fired []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		tm := tm
+		e.At(tm, func() { fired = append(fired, tm) })
+	}
+	for e.Step() {
+	}
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+	if got := e.Now(); got != 5 {
+		t.Fatalf("clock = %v, want 5", got)
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	for e.Step() {
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired in order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	ev.Cancel()
+	e.RunUntil(10)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.At(3, func() {
+		count++
+		e.After(4, func() { count++ }) // fires at 7, inside horizon
+		e.After(100, func() { count++ })
+	})
+	e.RunUntil(50)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+	e.RunUntil(200)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 after extending horizon", count)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(42)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first draws")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestLogNormalMedianNearOne(t *testing.T) {
+	r := NewRNG(11)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.LogNormal(0.3)
+	}
+	sort.Float64s(vals)
+	median := vals[n/2]
+	if math.Abs(median-1) > 0.05 {
+		t.Fatalf("lognormal median = %v, want ~1", median)
+	}
+	if r.LogNormal(0) != 1 {
+		t.Fatal("LogNormal(0) must be exactly 1")
+	}
+}
+
+func TestDirichletOnSimplex(t *testing.T) {
+	f := func(seed uint64, dim uint8) bool {
+		d := int(dim%5) + 1
+		r := NewRNG(seed)
+		out := make([]float64, d)
+		r.Dirichlet(1.0, out)
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(13)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.1 {
+		t.Fatalf("exp mean = %v, want ~5", mean)
+	}
+}
+
+func TestGammaSmallShape(t *testing.T) {
+	r := NewRNG(17)
+	// shape < 1 exercises the boost path; all draws must be positive finite.
+	for i := 0; i < 1000; i++ {
+		v := r.gamma(0.3)
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("gamma(0.3) draw %d = %v", i, v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

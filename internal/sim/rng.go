@@ -1,0 +1,137 @@
+// Package sim provides the discrete-event simulation engine used by the SoC
+// substrate: a virtual clock, an event queue, and a deterministic random
+// number source. Everything in the repository that needs virtual time or
+// randomness goes through this package so that experiment runs are exactly
+// reproducible from a seed.
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (splitmix64 core). It is deliberately not safe for concurrent use; each
+// simulation owns its own instance, and derived streams are obtained with
+// Split so that adding a consumer does not perturb the draws seen by others.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators built from the
+// same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives an independent child stream from the current generator state.
+// The parent advances by one draw, so repeated Split calls yield distinct
+// children.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0, mirroring
+// math/rand semantics.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal draw (Box-Muller; one value per call).
+func (r *RNG) Norm() float64 {
+	// Guard against log(0) by nudging u1 away from zero.
+	u1 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns a multiplicative noise factor with median 1 and the given
+// sigma of the underlying normal. sigma = 0 returns exactly 1.
+func (r *RNG) LogNormal(sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	return math.Exp(sigma * r.Norm())
+}
+
+// Exp returns an exponential draw with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u < 1e-300 {
+		u = 1e-300
+	}
+	return -mean * math.Log(u)
+}
+
+// Dirichlet fills out with a symmetric Dirichlet(alpha) draw over len(out)
+// components: non-negative entries summing to one. It panics if out is empty.
+// Gamma variates are generated with the Marsaglia-Tsang method.
+func (r *RNG) Dirichlet(alpha float64, out []float64) {
+	if len(out) == 0 {
+		panic("sim: Dirichlet needs at least one component")
+	}
+	sum := 0.0
+	for i := range out {
+		out[i] = r.gamma(alpha)
+		sum += out[i]
+	}
+	if sum <= 0 {
+		// Degenerate draw; fall back to uniform to keep the simplex invariant.
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// gamma draws from Gamma(shape, 1) for shape > 0.
+func (r *RNG) gamma(shape float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		if u < 1e-300 {
+			u = 1e-300
+		}
+		return r.gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u < 1e-300 {
+			u = 1e-300
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package soc
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// runArrival measures mean latency and throughput for one arrival process
+// under a moderately contended configuration.
+func runArrival(t *testing.T, arrival ArrivalProcess) (meanLat float64, count int) {
+	t.Helper()
+	eng := sim.NewEngine(31)
+	cfg := DefaultConfig()
+	cfg.Arrival = arrival
+	dev := GalaxyS22()
+	sys := NewSystem(eng, dev, cfg)
+	for i := 1; i <= 4; i++ {
+		if err := sys.AddTask(tasks.Task{Model: tasks.DeepLabV3, Instance: i}, tasks.NNAPI); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.SetRenderUtil(0.4)
+	sys.RunFor(2000)
+	sys.ResetWindow()
+	sys.RunFor(30000)
+	var sum float64
+	for _, st := range sys.WindowStats() {
+		sum += st.MeanLatencyMS
+		count += st.Count
+	}
+	return sum / 4, count
+}
+
+func TestArrivalProcessesThroughput(t *testing.T) {
+	_, periodic := runArrival(t, ArrivalPeriodic)
+	_, poisson := runArrival(t, ArrivalPoisson)
+	_, bursty := runArrival(t, ArrivalBursty)
+	// Same mean period: throughput within 25% of the periodic baseline.
+	for name, got := range map[string]int{"poisson": poisson, "bursty": bursty} {
+		lo, hi := periodic*3/4, periodic*5/4
+		if got < lo || got > hi {
+			t.Errorf("%s completed %d inferences, want within [%d,%d] of periodic %d",
+				name, got, lo, hi, periodic)
+		}
+	}
+}
+
+func TestPhaseLockedPeriodicIsWorstCase(t *testing.T) {
+	// Four identical tasks with the same fixed period phase-lock: every
+	// request collides with the same neighbours every cycle, so the smooth
+	// schedule is — perhaps counterintuitively — the most contended one.
+	// Randomized gaps decorrelate the tasks and relieve the collisions.
+	periodicLat, _ := runArrival(t, ArrivalPeriodic)
+	poissonLat, _ := runArrival(t, ArrivalPoisson)
+	burstyLat, _ := runArrival(t, ArrivalBursty)
+	if poissonLat >= periodicLat {
+		t.Errorf("poisson latency %.1f should fall below phase-locked periodic %.1f", poissonLat, periodicLat)
+	}
+	if burstyLat >= periodicLat {
+		t.Errorf("bursty latency %.1f should fall below phase-locked periodic %.1f", burstyLat, periodicLat)
+	}
+	// But never below the isolation floor.
+	base := GalaxyS22().Models["deeplabv3"].LatencyMS[2] // NNAPI
+	for name, lat := range map[string]float64{"poisson": poissonLat, "bursty": burstyLat} {
+		if lat < base {
+			t.Errorf("%s latency %.1f below isolation %.1f", name, lat, base)
+		}
+	}
+}
+
+func TestZeroArrivalDefaultsToPeriodic(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sys := NewSystem(eng, GalaxyS22(), Config{PeriodMS: 100})
+	if err := sys.AddTask(tasks.Task{Model: tasks.MNIST, Instance: 1}, tasks.CPU); err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetWindow()
+	sys.RunFor(5000)
+	st := sys.WindowStats()["mnist"]
+	// Periodic at 100ms over 5s: ~50 completions.
+	if st.Count < 45 || st.Count > 55 {
+		t.Fatalf("zero-valued arrival process completed %d inferences, want ~50", st.Count)
+	}
+}

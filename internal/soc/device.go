@@ -1,0 +1,261 @@
+// Package soc simulates a heterogeneous mobile System-on-Chip: CPU, GPU and
+// NPU compute units, the three coarse-grained allocation targets the paper
+// uses (CPU inference, GPU delegate, NNAPI delegate), and the contention
+// between AI inference jobs and AR rendering load on the GPU.
+//
+// The simulator is the substitute for the paper's physical Pixel 7 and
+// Galaxy S22 phones (see DESIGN.md §2). It is calibrated so that profiling
+// each model in isolation reproduces Table I of the paper exactly, while
+// co-location produces the emergent behaviours of the paper's Figure 2:
+// super-linear latency growth when tasks pile on a delegate, coupling
+// between virtual-object triangle count and NNAPI/GPU latency, and relief
+// when tasks move to an idle CPU.
+package soc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// ModelProfile carries the per-device behaviour of one AI model.
+type ModelProfile struct {
+	// LatencyMS is the isolation response time on each resource, indexed by
+	// tasks.Resource. NaN marks an unsupported delegate (the NA cells of
+	// Table I).
+	LatencyMS [tasks.NumResources]float64
+
+	// NPUFraction is the share of the model's NNAPI work that runs on the
+	// NPU. Only meaningful when the NNAPI latency is not NaN.
+	NPUFraction float64
+
+	// CPUFraction is the share of the model's NNAPI work whose operators
+	// are unsupported on accelerators and fall back to the CPU; the
+	// remainder (1 - NPUFraction - CPUFraction) falls back to the GPU (the
+	// paper's footnote 2). Only meaningful when NNAPI is supported.
+	CPUFraction float64
+}
+
+// Supported reports whether the model can be allocated to resource r on this
+// device.
+func (m ModelProfile) Supported(r tasks.Resource) bool {
+	return !math.IsNaN(m.LatencyMS[r])
+}
+
+// DeviceProfile describes one simulated smartphone SoC.
+type DeviceProfile struct {
+	// Name is the marketing name used in the paper ("Google Pixel 7").
+	Name string
+
+	// CPUCapacity is the number of single-threaded inference jobs the CPU
+	// can run concurrently without slowdown (big cores effectively usable
+	// by AI work).
+	CPUCapacity float64
+
+	// CPURenderLoad is the CPU capacity consumed by the AR app itself
+	// (render thread, tracking, UI) and therefore unavailable to AI jobs.
+	CPURenderLoad float64
+
+	// NNAPIOverheadMS is the fixed per-inference scheduling/communication
+	// overhead of the NNAPI delegate, already included in the Table I
+	// isolation numbers.
+	NNAPIOverheadMS float64
+
+	// NNAPIContentionMS is the additional per-inference overhead incurred
+	// for each other task resident on the NNAPI delegate, modeling the
+	// delegate's scheduling inefficiency under multi-tenancy.
+	NNAPIContentionMS float64
+
+	// GPUQueueOverheadMS is the additional per-inference overhead of GPU
+	// work (delegate or NNAPI fallback phase) for each other job queued on
+	// the GPU, modeling command-queue serialization.
+	GPUQueueOverheadMS float64
+
+	// RenderUtilPerMTri is the GPU utilization consumed by rendering one
+	// million visible triangles at the device's target frame rate, in the
+	// regime where the renderer comfortably makes its frame deadline.
+	RenderUtilPerMTri float64
+
+	// RenderKneeMTri is the visible-triangle count (in millions) beyond
+	// which the renderer starts missing its frame budget; past the knee,
+	// buffered frames keep the GPU busy and utilization grows super-
+	// linearly. This knee is what makes the total triangle ratio such a
+	// powerful lever in the paper's SC1 scenarios.
+	RenderKneeMTri float64
+
+	// RenderKneeBoost is the quadratic coefficient of the past-knee
+	// utilization growth.
+	RenderKneeBoost float64
+
+	// MaxRenderUtil caps rendering's GPU share so AI jobs never fully
+	// starve (the compositor preempts at frame boundaries).
+	MaxRenderUtil float64
+
+	// NoiseSigma is the sigma of the multiplicative lognormal noise applied
+	// to each inference's service demand, modeling run-to-run variance.
+	NoiseSigma float64
+
+	// TargetFPS is the renderer's frame-rate target when it makes its
+	// budget.
+	TargetFPS float64
+
+	// Power is the platform power model used for energy accounting.
+	Power PowerProfile
+
+	// Models maps model name to its per-device profile.
+	Models map[string]ModelProfile
+}
+
+// Model returns the profile for the named model.
+func (d *DeviceProfile) Model(name string) (ModelProfile, error) {
+	m, ok := d.Models[name]
+	if !ok {
+		return ModelProfile{}, fmt.Errorf("soc: device %s has no profile for model %q", d.Name, name)
+	}
+	return m, nil
+}
+
+// RenderUtilFor returns the GPU utilization consumed by rendering the given
+// number of visible triangles: linear in the comfortable regime, quadratic
+// growth past the device's frame-budget knee, capped at MaxRenderUtil.
+func (d *DeviceProfile) RenderUtilFor(visibleTriangles float64) float64 {
+	m := visibleTriangles / 1e6
+	u := d.RenderUtilPerMTri * m
+	if over := m - d.RenderKneeMTri; over > 0 {
+		u += d.RenderKneeBoost * over * over
+	}
+	if u > d.MaxRenderUtil {
+		u = d.MaxRenderUtil
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// FPSFor returns the achieved frame rate at the given visible-triangle
+// count: the target rate while the renderer makes its budget, dropping
+// proportionally once the (uncapped) utilization demand exceeds the cap —
+// the screen-metric counterpart the paper leaves for future work (§III-A).
+func (d *DeviceProfile) FPSFor(visibleTriangles float64) float64 {
+	m := visibleTriangles / 1e6
+	if m <= d.RenderKneeMTri {
+		return d.TargetFPS
+	}
+	// Past the knee the renderer misses deadlines; throughput falls in
+	// proportion to how far demand exceeds the at-knee budget.
+	budget := d.RenderUtilPerMTri * d.RenderKneeMTri
+	raw := d.RenderUtilPerMTri*m + d.RenderKneeBoost*(m-d.RenderKneeMTri)*(m-d.RenderKneeMTri)
+	return d.TargetFPS * budget / raw
+}
+
+// BestResource returns the resource with the lowest isolation latency for
+// the named model (the paper's τ_e measurement target) and that latency.
+func (d *DeviceProfile) BestResource(name string) (tasks.Resource, float64, error) {
+	m, err := d.Model(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := tasks.Resource(-1)
+	bestLat := math.Inf(1)
+	for _, r := range tasks.Resources() {
+		if !m.Supported(r) {
+			continue
+		}
+		if m.LatencyMS[r] < bestLat {
+			best, bestLat = r, m.LatencyMS[r]
+		}
+	}
+	if best < 0 {
+		return 0, 0, fmt.Errorf("soc: model %q supports no resource on %s", name, d.Name)
+	}
+	return best, bestLat, nil
+}
+
+const na = math.MaxFloat64 // placeholder replaced by NaN in newProfile
+
+// lat builds a latency vector in (CPU, GPU, NNAPI) order from Table I's
+// (GPU, NNAPI, CPU) column order, converting the na sentinel to NaN.
+func lat(gpu, nnapi, cpu float64) [tasks.NumResources]float64 {
+	conv := func(v float64) float64 {
+		if v == na {
+			return math.NaN()
+		}
+		return v
+	}
+	var out [tasks.NumResources]float64
+	out[tasks.CPU] = conv(cpu)
+	out[tasks.GPU] = conv(gpu)
+	out[tasks.NNAPI] = conv(nnapi)
+	return out
+}
+
+// Pixel7 returns the Google Pixel 7 profile (Tensor G2: octa-core CPU,
+// Mali-G710 GPU, TPU). Latencies are the Pixel 7 columns of Table I; mnist
+// is the small digit classifier of Table II, with near-uniform latency
+// across resources as the paper reports.
+func Pixel7() *DeviceProfile {
+	return &DeviceProfile{
+		Name:               "Google Pixel 7",
+		CPUCapacity:        3.0,
+		CPURenderLoad:      1.0,
+		NNAPIOverheadMS:    2.0,
+		NNAPIContentionMS:  4.0,
+		GPUQueueOverheadMS: 0.3,
+		RenderUtilPerMTri:  0.35,
+		RenderKneeMTri:     0.75,
+		RenderKneeBoost:    8,
+		MaxRenderUtil:      0.90,
+		NoiseSigma:         0.06,
+		TargetFPS:          60,
+		Power:              defaultPower(),
+		Models: map[string]ModelProfile{
+			tasks.DeconvMUNet:      {LatencyMS: lat(17.9, na, 65.9)},
+			tasks.DeepLabV3:        {LatencyMS: lat(136.6, na, 110.1)},
+			tasks.EfficientDetLite: {LatencyMS: lat(109.8, na, 97.3)},
+			tasks.MobileNetDetV1:   {LatencyMS: lat(56.5, 18.1, 48.9), NPUFraction: 0.72, CPUFraction: 0.15},
+			tasks.EfficientLiteV0:  {LatencyMS: lat(43.37, 18.3, 41.5), NPUFraction: 0.75, CPUFraction: 0.15},
+			tasks.InceptionV1Q:     {LatencyMS: lat(60.8, 8.7, 63.2), NPUFraction: 0.82, CPUFraction: 0.12},
+			tasks.MobileNetV1:      {LatencyMS: lat(37.1, 10.2, 40.5), NPUFraction: 0.75, CPUFraction: 0.15},
+			tasks.ModelMetadata:    {LatencyMS: lat(24.6, 40.7, 25.5), NPUFraction: 0.60, CPUFraction: 0.25},
+			tasks.MNIST:            {LatencyMS: lat(6.0, 7.0, 7.5), NPUFraction: 0.55, CPUFraction: 0.25},
+		},
+	}
+}
+
+// GalaxyS22 returns the Samsung Galaxy S22 profile; latencies are the S22
+// columns of Table I.
+func GalaxyS22() *DeviceProfile {
+	return &DeviceProfile{
+		Name:               "Samsung Galaxy S22",
+		CPUCapacity:        3.0,
+		CPURenderLoad:      1.0,
+		NNAPIOverheadMS:    2.0,
+		NNAPIContentionMS:  3.5,
+		GPUQueueOverheadMS: 0.3,
+		RenderUtilPerMTri:  0.33,
+		RenderKneeMTri:     0.75,
+		RenderKneeBoost:    8,
+		MaxRenderUtil:      0.90,
+		NoiseSigma:         0.06,
+		TargetFPS:          60,
+		Power:              defaultPower(),
+		Models: map[string]ModelProfile{
+			tasks.DeconvMUNet:      {LatencyMS: lat(18, 33, 58), NPUFraction: 0.55, CPUFraction: 0.15},
+			tasks.DeepLabV3:        {LatencyMS: lat(45, 27, 46), NPUFraction: 0.68, CPUFraction: 0.12},
+			tasks.EfficientDetLite: {LatencyMS: lat(72, na, 68)},
+			tasks.MobileNetDetV1:   {LatencyMS: lat(38, 13, 38), NPUFraction: 0.72, CPUFraction: 0.15},
+			tasks.EfficientLiteV0:  {LatencyMS: lat(28, 10, 29), NPUFraction: 0.75, CPUFraction: 0.15},
+			tasks.InceptionV1Q:     {LatencyMS: lat(28, 8, 36), NPUFraction: 0.82, CPUFraction: 0.12},
+			tasks.MobileNetV1:      {LatencyMS: lat(26, 9.5, 28), NPUFraction: 0.75, CPUFraction: 0.15},
+			tasks.ModelMetadata:    {LatencyMS: lat(12.7, 18, 14), NPUFraction: 0.55, CPUFraction: 0.25},
+			tasks.MNIST:            {LatencyMS: lat(5.5, 6.5, 7.0), NPUFraction: 0.55, CPUFraction: 0.25},
+		},
+	}
+}
+
+// Devices returns the two calibrated device profiles in paper order.
+func Devices() []*DeviceProfile {
+	return []*DeviceProfile{GalaxyS22(), Pixel7()}
+}

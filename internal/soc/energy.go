@@ -1,0 +1,91 @@
+package soc
+
+// Energy accounting. The paper's quality model is borrowed from eAR, whose
+// objective is energy; and §VI weighs the energy overhead of offloading.
+// This file extends the SoC simulator with a simple utilization-based power
+// model so configurations can also be compared on average power — one of the
+// repository's extension experiments (see experiments.RunEnergyStudy).
+
+// PowerProfile holds a device's power model: a constant platform draw plus
+// per-unit active power scaled by utilization.
+type PowerProfile struct {
+	// IdleW is the platform draw with screen on and everything idle.
+	IdleW float64
+	// CPUCoreW is the draw of one fully busy core-equivalent.
+	CPUCoreW float64
+	// GPUW is the draw of the fully busy GPU (rendering plus compute).
+	GPUW float64
+	// NPUW is the draw of the busy NPU.
+	NPUW float64
+}
+
+// defaultPower returns a smartphone-plausible power model; both calibrated
+// devices use the same one (the paper does not report power).
+func defaultPower() PowerProfile {
+	return PowerProfile{IdleW: 0.9, CPUCoreW: 1.4, GPUW: 2.6, NPUW: 1.1}
+}
+
+// currentPowerW returns the instantaneous platform power for the system's
+// present state.
+func (s *System) currentPowerW() float64 {
+	p := s.dev.Power
+	w := p.IdleW
+
+	// CPU: each active AI phase draws its service rate in core-equivalents;
+	// the app's own render/tracking threads draw CPURenderLoad.
+	cpuUtil := s.dev.CPURenderLoad
+	for _, ph := range s.active[cpuUnit] {
+		cpuUtil += ph.rate
+	}
+	w += p.CPUCoreW * cpuUtil
+
+	// GPU: rendering plus the share AI compute actually receives.
+	gpuUtil := s.renderUtil
+	for _, ph := range s.active[gpuUnit] {
+		gpuUtil += ph.rate
+	}
+	if gpuUtil > 1 {
+		gpuUtil = 1
+	}
+	w += p.GPUW * gpuUtil
+
+	// NPU: busy whenever any NNAPI phase is resident.
+	if len(s.active[npuUnit]) > 0 {
+		w += p.NPUW
+	}
+	return w
+}
+
+// accrueEnergy integrates the power that held since the last state change.
+// reschedule refreshes powerW after reassigning rates.
+func (s *System) accrueEnergy() {
+	now := s.eng.Now()
+	dt := now - s.lastEnergyT
+	if dt > 0 {
+		s.energyMJ += s.powerW * dt // W × ms = mJ
+		s.advanceThermal(dt, s.powerW)
+	}
+	s.lastEnergyT = now
+}
+
+// EnergyMJ returns the total energy consumed since construction (or the last
+// ResetEnergy) in millijoules, up to the current virtual time.
+func (s *System) EnergyMJ() float64 {
+	s.accrueEnergy()
+	return s.energyMJ
+}
+
+// ResetEnergy clears the energy accumulator (start of a measurement window).
+func (s *System) ResetEnergy() {
+	s.accrueEnergy()
+	s.energyMJ = 0
+}
+
+// AveragePowerW returns the mean platform power over a window that consumed
+// energyMJ in windowMS of virtual time.
+func AveragePowerW(energyMJ, windowMS float64) float64 {
+	if windowMS <= 0 {
+		return 0
+	}
+	return energyMJ / windowMS
+}

@@ -1,0 +1,110 @@
+package soc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+func TestIdleEnergyIsBaseline(t *testing.T) {
+	dev := noNoise(Pixel7())
+	sys := newSys(t, dev)
+	sys.RunFor(10000)
+	e := sys.EnergyMJ()
+	// No tasks, no render: idle plus the app's own CPU load.
+	wantW := dev.Power.IdleW + dev.Power.CPUCoreW*dev.CPURenderLoad
+	if got := AveragePowerW(e, 10000); math.Abs(got-wantW) > 0.01 {
+		t.Fatalf("idle power = %.3f W, want %.3f", got, wantW)
+	}
+}
+
+func TestEnergyGrowsWithLoad(t *testing.T) {
+	dev := noNoise(Pixel7())
+
+	idle := func() float64 {
+		sys := newSys(t, dev)
+		sys.RunFor(5000)
+		return sys.EnergyMJ()
+	}()
+
+	loaded := func() float64 {
+		sys := newSys(t, dev)
+		for i := 1; i <= 3; i++ {
+			if err := sys.AddTask(tasks.Task{Model: tasks.MobileNetV1, Instance: i}, tasks.NNAPI); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sys.SetRenderUtil(0.5)
+		sys.RunFor(5000)
+		return sys.EnergyMJ()
+	}()
+
+	if loaded <= idle*1.3 {
+		t.Fatalf("loaded energy %.0f mJ should clearly exceed idle %.0f mJ", loaded, idle)
+	}
+}
+
+func TestResetEnergy(t *testing.T) {
+	sys := newSys(t, noNoise(Pixel7()))
+	sys.RunFor(2000)
+	if sys.EnergyMJ() <= 0 {
+		t.Fatal("no energy accrued")
+	}
+	sys.ResetEnergy()
+	if e := sys.EnergyMJ(); e != 0 {
+		t.Fatalf("energy after reset = %v", e)
+	}
+	sys.RunFor(1000)
+	if sys.EnergyMJ() <= 0 {
+		t.Fatal("energy not accruing after reset")
+	}
+}
+
+func TestEnergyDeterministic(t *testing.T) {
+	run := func() float64 {
+		eng := sim.NewEngine(5)
+		sys := NewSystem(eng, Pixel7(), DefaultConfig())
+		if err := sys.AddTask(tasks.Task{Model: tasks.MNIST, Instance: 1}, tasks.GPU); err != nil {
+			t.Fatal(err)
+		}
+		sys.SetRenderUtil(0.3)
+		sys.RunFor(4000)
+		return sys.EnergyMJ()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("energy differs across identical runs: %v vs %v", a, b)
+	}
+}
+
+func TestFPSForKnee(t *testing.T) {
+	dev := Pixel7()
+	// Below the knee: full target rate.
+	if fps := dev.FPSFor(100_000); fps != dev.TargetFPS {
+		t.Fatalf("fps at light load = %v, want %v", fps, dev.TargetFPS)
+	}
+	// Well past the knee: rate drops.
+	heavy := dev.FPSFor(1_300_000)
+	if heavy >= dev.TargetFPS {
+		t.Fatalf("fps at heavy load = %v, want below target", heavy)
+	}
+	// Monotone non-increasing in load.
+	prev := math.Inf(1)
+	for _, tri := range []float64{0, 3e5, 6e5, 9e5, 1.2e6, 1.5e6} {
+		fps := dev.FPSFor(tri)
+		if fps > prev {
+			t.Fatalf("fps increased with load at %v triangles", tri)
+		}
+		prev = fps
+	}
+	if heavy <= 0 {
+		t.Fatal("fps must stay positive")
+	}
+}
+
+func TestAveragePowerWZeroWindow(t *testing.T) {
+	if AveragePowerW(100, 0) != 0 {
+		t.Fatal("zero window should yield zero power")
+	}
+}

@@ -1,0 +1,157 @@
+package soc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// TestSystemSurvivesRandomOperations drives the simulator with random
+// sequences of the operations HBO performs — task additions, removals,
+// reallocations, render-load changes — and checks the invariants that must
+// hold after any sequence: the internal state validates, every registered
+// task keeps completing inferences, and latencies stay finite and positive.
+func TestSystemSurvivesRandomOperations(t *testing.T) {
+	models := []string{tasks.MobileNetV1, tasks.InceptionV1Q, tasks.DeepLabV3, tasks.ModelMetadata, tasks.MNIST}
+	f := func(seed uint64, opsRaw []uint8) bool {
+		eng := sim.NewEngine(seed)
+		dev := GalaxyS22() // every model supported on every resource
+		sys := NewSystem(eng, dev, DefaultConfig())
+		rng := sim.NewRNG(seed ^ 0xabcdef)
+		instances := map[string]int{}
+		var live []tasks.Task
+
+		for _, op := range opsRaw {
+			switch op % 4 {
+			case 0: // add a task
+				model := models[rng.Intn(len(models))]
+				instances[model]++
+				task := tasks.Task{Model: model, Instance: instances[model]}
+				r := tasks.Resources()[rng.Intn(tasks.NumResources)]
+				if err := sys.AddTask(task, r); err != nil {
+					return false
+				}
+				live = append(live, task)
+			case 1: // remove a task
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				if err := sys.RemoveTask(live[i].ID()); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			case 2: // reallocate a task
+				if len(live) == 0 {
+					continue
+				}
+				task := live[rng.Intn(len(live))]
+				r := tasks.Resources()[rng.Intn(tasks.NumResources)]
+				if err := sys.SetAllocation(task.ID(), r); err != nil {
+					return false
+				}
+			case 3: // change render load
+				sys.SetRenderUtil(rng.Float64())
+			}
+			sys.RunFor(200 + 300*rng.Float64())
+			if err := sys.Validate(); err != nil {
+				t.Logf("validate: %v", err)
+				return false
+			}
+		}
+
+		// Final probe: everyone still makes progress with finite latency.
+		if len(live) > 0 {
+			sys.ResetWindow()
+			sys.RunFor(5000)
+			stats := sys.WindowStats()
+			for _, task := range live {
+				st, ok := stats[task.ID()]
+				if !ok {
+					return false
+				}
+				if st.MeanLatencyMS <= 0 || math.IsNaN(st.MeanLatencyMS) || math.IsInf(st.MeanLatencyMS, 0) {
+					return false
+				}
+			}
+		}
+		// Energy must be monotone and finite.
+		if e := sys.EnergyMJ(); e < 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocationChangeDuringFlight pins the delegate-switch semantics: the
+// in-flight inference completes on the old resource, the next one runs on
+// the new resource, and nothing is lost in between.
+func TestAllocationChangeDuringFlight(t *testing.T) {
+	dev := noNoise(GalaxyS22())
+	sys := newSys(t, dev)
+	task := tasks.Task{Model: tasks.DeepLabV3, Instance: 1}
+	if err := sys.AddTask(task, tasks.CPU); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-inference (deeplabv3 CPU takes 46 ms), switch to NNAPI.
+	sys.RunFor(20)
+	if err := sys.SetAllocation(task.ID(), tasks.NNAPI); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sys.Allocation(task.ID()); got != tasks.NNAPI {
+		t.Fatalf("pending allocation = %s", got)
+	}
+	// The in-flight CPU inference must still complete at CPU speed.
+	sys.ResetWindow()
+	sys.RunFor(40)
+	if st := sys.WindowStats()[task.ID()]; st.Count != 1 {
+		t.Fatalf("in-flight inference did not complete exactly once: %d", st.Count)
+	}
+	// After the switch, steady-state latency is the NNAPI number.
+	sys.RunFor(500)
+	lat := sys.MeanLatencies(3000)[task.ID()]
+	want := dev.Models[tasks.DeepLabV3].LatencyMS[tasks.NNAPI]
+	if math.Abs(lat-want) > 0.05*want {
+		t.Fatalf("post-switch latency %.1f, want ~%.1f", lat, want)
+	}
+}
+
+// TestRapidReallocationStorm reallocates every control period — far more
+// often than HBO would — and checks the system stays consistent.
+func TestRapidReallocationStorm(t *testing.T) {
+	dev := GalaxyS22()
+	sys := newSys(t, dev)
+	ids := make([]string, 0, 4)
+	for i := 1; i <= 4; i++ {
+		task := tasks.Task{Model: tasks.MobileNetV1, Instance: i}
+		if err := sys.AddTask(task, tasks.NNAPI); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, task.ID())
+	}
+	rng := sim.NewRNG(99)
+	for step := 0; step < 200; step++ {
+		id := ids[rng.Intn(len(ids))]
+		r := tasks.Resources()[rng.Intn(tasks.NumResources)]
+		if err := sys.SetAllocation(id, r); err != nil {
+			t.Fatal(err)
+		}
+		sys.RunFor(50)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stats := sys.MeanLatencies(3000)
+	for _, id := range ids {
+		if stats[id] <= 0 {
+			t.Fatalf("task %s stalled after reallocation storm", id)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package soc
+
+import (
+	"math"
+	"sort"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// ProfileEntry is one measured (task, resource) latency from isolation
+// profiling: the elements of the paper's priority queue P.
+type ProfileEntry struct {
+	TaskID    string
+	Resource  tasks.Resource
+	LatencyMS float64
+}
+
+// Profile is the result of the paper's one-time offline profiling: for each
+// task of a taskset, the isolation latency on every supported resource, plus
+// the expected latency τ_e on the most suitable resource (Eq. 4).
+type Profile struct {
+	// Entries holds every supported (task, resource) pair sorted by
+	// non-decreasing latency — the priority queue P of Algorithm 1.
+	Entries []ProfileEntry
+	// Expected maps task ID to τ_e, the isolation latency on the task's
+	// best resource.
+	Expected map[string]float64
+	// Best maps task ID to its best isolation resource (used by the static
+	// baselines SMQ and SML).
+	Best map[string]tasks.Resource
+}
+
+// ProfileTaskset measures each task of the set in isolation on each
+// supported resource by running the simulator with a single task, no other
+// AI tasks, and no virtual objects — exactly the paper's profiling protocol.
+// The measurement window is long enough to average out run-to-run noise.
+func ProfileTaskset(dev *DeviceProfile, set tasks.Set, seed uint64) (*Profile, error) {
+	p := &Profile{
+		Expected: make(map[string]float64, len(set.Tasks)),
+		Best:     make(map[string]tasks.Resource, len(set.Tasks)),
+	}
+	for _, t := range set.Tasks {
+		mp, err := dev.Model(t.Model)
+		if err != nil {
+			return nil, err
+		}
+		bestLat := math.Inf(1)
+		for _, r := range tasks.Resources() {
+			if !mp.Supported(r) {
+				continue
+			}
+			lat, err := measureIsolation(dev, t, r, seed)
+			if err != nil {
+				return nil, err
+			}
+			p.Entries = append(p.Entries, ProfileEntry{TaskID: t.ID(), Resource: r, LatencyMS: lat})
+			if lat < bestLat {
+				bestLat = lat
+				p.Best[t.ID()] = r
+			}
+		}
+		p.Expected[t.ID()] = bestLat
+	}
+	sort.SliceStable(p.Entries, func(i, j int) bool {
+		return p.Entries[i].LatencyMS < p.Entries[j].LatencyMS
+	})
+	return p, nil
+}
+
+// measureIsolation runs one task alone on one resource and returns its mean
+// latency over the profiling window.
+func measureIsolation(dev *DeviceProfile, t tasks.Task, r tasks.Resource, seed uint64) (float64, error) {
+	eng := sim.NewEngine(seed)
+	sys := NewSystem(eng, dev, DefaultConfig())
+	if err := sys.AddTask(t, r); err != nil {
+		return 0, err
+	}
+	// Warm up briefly (delegate initialization), then measure.
+	sys.RunFor(500)
+	sys.ResetWindow()
+	sys.RunFor(3000)
+	st := sys.WindowStats()[t.ID()]
+	return st.MeanLatencyMS, nil
+}
+
+// TableI regenerates the paper's Table I for the device: isolation latency
+// of every registry model on every resource, with NaN for unsupported
+// delegates. Rows follow registry order; columns follow (GPU, NNAPI, CPU)
+// as printed in the paper.
+func TableI(dev *DeviceProfile, seed uint64) (map[string][tasks.NumResources]float64, error) {
+	out := make(map[string][tasks.NumResources]float64)
+	for _, m := range tasks.All() {
+		mp, err := dev.Model(m.Name)
+		if err != nil {
+			return nil, err
+		}
+		var row [tasks.NumResources]float64
+		for _, r := range tasks.Resources() {
+			if !mp.Supported(r) {
+				row[r] = math.NaN()
+				continue
+			}
+			lat, err := measureIsolation(dev, tasks.Task{Model: m.Name, Instance: 1}, r, seed)
+			if err != nil {
+				return nil, err
+			}
+			row[r] = lat
+		}
+		out[m.Name] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,541 @@
+package soc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// computeUnit identifies a physical execution unit inside the SoC. It is
+// distinct from tasks.Resource: the NNAPI *resource* maps to work on both
+// the npuUnit and the gpuUnit.
+type computeUnit int
+
+const (
+	cpuUnit computeUnit = iota + 1
+	gpuUnit
+	npuUnit
+)
+
+// allUnits fixes the iteration order over compute units: event creation
+// order must not depend on map iteration, or same-time completions would
+// tie-break differently across runs.
+var allUnits = [...]computeUnit{cpuUnit, gpuUnit, npuUnit}
+
+// phase is one stage of an inference job executing on a single compute unit
+// under processor sharing.
+type phase struct {
+	job        *job
+	unit       computeUnit
+	remaining  float64 // ms of service demand left at rate 1
+	rate       float64
+	lastUpdate float64
+	completion *sim.Event
+}
+
+// job is one in-flight inference: an ordered list of phases, possibly
+// preceded by a pure scheduling delay.
+type job struct {
+	task     *runningTask
+	phases   []*phase
+	phaseIdx int
+	issued   float64
+}
+
+// runningTask is an AI task instance registered with the system, repeatedly
+// issuing inferences in a closed loop.
+type runningTask struct {
+	task    tasks.Task
+	profile ModelProfile
+	alloc   tasks.Resource
+	// pendingAlloc, when valid (>= 0), is applied at the next inference
+	// issue; in-flight inferences complete on their old resource, matching
+	// how delegate switches behave on Android.
+	pendingAlloc tasks.Resource
+	inFlight     *job
+	nextIssue    *sim.Event
+	lastIssue    float64
+
+	// burstPhase alternates under the bursty arrival process.
+	burstPhase bool
+
+	// Measurement window accumulators.
+	winCount  int
+	winLatSum float64
+	winMisses int
+	lastLat   float64
+	totCount  int64
+}
+
+// TaskStats summarizes one task's completions inside a measurement window.
+type TaskStats struct {
+	// Count is the number of inferences completed in the window.
+	Count int
+	// MeanLatencyMS is the average end-to-end inference latency. If no
+	// inference completed in the window, it is the elapsed time of the
+	// oldest in-flight inference (a lower bound, which is what a watchdog
+	// on a real device would report).
+	MeanLatencyMS float64
+	// DeadlineMisses counts inferences whose latency exceeded the task's
+	// issue period: their result arrived after the next request was already
+	// due, so the app consumed stale perception data.
+	DeadlineMisses int
+}
+
+// ArrivalProcess selects how tasks space their inference requests.
+type ArrivalProcess int
+
+// Arrival processes: fixed-period (the paper-shaped default), Poisson
+// (exponential gaps with the same mean), and bursty (alternating short and
+// long gaps, same mean) — the latter two for robustness studies.
+const (
+	ArrivalPeriodic ArrivalProcess = iota + 1
+	ArrivalPoisson
+	ArrivalBursty
+)
+
+// Config holds simulator tuning knobs independent of the device profile.
+type Config struct {
+	// PeriodMS is the mean inference issue period of each task (closed
+	// loop with deadline: if an inference overruns its gap the next one is
+	// issued immediately after it completes). The default models MAR
+	// perception tasks re-running a few times per second.
+	PeriodMS float64
+	// Arrival selects the request process; zero means ArrivalPeriodic.
+	Arrival ArrivalProcess
+}
+
+// DefaultConfig returns the workload configuration used by the paper-shaped
+// experiments.
+func DefaultConfig() Config {
+	return Config{PeriodMS: 100, Arrival: ArrivalPeriodic}
+}
+
+// System is the discrete-event SoC simulator: a set of closed-loop AI tasks
+// spread across CPU/GPU/NNAPI plus a rendering load on the GPU. It is not
+// safe for concurrent use; everything runs on the owning engine's virtual
+// time.
+type System struct {
+	eng        *sim.Engine
+	dev        *DeviceProfile
+	cfg        Config
+	rng        *sim.RNG
+	renderUtil float64
+
+	byID  map[string]*runningTask
+	order []*runningTask
+
+	active map[computeUnit][]*phase
+
+	// Energy accounting (see energy.go).
+	energyMJ    float64
+	powerW      float64
+	lastEnergyT float64
+
+	// Thermal state (see thermal.go; disabled unless SetThermal is called).
+	thermal ThermalProfile
+	tempC   float64
+}
+
+// NewSystem builds a simulator for the given device on the given engine.
+func NewSystem(eng *sim.Engine, dev *DeviceProfile, cfg Config) *System {
+	if cfg.PeriodMS <= 0 {
+		cfg.PeriodMS = DefaultConfig().PeriodMS
+	}
+	s := &System{
+		eng:    eng,
+		dev:    dev,
+		cfg:    cfg,
+		rng:    eng.RNG().Split(),
+		byID:   make(map[string]*runningTask),
+		active: make(map[computeUnit][]*phase),
+	}
+	s.powerW = s.currentPowerW()
+	return s
+}
+
+// Device returns the device profile the system simulates.
+func (s *System) Device() *DeviceProfile { return s.dev }
+
+// AddTask registers a task and starts its inference loop on resource r.
+// Tasks are staggered slightly so identical tasks do not phase-lock.
+func (s *System) AddTask(t tasks.Task, r tasks.Resource) error {
+	id := t.ID()
+	if _, dup := s.byID[id]; dup {
+		return fmt.Errorf("soc: task %s already registered", id)
+	}
+	mp, err := s.dev.Model(t.Model)
+	if err != nil {
+		return err
+	}
+	if !mp.Supported(r) {
+		return fmt.Errorf("soc: model %s does not support %s on %s", t.Model, r, s.dev.Name)
+	}
+	rt := &runningTask{task: t, profile: mp, alloc: r, pendingAlloc: -1}
+	s.byID[id] = rt
+	s.order = append(s.order, rt)
+	stagger := float64(len(s.order)-1) * 7.0
+	rt.nextIssue = s.eng.After(stagger, func() { s.issue(rt) })
+	return nil
+}
+
+// RemoveTask stops a task's inference loop. Its in-flight inference (if any)
+// is abandoned without affecting other jobs' accounting.
+func (s *System) RemoveTask(id string) error {
+	rt, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("soc: no task %s", id)
+	}
+	rt.nextIssue.Cancel()
+	if rt.inFlight != nil {
+		s.abandon(rt.inFlight)
+		rt.inFlight = nil
+	}
+	delete(s.byID, id)
+	for i, o := range s.order {
+		if o == rt {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// SetAllocation moves a task to resource r starting with its next inference.
+func (s *System) SetAllocation(id string, r tasks.Resource) error {
+	rt, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("soc: no task %s", id)
+	}
+	if !rt.profile.Supported(r) {
+		return fmt.Errorf("soc: model %s does not support %s on %s", rt.task.Model, r, s.dev.Name)
+	}
+	if rt.inFlight == nil {
+		rt.alloc = r
+		rt.pendingAlloc = -1
+	} else {
+		rt.pendingAlloc = r
+	}
+	return nil
+}
+
+// Allocation returns the task's current (or pending) resource.
+func (s *System) Allocation(id string) (tasks.Resource, error) {
+	rt, ok := s.byID[id]
+	if !ok {
+		return 0, fmt.Errorf("soc: no task %s", id)
+	}
+	if rt.pendingAlloc >= 0 {
+		return rt.pendingAlloc, nil
+	}
+	return rt.alloc, nil
+}
+
+// TaskIDs returns the registered task identifiers in registration order.
+func (s *System) TaskIDs() []string {
+	out := make([]string, len(s.order))
+	for i, rt := range s.order {
+		out[i] = rt.task.ID()
+	}
+	return out
+}
+
+// SetRenderUtil sets the GPU utilization consumed by AR rendering; it takes
+// effect immediately, slowing (or speeding up) in-flight GPU phases.
+func (s *System) SetRenderUtil(u float64) {
+	if u < 0 {
+		u = 0
+	}
+	if u > s.dev.MaxRenderUtil {
+		u = s.dev.MaxRenderUtil
+	}
+	s.renderUtil = u
+	s.reschedule()
+}
+
+// RenderUtil returns the current rendering GPU utilization.
+func (s *System) RenderUtil() float64 { return s.renderUtil }
+
+// ResetWindow clears all per-task measurement accumulators.
+func (s *System) ResetWindow() {
+	for _, rt := range s.order {
+		rt.winCount = 0
+		rt.winLatSum = 0
+		rt.winMisses = 0
+	}
+}
+
+// WindowStats returns the per-task statistics accumulated since the last
+// ResetWindow, keyed by task ID.
+func (s *System) WindowStats() map[string]TaskStats {
+	out := make(map[string]TaskStats, len(s.order))
+	for _, rt := range s.order {
+		st := TaskStats{Count: rt.winCount, DeadlineMisses: rt.winMisses}
+		switch {
+		case rt.winCount > 0:
+			st.MeanLatencyMS = rt.winLatSum / float64(rt.winCount)
+		case rt.inFlight != nil:
+			st.MeanLatencyMS = s.eng.Now() - rt.inFlight.issued
+		default:
+			st.MeanLatencyMS = rt.lastLat
+		}
+		out[rt.task.ID()] = st
+	}
+	return out
+}
+
+// LastLatency returns the most recent completed-inference latency for the
+// task, or zero if none completed yet.
+func (s *System) LastLatency(id string) float64 {
+	if rt, ok := s.byID[id]; ok {
+		return rt.lastLat
+	}
+	return 0
+}
+
+// issue starts a new inference for the task.
+func (s *System) issue(rt *runningTask) {
+	if rt.pendingAlloc >= 0 {
+		rt.alloc = rt.pendingAlloc
+		rt.pendingAlloc = -1
+	}
+	now := s.eng.Now()
+	rt.lastIssue = now
+	noise := s.rng.LogNormal(s.dev.NoiseSigma)
+	j := &job{task: rt, issued: now}
+	rt.inFlight = j
+
+	switch rt.alloc {
+	case tasks.CPU:
+		d := rt.profile.LatencyMS[tasks.CPU] * noise
+		j.phases = []*phase{{job: j, unit: cpuUnit, remaining: d}}
+		s.startPhase(j)
+	case tasks.GPU:
+		d := rt.profile.LatencyMS[tasks.GPU]*noise + s.gpuQueuePenalty()
+		j.phases = []*phase{{job: j, unit: gpuUnit, remaining: d}}
+		s.startPhase(j)
+	case tasks.NNAPI:
+		work := rt.profile.LatencyMS[tasks.NNAPI] - s.dev.NNAPIOverheadMS
+		if work < 0 {
+			work = 0
+		}
+		gpuFrac := 1 - rt.profile.NPUFraction - rt.profile.CPUFraction
+		if gpuFrac < 0 {
+			gpuFrac = 0
+		}
+		j.phases = []*phase{
+			{job: j, unit: npuUnit, remaining: rt.profile.NPUFraction * work * noise},
+			{job: j, unit: cpuUnit, remaining: rt.profile.CPUFraction * work * noise},
+			{job: j, unit: gpuUnit, remaining: gpuFrac*work*noise + s.gpuQueuePenalty()},
+		}
+		// The NNAPI scheduling overhead is a pure delay that grows with the
+		// number of other NNAPI inferences actually in flight right now.
+		delay := s.dev.NNAPIOverheadMS + s.dev.NNAPIContentionMS*float64(s.nnapiInFlight(rt))
+		s.eng.After(delay, func() {
+			if rt.inFlight == j {
+				s.startPhase(j)
+			}
+		})
+	default:
+		panic(fmt.Sprintf("soc: task %s has invalid allocation %d", rt.task.ID(), rt.alloc))
+	}
+}
+
+// nnapiInFlight counts other NNAPI-allocated tasks with an inference in
+// flight.
+func (s *System) nnapiInFlight(self *runningTask) int {
+	n := 0
+	for _, rt := range s.order {
+		if rt != self && rt.alloc == tasks.NNAPI && rt.inFlight != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// gpuQueuePenalty returns the extra demand added to a GPU phase for each AI
+// job already queued on the GPU.
+func (s *System) gpuQueuePenalty() float64 {
+	return s.dev.GPUQueueOverheadMS * float64(len(s.active[gpuUnit]))
+}
+
+// startPhase activates the job's current phase on its compute unit.
+func (s *System) startPhase(j *job) {
+	p := j.phases[j.phaseIdx]
+	p.lastUpdate = s.eng.Now()
+	s.active[p.unit] = append(s.active[p.unit], p)
+	s.reschedule()
+}
+
+// finishPhase completes the job's current phase; either the next phase
+// starts or the inference completes.
+func (s *System) finishPhase(p *phase) {
+	j := p.job
+	s.detach(p)
+	j.phaseIdx++
+	if j.phaseIdx < len(j.phases) {
+		s.startPhase(j)
+		return
+	}
+	rt := j.task
+	now := s.eng.Now()
+	latency := now - j.issued
+	rt.inFlight = nil
+	rt.lastLat = latency
+	rt.winCount++
+	rt.winLatSum += latency
+	if latency > s.cfg.PeriodMS {
+		rt.winMisses++
+	}
+	rt.totCount++
+	next := rt.lastIssue + s.nextGap(rt)
+	if next < now+0.1 {
+		next = now + 0.1
+	}
+	rt.nextIssue = s.eng.At(next, func() { s.issue(rt) })
+	s.reschedule()
+}
+
+// nextGap draws the task's next inter-request gap according to the
+// configured arrival process. All processes share the mean PeriodMS.
+func (s *System) nextGap(rt *runningTask) float64 {
+	switch s.cfg.Arrival {
+	case ArrivalPoisson:
+		return s.rng.Exp(s.cfg.PeriodMS)
+	case ArrivalBursty:
+		// Alternate short and long gaps (mean preserved: (0.25+1.75)/2 = 1).
+		rt.burstPhase = !rt.burstPhase
+		if rt.burstPhase {
+			return 0.25 * s.cfg.PeriodMS
+		}
+		return 1.75 * s.cfg.PeriodMS
+	default:
+		return s.cfg.PeriodMS
+	}
+}
+
+// abandon removes a job's active phase (if any) from its unit.
+func (s *System) abandon(j *job) {
+	if j.phaseIdx < len(j.phases) {
+		s.detach(j.phases[j.phaseIdx])
+	}
+	s.reschedule()
+}
+
+// detach removes the phase from its unit's active list and cancels its
+// completion event.
+func (s *System) detach(p *phase) {
+	p.completion.Cancel()
+	list := s.active[p.unit]
+	for i, q := range list {
+		if q == p {
+			s.active[p.unit] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// unitCapacity returns the service capacity of a unit: how many
+// milliseconds of demand it retires per millisecond, for the work AI jobs
+// can use.
+func (s *System) unitCapacity(u computeUnit) float64 {
+	var capacity float64
+	switch u {
+	case cpuUnit:
+		capacity = s.dev.CPUCapacity - s.dev.CPURenderLoad
+	case gpuUnit:
+		capacity = 1 - s.renderUtil
+	case npuUnit:
+		capacity = 1
+	}
+	capacity *= s.throttleFactor()
+	const floor = 0.05
+	if capacity < floor {
+		capacity = floor
+	}
+	return capacity
+}
+
+// reschedule recomputes every active phase's remaining demand under its old
+// rate, then reassigns rates and completion events. Called on every state
+// change; with at most a dozen concurrent phases this is cheap.
+func (s *System) reschedule() {
+	s.accrueEnergy()
+	now := s.eng.Now()
+	for _, u := range allUnits {
+		for _, p := range s.active[u] {
+			if p.completion != nil {
+				p.remaining -= p.rate * (now - p.lastUpdate)
+				if p.remaining < 0 {
+					p.remaining = 0
+				}
+				p.completion.Cancel()
+			}
+			p.lastUpdate = now
+		}
+	}
+	for _, u := range allUnits {
+		list := s.active[u]
+		if len(list) == 0 {
+			continue
+		}
+		// Processor sharing, each job capped at full speed: the CPU
+		// timeslices across cores, and the accelerators' op-granular
+		// command queues approximate fair sharing for whole inferences.
+		rate := s.unitCapacity(u) / float64(len(list))
+		if rate > 1 {
+			rate = 1
+		}
+		for _, p := range list {
+			p := p
+			p.rate = rate
+			p.completion = s.eng.At(now+p.remaining/rate, func() { s.finishPhase(p) })
+		}
+	}
+	s.powerW = s.currentPowerW()
+}
+
+// Run advances the simulation to absolute virtual time t.
+func (s *System) Run(t float64) { s.eng.RunUntil(t) }
+
+// RunFor advances the simulation by d milliseconds.
+func (s *System) RunFor(d float64) { s.eng.RunUntil(s.eng.Now() + d) }
+
+// Now returns the current virtual time.
+func (s *System) Now() float64 { return s.eng.Now() }
+
+// MeanLatencies runs the simulation for window milliseconds and returns each
+// task's mean latency over that window, keyed by task ID.
+func (s *System) MeanLatencies(window float64) map[string]float64 {
+	s.ResetWindow()
+	s.RunFor(window)
+	stats := s.WindowStats()
+	out := make(map[string]float64, len(stats))
+	for id, st := range stats {
+		out[id] = st.MeanLatencyMS
+	}
+	return out
+}
+
+// SortedTaskIDs returns task IDs in lexical order (stable output for tables).
+func (s *System) SortedTaskIDs() []string {
+	ids := s.TaskIDs()
+	sort.Strings(ids)
+	return ids
+}
+
+// Validate performs internal consistency checks; it is used by tests and
+// debug builds.
+func (s *System) Validate() error {
+	for u, list := range s.active {
+		for _, p := range list {
+			if p.remaining < -1e-9 || math.IsNaN(p.remaining) {
+				return fmt.Errorf("soc: phase on unit %d has invalid remaining %v", u, p.remaining)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package soc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+func newSys(t *testing.T, dev *DeviceProfile) *System {
+	t.Helper()
+	eng := sim.NewEngine(42)
+	return NewSystem(eng, dev, DefaultConfig())
+}
+
+// noNoise returns a Pixel 7 profile with observation noise disabled so
+// latency assertions can be tight.
+func noNoise(dev *DeviceProfile) *DeviceProfile {
+	d := *dev
+	d.NoiseSigma = 0
+	return &d
+}
+
+func TestIsolationLatencyMatchesTableI(t *testing.T) {
+	for _, dev := range Devices() {
+		dev := noNoise(dev)
+		for _, m := range tasks.All() {
+			mp := dev.Models[m.Name]
+			for _, r := range tasks.Resources() {
+				if !mp.Supported(r) {
+					continue
+				}
+				sys := newSys(t, dev)
+				task := tasks.Task{Model: m.Name, Instance: 1}
+				if err := sys.AddTask(task, r); err != nil {
+					t.Fatalf("%s/%s/%s: %v", dev.Name, m.Name, r, err)
+				}
+				lat := sys.MeanLatencies(3000)[task.ID()]
+				want := mp.LatencyMS[r]
+				if math.Abs(lat-want) > 0.02*want+0.01 {
+					t.Errorf("%s: %s on %s isolation latency = %.2f, want %.2f",
+						dev.Name, m.Name, r, lat, want)
+				}
+			}
+		}
+	}
+}
+
+func TestUnsupportedDelegateRejected(t *testing.T) {
+	sys := newSys(t, Pixel7())
+	err := sys.AddTask(tasks.Task{Model: tasks.DeepLabV3, Instance: 1}, tasks.NNAPI)
+	if err == nil {
+		t.Fatal("deeplabv3 on Pixel 7 NNAPI should be rejected (NA in Table I)")
+	}
+}
+
+func TestDuplicateTaskRejected(t *testing.T) {
+	sys := newSys(t, Pixel7())
+	task := tasks.Task{Model: tasks.MNIST, Instance: 1}
+	if err := sys.AddTask(task, tasks.CPU); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddTask(task, tasks.GPU); err == nil {
+		t.Fatal("duplicate task accepted")
+	}
+}
+
+func TestCPUColocationWithinCapacityUnslowed(t *testing.T) {
+	dev := noNoise(Pixel7()) // CPUCapacity 3, render load 0.5 -> 2 jobs fit
+	sys := newSys(t, dev)
+	for i := 1; i <= 2; i++ {
+		if err := sys.AddTask(tasks.Task{Model: tasks.ModelMetadata, Instance: i}, tasks.CPU); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lats := sys.MeanLatencies(3000)
+	want := dev.Models[tasks.ModelMetadata].LatencyMS[tasks.CPU]
+	for id, lat := range lats {
+		if lat > want*1.05 {
+			t.Errorf("task %s latency %.2f with 2 CPU tasks, want ~%.2f (within capacity)", id, lat, want)
+		}
+	}
+}
+
+func TestCPUOversubscriptionSlowsDown(t *testing.T) {
+	dev := noNoise(Pixel7())
+	sys := newSys(t, dev)
+	const n = 6 // twice CPU capacity
+	for i := 1; i <= n; i++ {
+		if err := sys.AddTask(tasks.Task{Model: tasks.DeepLabV3, Instance: i}, tasks.CPU); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lats := sys.MeanLatencies(5000)
+	base := dev.Models[tasks.DeepLabV3].LatencyMS[tasks.CPU]
+	for id, lat := range lats {
+		if lat < base*1.3 {
+			t.Errorf("task %s latency %.2f with %d CPU tasks, want clearly above base %.2f", id, lat, n, base)
+		}
+	}
+}
+
+func TestRenderLoadSlowsGPUTasks(t *testing.T) {
+	dev := noNoise(Pixel7())
+	sys := newSys(t, dev)
+	task := tasks.Task{Model: tasks.DeconvMUNet, Instance: 1}
+	if err := sys.AddTask(task, tasks.GPU); err != nil {
+		t.Fatal(err)
+	}
+	base := sys.MeanLatencies(3000)[task.ID()]
+	sys.SetRenderUtil(0.6)
+	loaded := sys.MeanLatencies(3000)[task.ID()]
+	if loaded < base*1.8 {
+		t.Errorf("GPU task latency %.2f under 0.6 render load, want >= 1.8x base %.2f", loaded, base)
+	}
+	sys.SetRenderUtil(0)
+	relaxed := sys.MeanLatencies(3000)[task.ID()]
+	if relaxed > base*1.1 {
+		t.Errorf("GPU task latency %.2f after load removed, want ~base %.2f", relaxed, base)
+	}
+}
+
+func TestRenderLoadSlowsNNAPITasksViaGPUPhase(t *testing.T) {
+	// The paper's key coupling (Fig. 2b, red crosses): adding triangles
+	// increases NNAPI task latency because some operators fall back to GPU.
+	dev := noNoise(GalaxyS22())
+	sys := newSys(t, dev)
+	task := tasks.Task{Model: tasks.DeepLabV3, Instance: 1}
+	if err := sys.AddTask(task, tasks.NNAPI); err != nil {
+		t.Fatal(err)
+	}
+	base := sys.MeanLatencies(3000)[task.ID()]
+	sys.SetRenderUtil(0.8)
+	loaded := sys.MeanLatencies(3000)[task.ID()]
+	if loaded <= base*1.15 {
+		t.Errorf("NNAPI latency %.2f under render load, want > 1.15x base %.2f", loaded, base)
+	}
+}
+
+func TestNNAPIColocationGrowsLatency(t *testing.T) {
+	// Fig. 2b t=40..95s: progressively adding instances to NNAPI raises
+	// everyone's response time.
+	dev := noNoise(GalaxyS22())
+	prev := 0.0
+	for n := 1; n <= 5; n++ {
+		sys := newSys(t, dev)
+		for i := 1; i <= n; i++ {
+			if err := sys.AddTask(tasks.Task{Model: tasks.DeepLabV3, Instance: i}, tasks.NNAPI); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lats := sys.MeanLatencies(5000)
+		sum := 0.0
+		for _, v := range lats {
+			sum += v
+		}
+		mean := sum / float64(n)
+		if n > 1 && mean < prev {
+			t.Errorf("mean NNAPI latency decreased from %.2f to %.2f when adding instance %d", prev, mean, n)
+		}
+		prev = mean
+	}
+}
+
+func TestRelocationToCPURelievesNNAPI(t *testing.T) {
+	// Fig. 2b t=200s: with render load high, moving one deeplabv3 instance
+	// to the CPU improves both the moved task and the remaining NNAPI ones.
+	dev := noNoise(GalaxyS22())
+	sys := newSys(t, dev)
+	for i := 1; i <= 5; i++ {
+		if err := sys.AddTask(tasks.Task{Model: tasks.DeepLabV3, Instance: i}, tasks.NNAPI); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.SetRenderUtil(0.7)
+	before := sys.MeanLatencies(6000)
+	if err := sys.SetAllocation("deeplabv3_5", tasks.CPU); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(1000) // let the switch take effect
+	after := sys.MeanLatencies(6000)
+	if after["deeplabv3_5"] >= before["deeplabv3_5"] {
+		t.Errorf("moved task latency %.2f -> %.2f, want improvement", before["deeplabv3_5"], after["deeplabv3_5"])
+	}
+	if after["deeplabv3"] >= before["deeplabv3"] {
+		t.Errorf("remaining NNAPI task latency %.2f -> %.2f, want improvement", before["deeplabv3"], after["deeplabv3"])
+	}
+}
+
+func TestSetAllocationUnknownTask(t *testing.T) {
+	sys := newSys(t, Pixel7())
+	if err := sys.SetAllocation("ghost", tasks.CPU); err == nil {
+		t.Fatal("SetAllocation on unknown task succeeded")
+	}
+}
+
+func TestRemoveTask(t *testing.T) {
+	sys := newSys(t, Pixel7())
+	task := tasks.Task{Model: tasks.MNIST, Instance: 1}
+	if err := sys.AddTask(task, tasks.CPU); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(500)
+	if err := sys.RemoveTask(task.ID()); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(500)
+	if got := len(sys.TaskIDs()); got != 0 {
+		t.Fatalf("TaskIDs has %d entries after removal", got)
+	}
+	if err := sys.RemoveTask(task.ID()); err == nil {
+		t.Fatal("double removal succeeded")
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() map[string]float64 {
+		eng := sim.NewEngine(7)
+		sys := NewSystem(eng, Pixel7(), DefaultConfig())
+		for i := 1; i <= 3; i++ {
+			if err := sys.AddTask(tasks.Task{Model: tasks.MobileNetV1, Instance: i}, tasks.NNAPI); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sys.SetRenderUtil(0.4)
+		return sys.MeanLatencies(4000)
+	}
+	a, b := run(), run()
+	for id, v := range a {
+		if b[id] != v {
+			t.Errorf("task %s latency differs across identical runs: %v vs %v", id, v, b[id])
+		}
+	}
+}
+
+func TestBestResource(t *testing.T) {
+	dev := Pixel7()
+	r, lat, err := dev.BestResource(tasks.MobileNetV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != tasks.NNAPI || lat != 10.2 {
+		t.Fatalf("best resource for mobilenetv1 = %s/%.1f, want NNAPI/10.2", r, lat)
+	}
+	r, lat, err = dev.BestResource(tasks.ModelMetadata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != tasks.GPU || lat != 24.6 {
+		t.Fatalf("best resource for model-metadata = %s/%.1f, want GPU/24.6", r, lat)
+	}
+}
+
+func TestProfileTaskset(t *testing.T) {
+	p, err := ProfileTaskset(Pixel7(), tasks.CF2(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Expected) != 3 {
+		t.Fatalf("profile has %d expected entries, want 3", len(p.Expected))
+	}
+	// Entries sorted non-decreasing.
+	for i := 1; i < len(p.Entries); i++ {
+		if p.Entries[i].LatencyMS < p.Entries[i-1].LatencyMS {
+			t.Fatalf("profile entries not sorted at %d", i)
+		}
+	}
+	// mnist best resource is GPU; detection/classification prefer NNAPI.
+	if p.Best["mnist"] != tasks.GPU {
+		t.Errorf("mnist best = %s, want GPU", p.Best["mnist"])
+	}
+	if p.Best["mobilenetDetv1"] != tasks.NNAPI {
+		t.Errorf("mobilenetDetv1 best = %s, want NNAPI", p.Best["mobilenetDetv1"])
+	}
+	// τ_e within noise of Table I.
+	if e := p.Expected["mobilenetDetv1"]; math.Abs(e-18.1) > 1.5 {
+		t.Errorf("expected latency for mobilenetDetv1 = %.2f, want ~18.1", e)
+	}
+}
+
+func TestTableIRegeneration(t *testing.T) {
+	rows, err := TableI(GalaxyS22(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := GalaxyS22()
+	for name, row := range rows {
+		want := dev.Models[name].LatencyMS
+		for _, r := range tasks.Resources() {
+			switch {
+			case math.IsNaN(want[r]):
+				if !math.IsNaN(row[r]) {
+					t.Errorf("%s on %s: got %.2f, want NA", name, r, row[r])
+				}
+			default:
+				if math.Abs(row[r]-want[r]) > 0.05*want[r]+0.5 {
+					t.Errorf("%s on %s: got %.2f, want ~%.2f", name, r, row[r], want[r])
+				}
+			}
+		}
+	}
+}

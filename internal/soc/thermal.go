@@ -1,0 +1,87 @@
+package soc
+
+// Thermal model (opt-in). Sustained contention on a passively cooled phone
+// raises die temperature until the governor throttles capacity — a
+// second-order effect the paper's minutes-long runs flirt with but do not
+// model. It is disabled by default so the calibrated Table I / Figure 2
+// behaviour is untouched; the Thermal extension study switches it on.
+
+// ThermalProfile describes the die's thermal behaviour.
+type ThermalProfile struct {
+	// Enabled switches the model on.
+	Enabled bool
+	// AmbientC is the equilibrium temperature with the platform idle.
+	AmbientC float64
+	// ThrottleC is where the governor starts reducing capacity.
+	ThrottleC float64
+	// CriticalC is where throttling saturates.
+	CriticalC float64
+	// HeatPerJ is the temperature rise per joule dissipated above idle.
+	HeatPerJ float64
+	// CoolPerSec is the exponential cooling constant toward ambient.
+	CoolPerSec float64
+	// MinFactor is the capacity multiplier at (and beyond) CriticalC.
+	MinFactor float64
+}
+
+// DefaultThermal returns a plausible passively cooled phone: roughly five
+// sustained watts push the die from 30°C to throttling in a couple of
+// minutes.
+func DefaultThermal() ThermalProfile {
+	return ThermalProfile{
+		Enabled:    true,
+		AmbientC:   30,
+		ThrottleC:  42,
+		CriticalC:  55,
+		HeatPerJ:   0.035,
+		CoolPerSec: 0.01,
+		MinFactor:  0.55,
+	}
+}
+
+// SetThermal installs a thermal profile on the system and initializes the
+// die at ambient. Call before running.
+func (s *System) SetThermal(p ThermalProfile) {
+	s.thermal = p
+	s.tempC = p.AmbientC
+}
+
+// Temperature returns the current die temperature (integrated up to the
+// current virtual time); with the model disabled it returns zero.
+func (s *System) Temperature() float64 {
+	s.accrueEnergy()
+	return s.tempC
+}
+
+// throttleFactor is the capacity multiplier the governor applies at the
+// current temperature.
+func (s *System) throttleFactor() float64 {
+	p := s.thermal
+	if !p.Enabled || s.tempC <= p.ThrottleC {
+		return 1
+	}
+	if s.tempC >= p.CriticalC {
+		return p.MinFactor
+	}
+	frac := (s.tempC - p.ThrottleC) / (p.CriticalC - p.ThrottleC)
+	return 1 - frac*(1-p.MinFactor)
+}
+
+// advanceThermal integrates die temperature over dt milliseconds at the
+// given power.
+func (s *System) advanceThermal(dtMS, powerW float64) {
+	p := s.thermal
+	if !p.Enabled || dtMS <= 0 {
+		return
+	}
+	dtS := dtMS / 1000
+	heat := (powerW - p.IdleLikePower()) * p.HeatPerJ * dtS
+	cool := p.CoolPerSec * (s.tempC - p.AmbientC) * dtS
+	s.tempC += heat - cool
+	if s.tempC < p.AmbientC {
+		s.tempC = p.AmbientC
+	}
+}
+
+// IdleLikePower is the power level that holds the die at ambient.
+func (p ThermalProfile) IdleLikePower() float64 { return 1.0 }

@@ -1,0 +1,93 @@
+package soc
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+func TestThermalDisabledByDefault(t *testing.T) {
+	sys := newSys(t, noNoise(Pixel7()))
+	if err := sys.AddTask(tasks.Task{Model: tasks.DeepLabV3, Instance: 1}, tasks.CPU); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetRenderUtil(0.6)
+	before := sys.MeanLatencies(3000)["deeplabv3"]
+	sys.RunFor(120000) // two minutes of sustained load
+	after := sys.MeanLatencies(3000)["deeplabv3"]
+	if after > before*1.02 {
+		t.Fatalf("latency drifted %v -> %v with thermal model disabled", before, after)
+	}
+	if sys.Temperature() != 0 {
+		t.Fatalf("temperature %v with model disabled", sys.Temperature())
+	}
+}
+
+func TestThermalThrottlesUnderSustainedLoad(t *testing.T) {
+	dev := noNoise(Pixel7())
+	sys := newSys(t, dev)
+	sys.SetThermal(DefaultThermal())
+	for i := 1; i <= 4; i++ {
+		if err := sys.AddTask(tasks.Task{Model: tasks.DeepLabV3, Instance: i}, tasks.CPU); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.SetRenderUtil(0.6)
+	cold := sys.MeanLatencies(5000)
+	sys.RunFor(240000) // four minutes of sustained heavy load
+	hot := sys.MeanLatencies(5000)
+	if sys.Temperature() <= DefaultThermal().ThrottleC {
+		t.Fatalf("temperature %v did not reach throttle point", sys.Temperature())
+	}
+	if hot["deeplabv3"] <= cold["deeplabv3"]*1.05 {
+		t.Fatalf("throttling did not slow tasks: %v -> %v", cold["deeplabv3"], hot["deeplabv3"])
+	}
+}
+
+func TestThermalCoolsWhenIdle(t *testing.T) {
+	dev := noNoise(Pixel7())
+	sys := newSys(t, dev)
+	sys.SetThermal(DefaultThermal())
+	for i := 1; i <= 4; i++ {
+		if err := sys.AddTask(tasks.Task{Model: tasks.DeepLabV3, Instance: i}, tasks.CPU); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.SetRenderUtil(0.6)
+	sys.RunFor(240000)
+	hot := sys.Temperature()
+	for i := 1; i <= 4; i++ {
+		id := tasks.Task{Model: tasks.DeepLabV3, Instance: i}.ID()
+		if err := sys.RemoveTask(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.SetRenderUtil(0)
+	sys.RunFor(300000)
+	cooled := sys.Temperature()
+	if cooled >= hot-3 {
+		t.Fatalf("die did not cool when idle: %v -> %v", hot, cooled)
+	}
+	if cooled < DefaultThermal().AmbientC {
+		t.Fatalf("cooled below ambient: %v", cooled)
+	}
+}
+
+func TestThrottleFactorShape(t *testing.T) {
+	sys := newSys(t, Pixel7())
+	p := DefaultThermal()
+	sys.SetThermal(p)
+	sys.tempC = p.ThrottleC - 1
+	if f := sys.throttleFactor(); f != 1 {
+		t.Fatalf("factor below throttle point = %v", f)
+	}
+	sys.tempC = p.CriticalC + 10
+	if f := sys.throttleFactor(); f != p.MinFactor {
+		t.Fatalf("factor beyond critical = %v, want %v", f, p.MinFactor)
+	}
+	sys.tempC = (p.ThrottleC + p.CriticalC) / 2
+	f := sys.throttleFactor()
+	if f <= p.MinFactor || f >= 1 {
+		t.Fatalf("mid-range factor = %v", f)
+	}
+}

@@ -1,0 +1,227 @@
+// Package tasks defines the AI workload vocabulary of the reproduction: the
+// deep-learning models from Table I of the paper (plus mnist, used in the
+// Table II tasksets), the resources they can be allocated to, and the CF1/CF2
+// taskset definitions. The per-device latency numbers live with the device
+// profiles in internal/soc; this package carries only device-independent
+// metadata.
+package tasks
+
+import "fmt"
+
+// Resource identifies a coarse-grained allocation target for an AI task, the
+// same three choices the paper's HBO explores on Android: plain CPU
+// inference, the TFLite GPU delegate, or the NNAPI delegate (which internally
+// splits operations across NPU and GPU).
+type Resource int
+
+// Allocation targets. The integer values index the c-vector of the Bayesian
+// optimizer, so they must stay dense and start at zero.
+const (
+	CPU Resource = iota
+	GPU
+	NNAPI
+
+	// NumResources is the size of the allocation vector (N in the paper).
+	NumResources = 3
+)
+
+// String returns the short resource name used throughout the paper's figures
+// (C, G, N expand to these).
+func (r Resource) String() string {
+	switch r {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	case NNAPI:
+		return "NNAPI"
+	default:
+		return fmt.Sprintf("Resource(%d)", int(r))
+	}
+}
+
+// Letter returns the single-letter code used in Figure 2's allocation
+// markers (C1, G3, N5, ...).
+func (r Resource) Letter() string {
+	switch r {
+	case CPU:
+		return "C"
+	case GPU:
+		return "G"
+	case NNAPI:
+		return "N"
+	default:
+		return "?"
+	}
+}
+
+// Resources lists all allocation targets in c-vector order.
+func Resources() []Resource {
+	return []Resource{CPU, GPU, NNAPI}
+}
+
+// Kind is the AI task category, matching Table I's legend.
+type Kind int
+
+// Task categories from Table I plus digit classification (mnist, Table II).
+const (
+	ImageSegmentation Kind = iota + 1
+	ObjectDetection
+	ImageClassification
+	GestureDetection
+	DigitClassification
+)
+
+// String returns the Table I abbreviation for the kind.
+func (k Kind) String() string {
+	switch k {
+	case ImageSegmentation:
+		return "IS"
+	case ObjectDetection:
+		return "OD"
+	case ImageClassification:
+		return "IC"
+	case GestureDetection:
+		return "GD"
+	case DigitClassification:
+		return "DC"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Model is device-independent metadata for a deep-learning model.
+type Model struct {
+	// Name is the identifier used in the paper's tables (e.g. "deeplabv3").
+	Name string
+	// Kind is the task category.
+	Kind Kind
+}
+
+// Models in the registry, in Table I order, then mnist.
+const (
+	DeconvMUNet      = "deconv-munet"
+	DeepLabV3        = "deeplabv3"
+	EfficientDetLite = "efficientdet-lite"
+	MobileNetDetV1   = "mobilenetDetv1"
+	EfficientLiteV0  = "efficientclass-lite0"
+	InceptionV1Q     = "inception-v1-q"
+	MobileNetV1      = "mobilenetv1"
+	ModelMetadata    = "model-metadata"
+	MNIST            = "mnist"
+)
+
+var registry = []Model{
+	{Name: DeconvMUNet, Kind: ImageSegmentation},
+	{Name: DeepLabV3, Kind: ImageSegmentation},
+	{Name: EfficientDetLite, Kind: ObjectDetection},
+	{Name: MobileNetDetV1, Kind: ObjectDetection},
+	{Name: EfficientLiteV0, Kind: ImageClassification},
+	{Name: InceptionV1Q, Kind: ImageClassification},
+	{Name: MobileNetV1, Kind: ImageClassification},
+	{Name: ModelMetadata, Kind: GestureDetection},
+	{Name: MNIST, Kind: DigitClassification},
+}
+
+// All returns the model registry in stable (Table I) order. The returned
+// slice is a copy.
+func All() []Model {
+	out := make([]Model, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName looks a model up by its Table I name.
+func ByName(name string) (Model, error) {
+	for _, m := range registry {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("tasks: unknown model %q", name)
+}
+
+// Task is one running AI task instance: a model plus an instance index, so a
+// taskset can contain several copies of the same model (e.g. the two
+// model-metadata instances of CF1, or the five deeplabv3 instances of the
+// Figure 2b motivation study).
+type Task struct {
+	// Model is the underlying model name.
+	Model string
+	// Instance distinguishes copies of the same model, starting at 1.
+	Instance int
+}
+
+// ID returns a stable human-readable identifier ("model-metadata_2"). For
+// single-instance models it is just the model name, matching the paper's
+// tables.
+func (t Task) ID() string {
+	if t.Instance <= 1 {
+		return t.Model
+	}
+	return fmt.Sprintf("%s_%d", t.Model, t.Instance)
+}
+
+// Set is a named AI taskset (CF1, CF2, or an ad-hoc one for the motivation
+// experiments).
+type Set struct {
+	Name  string
+	Tasks []Task
+}
+
+// Expand builds the task list for a multiset of (model, count) pairs,
+// numbering instances from 1 within each model.
+func Expand(name string, counts []ModelCount) (Set, error) {
+	s := Set{Name: name}
+	for _, mc := range counts {
+		if _, err := ByName(mc.Model); err != nil {
+			return Set{}, fmt.Errorf("taskset %s: %w", name, err)
+		}
+		if mc.Count <= 0 {
+			return Set{}, fmt.Errorf("taskset %s: model %s has non-positive count %d", name, mc.Model, mc.Count)
+		}
+		for i := 1; i <= mc.Count; i++ {
+			s.Tasks = append(s.Tasks, Task{Model: mc.Model, Instance: i})
+		}
+	}
+	return s, nil
+}
+
+// ModelCount pairs a model name with an instance count, mirroring the rows of
+// Table II's taskset listings.
+type ModelCount struct {
+	Model string
+	Count int
+}
+
+// CF1 returns the first Table II taskset: six AI tasks, three with GPU
+// affinity (mnist plus two model-metadata instances) and three with NNAPI
+// affinity (mobilenetDetv1, mobilenetv1, efficientclass-lite0).
+func CF1() Set {
+	s, err := Expand("CF1", []ModelCount{
+		{Model: MNIST, Count: 1},
+		{Model: MobileNetDetV1, Count: 1},
+		{Model: ModelMetadata, Count: 2},
+		{Model: MobileNetV1, Count: 1},
+		{Model: EfficientLiteV0, Count: 1},
+	})
+	if err != nil {
+		// The built-in tasksets are static data; failure is a programming error.
+		panic(err)
+	}
+	return s
+}
+
+// CF2 returns the second Table II taskset: three AI tasks, one favoring GPU
+// (mnist) and two favoring NNAPI.
+func CF2() Set {
+	s, err := Expand("CF2", []ModelCount{
+		{Model: MNIST, Count: 1},
+		{Model: MobileNetDetV1, Count: 1},
+		{Model: EfficientLiteV0, Count: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

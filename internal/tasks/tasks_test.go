@@ -1,0 +1,118 @@
+package tasks
+
+import "testing"
+
+func TestRegistryContainsTableIModels(t *testing.T) {
+	want := []string{
+		DeconvMUNet, DeepLabV3, EfficientDetLite, MobileNetDetV1,
+		EfficientLiteV0, InceptionV1Q, MobileNetV1, ModelMetadata, MNIST,
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d models, want %d", len(all), len(want))
+	}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("registry[%d] = %s, want %s", i, all[i].Name, name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName(DeepLabV3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != ImageSegmentation {
+		t.Fatalf("deeplabv3 kind = %v, want IS", m.Kind)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) succeeded, want error")
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	a[0].Name = "mutated"
+	if All()[0].Name == "mutated" {
+		t.Fatal("All exposes internal registry storage")
+	}
+}
+
+func TestTaskID(t *testing.T) {
+	cases := []struct {
+		task Task
+		want string
+	}{
+		{Task{Model: MNIST, Instance: 1}, "mnist"},
+		{Task{Model: ModelMetadata, Instance: 2}, "model-metadata_2"},
+		{Task{Model: DeepLabV3, Instance: 5}, "deeplabv3_5"},
+	}
+	for _, c := range cases {
+		if got := c.task.ID(); got != c.want {
+			t.Errorf("ID(%v) = %s, want %s", c.task, got, c.want)
+		}
+	}
+}
+
+func TestCF1MatchesTableII(t *testing.T) {
+	s := CF1()
+	if len(s.Tasks) != 6 {
+		t.Fatalf("CF1 has %d tasks, want 6", len(s.Tasks))
+	}
+	counts := map[string]int{}
+	for _, task := range s.Tasks {
+		counts[task.Model]++
+	}
+	want := map[string]int{
+		MNIST: 1, MobileNetDetV1: 1, ModelMetadata: 2, MobileNetV1: 1, EfficientLiteV0: 1,
+	}
+	for m, n := range want {
+		if counts[m] != n {
+			t.Errorf("CF1 count[%s] = %d, want %d", m, counts[m], n)
+		}
+	}
+}
+
+func TestCF2MatchesTableII(t *testing.T) {
+	s := CF2()
+	if len(s.Tasks) != 3 {
+		t.Fatalf("CF2 has %d tasks, want 3", len(s.Tasks))
+	}
+}
+
+func TestExpandRejectsUnknownModel(t *testing.T) {
+	if _, err := Expand("bad", []ModelCount{{Model: "nope", Count: 1}}); err == nil {
+		t.Fatal("Expand accepted unknown model")
+	}
+	if _, err := Expand("bad", []ModelCount{{Model: MNIST, Count: 0}}); err == nil {
+		t.Fatal("Expand accepted zero count")
+	}
+}
+
+func TestResourceStrings(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" || NNAPI.String() != "NNAPI" {
+		t.Fatal("resource names wrong")
+	}
+	if CPU.Letter() != "C" || GPU.Letter() != "G" || NNAPI.Letter() != "N" {
+		t.Fatal("resource letters wrong")
+	}
+	if len(Resources()) != NumResources {
+		t.Fatal("Resources() length mismatch")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	pairs := map[Kind]string{
+		ImageSegmentation:   "IS",
+		ObjectDetection:     "OD",
+		ImageClassification: "IC",
+		GestureDetection:    "GD",
+		DigitClassification: "DC",
+	}
+	for k, want := range pairs {
+		if k.String() != want {
+			t.Errorf("%v.String() = %s, want %s", int(k), k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package trace records time series from simulation runs and renders them
+// as the rows/series the paper's figures report: per-task latency timelines
+// (Fig. 2), reward traces (Fig. 8), convergence curves (Figs. 4c, 6, 7).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (time, value) sample.
+type Point struct {
+	TimeMS float64
+	Value  float64
+}
+
+// Series is a named, time-ordered sequence of samples.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample; times must be non-decreasing.
+func (s *Series) Add(timeMS, value float64) error {
+	if n := len(s.Points); n > 0 && timeMS < s.Points[n-1].TimeMS {
+		return fmt.Errorf("trace: sample at %v before last %v in series %s", timeMS, s.Points[n-1].TimeMS, s.Name)
+	}
+	s.Points = append(s.Points, Point{TimeMS: timeMS, Value: value})
+	return nil
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Values returns just the sample values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Window returns the samples with TimeMS in [from, to).
+func (s *Series) Window(from, to float64) []Point {
+	var out []Point
+	for _, p := range s.Points {
+		if p.TimeMS >= from && p.TimeMS < to {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Stats summarizes a slice of values.
+type Stats struct {
+	Count          int
+	Mean, Min, Max float64
+	P50, P95       float64
+}
+
+// Summarize computes summary statistics; an empty input returns zeroes.
+func Summarize(values []float64) Stats {
+	if len(values) == 0 {
+		return Stats{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Stats{
+		Count: len(sorted),
+		Mean:  sum / float64(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   quantile(sorted, 0.50),
+		P95:   quantile(sorted, 0.95),
+	}
+}
+
+// quantile interpolates the q-quantile of an already sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Recorder collects multiple named series from one run.
+type Recorder struct {
+	series map[string]*Series
+	order  []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Record appends a sample to the named series, creating it on first use.
+func (r *Recorder) Record(name string, timeMS, value float64) error {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	return s.Add(timeMS, value)
+}
+
+// Series returns the named series, or nil if never recorded.
+func (r *Recorder) Series(name string) *Series {
+	return r.series[name]
+}
+
+// Names returns the series names in first-recorded order.
+func (r *Recorder) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// CSV renders all series as a sparse CSV (time, series, value), suitable for
+// replotting the paper's figures.
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	b.WriteString("time_ms,series,value\n")
+	for _, name := range r.order {
+		for _, p := range r.series[name].Points {
+			fmt.Fprintf(&b, "%.1f,%s,%.6g\n", p.TimeMS, name, p.Value)
+		}
+	}
+	return b.String()
+}
+
+// ASCIIChart renders a crude fixed-width chart of a series — enough to
+// eyeball a timeline in terminal output, the way the paper's figures are
+// read.
+func ASCIIChart(s *Series, width, height int) string {
+	if s == nil || len(s.Points) == 0 || width < 2 || height < 2 {
+		return "(empty series)\n"
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		minV = math.Min(minV, p.Value)
+		maxV = math.Max(maxV, p.Value)
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	t0 := s.Points[0].TimeMS
+	t1 := s.Points[len(s.Points)-1].TimeMS
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range s.Points {
+		x := int((p.TimeMS - t0) / (t1 - t0) * float64(width-1))
+		y := int((p.Value - minV) / (maxV - minV) * float64(height-1))
+		row := height - 1 - y
+		grid[row][x] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%.3g .. %.3g]\n", s.Name, minV, maxV)
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

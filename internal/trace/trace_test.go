@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesAddOrdering(t *testing.T) {
+	var s Series
+	if err := s.Add(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(1.5, 15); err == nil {
+		t.Fatal("out-of-order sample accepted")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSeriesWindow(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		if err := s.Add(float64(i*100), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := s.Window(200, 500)
+	if len(w) != 3 {
+		t.Fatalf("window has %d points, want 3", len(w))
+	}
+	if w[0].Value != 2 || w[2].Value != 4 {
+		t.Fatalf("window values wrong: %+v", w)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	st := Summarize([]float64{4, 1, 3, 2, 5})
+	if st.Count != 5 || st.Mean != 3 || st.Min != 1 || st.Max != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P50 != 3 {
+		t.Fatalf("p50 = %v", st.P50)
+	}
+	if Summarize(nil).Count != 0 {
+		t.Fatal("empty summarize non-zero")
+	}
+}
+
+func TestSummarizeQuantileProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		st := Summarize(vals)
+		return st.Min <= st.P50 && st.P50 <= st.P95 && st.P95 <= st.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	if err := r.Record("a", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record("b", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record("a", 100, 3); err != nil {
+		t.Fatal(err)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if r.Series("a").Len() != 2 {
+		t.Fatalf("series a has %d points", r.Series("a").Len())
+	}
+	if r.Series("ghost") != nil {
+		t.Fatal("unknown series not nil")
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "time_ms,series,value\n") {
+		t.Fatalf("csv header wrong: %q", csv[:30])
+	}
+	if strings.Count(csv, "\n") != 4 {
+		t.Fatalf("csv rows = %d, want 3+header", strings.Count(csv, "\n")-1)
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	var s Series
+	for i := 0; i < 50; i++ {
+		if err := s.Add(float64(i), math.Sin(float64(i)/5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := ASCIIChart(&s, 40, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatal("chart has no marks")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // header + 8 rows
+		t.Fatalf("chart has %d lines", len(lines))
+	}
+	if got := ASCIIChart(nil, 40, 8); got != "(empty series)\n" {
+		t.Fatalf("nil chart = %q", got)
+	}
+	// Constant series must not divide by zero.
+	var c Series
+	_ = c.Add(0, 5)
+	_ = c.Add(1, 5)
+	if out := ASCIIChart(&c, 10, 4); !strings.Contains(out, "*") {
+		t.Fatal("constant series chart empty")
+	}
+}

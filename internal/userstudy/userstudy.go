@@ -1,0 +1,94 @@
+// Package userstudy simulates the paper's §V-E user study: a small panel of
+// raters scores the perceived quality of the rendered scene on a 1–5 scale
+// against a max-quality reference. The paper's own §III-A validation — that
+// the GMSD-based degradation model of Eq. 1 tracks real users' perception —
+// is what licenses driving simulated raters from the scene's ground-truth
+// quality (see DESIGN.md §2).
+package userstudy
+
+import (
+	"fmt"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// perceptionFloor and perceptionCeil map true scene quality onto the score
+// scale: quality at or below the floor reads as "much worse than the
+// reference" (score 1), quality at or above the ceiling is indistinguishable
+// from the reference (score 5). Between them perception is linear, matching
+// the coarse resolution of a 5-point scale.
+const (
+	perceptionFloor = 0.45
+	perceptionCeil  = 0.94
+)
+
+// Rater is one simulated study participant with a stable personal bias and
+// per-judgment noise.
+type Rater struct {
+	Bias  float64
+	noise float64
+	rng   *sim.RNG
+}
+
+// Score rates the true scene quality on the 1–5 scale.
+func (r *Rater) Score(trueQuality float64) float64 {
+	f := (trueQuality - perceptionFloor) / (perceptionCeil - perceptionFloor)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	s := 1 + 4*f + r.Bias + r.noise*r.rng.Norm()
+	if s < 1 {
+		s = 1
+	}
+	if s > 5 {
+		s = 5
+	}
+	return s
+}
+
+// Panel is a group of raters (the paper uses seven students).
+type Panel struct {
+	raters []*Rater
+}
+
+// NewPanel builds n raters with deterministic per-rater biases drawn from
+// the seed.
+func NewPanel(n int, seed uint64) (*Panel, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("userstudy: panel needs at least one rater, got %d", n)
+	}
+	rng := sim.NewRNG(seed)
+	p := &Panel{raters: make([]*Rater, n)}
+	for i := range p.raters {
+		p.raters[i] = &Rater{
+			Bias:  0.15 * rng.Norm(),
+			noise: 0.15,
+			rng:   rng.Split(),
+		}
+	}
+	return p, nil
+}
+
+// Size returns the number of raters.
+func (p *Panel) Size() int { return len(p.raters) }
+
+// Scores collects each rater's score for the condition.
+func (p *Panel) Scores(trueQuality float64) []float64 {
+	out := make([]float64, len(p.raters))
+	for i, r := range p.raters {
+		out[i] = r.Score(trueQuality)
+	}
+	return out
+}
+
+// MeanScore returns the panel's mean opinion score for the condition.
+func (p *Panel) MeanScore(trueQuality float64) float64 {
+	sum := 0.0
+	for _, s := range p.Scores(trueQuality) {
+		sum += s
+	}
+	return sum / float64(len(p.raters))
+}

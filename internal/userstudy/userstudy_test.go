@@ -1,0 +1,82 @@
+package userstudy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPanelScoresInRange(t *testing.T) {
+	p, err := NewPanel(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 7 {
+		t.Fatalf("panel size %d", p.Size())
+	}
+	f := func(qRaw uint16) bool {
+		q := float64(qRaw) / 65535
+		for _, s := range p.Scores(q) {
+			if s < 1 || s > 5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanelMonotoneInQuality(t *testing.T) {
+	p, err := NewPanel(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := p.MeanScore(0.6)
+	high := p.MeanScore(0.95)
+	if high <= low {
+		t.Fatalf("higher quality scored lower: %v vs %v", high, low)
+	}
+}
+
+func TestPanelEndpoints(t *testing.T) {
+	p, err := NewPanel(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max quality should read as near-reference (paper: HBO scores ~4.9-5).
+	if s := p.MeanScore(1.0); s < 4.6 {
+		t.Fatalf("perfect quality MOS = %v, want ~5", s)
+	}
+	// Heavily degraded quality should read clearly lower (paper: SML ~3).
+	if s := p.MeanScore(0.68); s < 2.0 || s > 3.8 {
+		t.Fatalf("degraded quality MOS = %v, want ~3", s)
+	}
+	if s := p.MeanScore(0.2); s > 1.8 {
+		t.Fatalf("terrible quality MOS = %v, want ~1", s)
+	}
+}
+
+func TestPanelDeterministicPerSeed(t *testing.T) {
+	a, err := NewPanel(5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPanel(5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := a.Scores(0.8)
+	sb := b.Scores(0.8)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same-seed panels disagree")
+		}
+	}
+}
+
+func TestNewPanelValidation(t *testing.T) {
+	if _, err := NewPanel(0, 1); err == nil {
+		t.Fatal("empty panel accepted")
+	}
+}

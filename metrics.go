@@ -1,0 +1,104 @@
+package hbo
+
+import (
+	"fmt"
+
+	"github.com/mar-hbo/hbo/internal/alloc"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// Metrics is a full window measurement, including the extension metrics
+// (platform power, frame rate, die temperature) beyond the paper's Q and ε.
+type Metrics struct {
+	// Quality is Eq. 2's average virtual-object quality.
+	Quality float64
+	// Epsilon is Eq. 4's normalized AI latency.
+	Epsilon float64
+	// Reward is Eq. 3's B = Q − w·ε.
+	Reward float64
+	// AveragePowerW is the platform's mean power over the window.
+	AveragePowerW float64
+	// FPS is the renderer's achieved frame rate under the window's load.
+	FPS float64
+	// TemperatureC is the die temperature at the end of the window (zero
+	// unless EnableThermal was called).
+	TemperatureC float64
+	// DeadlineMissRate is the fraction of inferences delivered after the
+	// next request was already due (stale perception results).
+	DeadlineMissRate float64
+	// PerTaskLatencyMS maps task ID to its mean inference latency.
+	PerTaskLatencyMS map[string]float64
+	// TriangleRatio is the scene's total triangle ratio during the window.
+	TriangleRatio float64
+}
+
+// MeasureMetrics runs the simulator for windowMS and returns the full
+// metrics set (Measure returns just the paper's three).
+func (a *App) MeasureMetrics(windowMS float64) (Metrics, error) {
+	m, err := a.built.Runtime.Measure(windowMS)
+	if err != nil {
+		return Metrics{}, err
+	}
+	out := Metrics{
+		Quality:          m.Quality,
+		Epsilon:          m.Epsilon,
+		Reward:           m.Reward(a.cfg.Weight),
+		AveragePowerW:    m.AveragePowerW,
+		FPS:              m.FPS,
+		TemperatureC:     a.built.System.Temperature(),
+		DeadlineMissRate: m.DeadlineMissRate,
+		PerTaskLatencyMS: m.PerTaskLatency,
+		TriangleRatio:    a.built.Scene.TotalRatio(),
+	}
+	return out, nil
+}
+
+// EnableThermal switches on the opt-in thermal model: sustained load heats
+// the die and the simulated governor throttles capacity, as on a passively
+// cooled phone. Call before running; disabled by default so the calibrated
+// paper experiments are untouched.
+func (a *App) EnableThermal() {
+	a.built.System.SetThermal(soc.DefaultThermal())
+}
+
+// SetAllocation pins one AI task to a resource ("CPU", "GPU", "NNAPI")
+// manually, bypassing the optimizer — useful for building custom baselines.
+func (a *App) SetAllocation(taskID, resource string) error {
+	var r tasks.Resource
+	switch resource {
+	case "CPU":
+		r = tasks.CPU
+	case "GPU":
+		r = tasks.GPU
+	case "NNAPI":
+		r = tasks.NNAPI
+	default:
+		return fmt.Errorf("hbo: unknown resource %q (want CPU, GPU or NNAPI)", resource)
+	}
+	return a.built.System.SetAllocation(taskID, r)
+}
+
+// SetTriangleRatio redistributes the scene's triangles to the given total
+// ratio using the paper's sensitivity-weighted TD, leaving allocations
+// untouched.
+func (a *App) SetTriangleRatio(x float64) error {
+	if err := alloc.DistributeTriangles(a.built.Scene.Objects(), x); err != nil {
+		return err
+	}
+	a.built.Runtime.SyncRenderLoad()
+	return nil
+}
+
+// SetInView marks an object as inside (true) or outside (false) the camera
+// frustum: hidden objects stop contributing render load and perceived
+// quality but stay placed, modeling the user turning away.
+func (a *App) SetInView(objectID string, inView bool) error {
+	o, err := a.built.Scene.Object(objectID)
+	if err != nil {
+		return err
+	}
+	o.OutOfView = !inView
+	a.built.Runtime.SyncRenderLoad()
+	return nil
+}

@@ -1,0 +1,175 @@
+package hbo_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	hbo "github.com/mar-hbo/hbo"
+)
+
+func TestMeasureMetricsFields(t *testing.T) {
+	app, err := hbo.New(hbo.Options{Scenario: "SC1-CF1", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := app.MeasureMetrics(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Quality <= 0 || m.Quality > 1 {
+		t.Errorf("quality %v", m.Quality)
+	}
+	if m.AveragePowerW < 1 || m.AveragePowerW > 15 {
+		t.Errorf("power %v implausible", m.AveragePowerW)
+	}
+	if m.FPS <= 0 || m.FPS > 60 {
+		t.Errorf("fps %v", m.FPS)
+	}
+	if m.TemperatureC != 0 {
+		t.Errorf("temperature %v with thermal disabled", m.TemperatureC)
+	}
+	if len(m.PerTaskLatencyMS) != 6 {
+		t.Errorf("per-task latencies %d", len(m.PerTaskLatencyMS))
+	}
+	if math.Abs(m.TriangleRatio-1) > 1e-9 {
+		t.Errorf("fresh scene ratio %v", m.TriangleRatio)
+	}
+	if math.Abs(m.Reward-(m.Quality-2.5*m.Epsilon)) > 1e-9 {
+		t.Errorf("reward %v inconsistent with Q=%v eps=%v", m.Reward, m.Quality, m.Epsilon)
+	}
+}
+
+func TestEnableThermalHeatsUnderLoad(t *testing.T) {
+	app, err := hbo.New(hbo.Options{Scenario: "SC1-CF1", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.EnableThermal()
+	m, err := app.MeasureMetrics(120000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TemperatureC <= 30 {
+		t.Errorf("die temperature %v after two loaded minutes, want above ambient", m.TemperatureC)
+	}
+}
+
+func TestSetAllocationAndRatio(t *testing.T) {
+	app, err := hbo.New(hbo.Options{Scenario: "SC2-CF2", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.SetAllocation("mnist", "CPU"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.SetAllocation("mnist", "TPU"); err == nil {
+		t.Fatal("bogus resource accepted")
+	}
+	if err := app.SetAllocation("ghost", "CPU"); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+	if err := app.SetTriangleRatio(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.TriangleRatio(); math.Abs(got-0.5) > 0.03 {
+		t.Fatalf("ratio %v after SetTriangleRatio(0.5)", got)
+	}
+	if err := app.SetTriangleRatio(1.5); err == nil {
+		t.Fatal("ratio > 1 accepted")
+	}
+}
+
+func TestSessionAPI(t *testing.T) {
+	app, err := hbo.New(hbo.Options{Scenario: "SC2-CF2", Seed: 9, InitSamples: 2, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := app.StartSession(hbo.SessionOptions{UseLookup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(20000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Activations() == 0 {
+		t.Fatal("session never activated")
+	}
+	if len(s.Rewards()) == 0 {
+		t.Fatal("no reward samples")
+	}
+	// Periodic mode needs an interval.
+	if _, err := app.StartSession(hbo.SessionOptions{Periodic: true}); err == nil {
+		t.Fatal("periodic session without interval accepted")
+	}
+}
+
+func TestSetInView(t *testing.T) {
+	app, err := hbo.New(hbo.Options{Scenario: "SC1-CF1", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := app.MeasureMetrics(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Turn away from the heavy objects: AI latency should relax.
+	for _, id := range []string{"bike", "splane", "plane", "plane_2", "plane_3", "plane_4"} {
+		if err := app.SetInView(id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := app.MeasureMetrics(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Epsilon >= before.Epsilon {
+		t.Errorf("hiding heavy objects did not relax latency: %.3f -> %.3f", before.Epsilon, after.Epsilon)
+	}
+	if err := app.SetInView("ghost", false); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+}
+
+func TestLookupPersistenceAcrossSessions(t *testing.T) {
+	run := func(lookupJSON *bytes.Buffer) (*hbo.Session, *bytes.Buffer) {
+		app, err := hbo.New(hbo.Options{Scenario: "SC2-CF2", Seed: 31, InitSamples: 2, Iterations: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := hbo.SessionOptions{UseLookup: true}
+		if lookupJSON != nil {
+			opts.LookupFrom = bytes.NewReader(lookupJSON.Bytes())
+		}
+		s, err := app.StartSession(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunFor(12000); err != nil {
+			t.Fatal(err)
+		}
+		var saved bytes.Buffer
+		if err := s.SaveLookup(&saved); err != nil {
+			t.Fatal(err)
+		}
+		return s, &saved
+	}
+
+	first, saved := run(nil)
+	if first.LookupReplays() != 0 {
+		t.Fatalf("fresh session replayed %d times", first.LookupReplays())
+	}
+	if first.ExplorationTimeMS() <= 0 {
+		t.Fatal("no exploration time recorded")
+	}
+	// A second app run (same environment) seeded with the saved table
+	// replays instead of exploring and spends far less time in activations.
+	second, _ := run(saved)
+	if second.LookupReplays() == 0 {
+		t.Fatal("seeded session never replayed from the lookup table")
+	}
+	if second.ExplorationTimeMS() >= first.ExplorationTimeMS() {
+		t.Fatalf("seeded session explored as long as the fresh one: %.0f vs %.0f ms",
+			second.ExplorationTimeMS(), first.ExplorationTimeMS())
+	}
+}

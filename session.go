@@ -1,0 +1,120 @@
+package hbo
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/state"
+)
+
+// SessionOptions configures a monitored app session.
+type SessionOptions struct {
+	// Periodic switches from the paper's event-based activation policy to
+	// fixed-interval re-optimization (the Fig. 8b strawman).
+	Periodic bool
+	// PeriodicIntervalMS is the re-optimization interval in Periodic mode.
+	PeriodicIntervalMS float64
+	// UseLookup enables the §VI lookup-table extension: solutions found for
+	// an environment are replayed when the environment recurs, skipping a
+	// full Bayesian exploration.
+	UseLookup bool
+	// LookupFrom seeds the lookup table from a previously saved JSON stream
+	// (see Session.SaveLookup); implies UseLookup.
+	LookupFrom io.Reader
+}
+
+// RewardPoint is one monitored reward sample.
+type RewardPoint struct {
+	// TimeMS is the virtual timestamp.
+	TimeMS float64
+	// Reward is B = Q − w·ε at that time.
+	Reward float64
+	// InActivation marks samples taken while Bayesian iterations were
+	// exploring.
+	InActivation bool
+}
+
+// Session drives the app over virtual time with automatic HBO activations:
+// the reward is sampled periodically and the activation policy decides when
+// to re-optimize, while the caller mutates the scene between RunFor calls.
+type Session struct {
+	app   *App
+	inner *core.Session
+}
+
+// StartSession begins monitoring the app. The app's Optimize method must not
+// be called while a session is active (the session owns activations).
+func (a *App) StartSession(opts SessionOptions) (*Session, error) {
+	cfg := core.SessionConfig{
+		HBO:       a.cfg,
+		Mode:      core.EventBased,
+		UseLookup: opts.UseLookup,
+	}
+	if opts.LookupFrom != nil {
+		tab, err := state.LoadLookup(opts.LookupFrom)
+		if err != nil {
+			return nil, err
+		}
+		cfg.UseLookup = true
+		cfg.InitialLookup = tab
+	}
+	if opts.Periodic {
+		cfg.Mode = core.Periodic
+		cfg.PeriodicIntervalMS = opts.PeriodicIntervalMS
+	}
+	inner, err := core.NewSession(a.built.Runtime, cfg, a.rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{app: a, inner: inner}, nil
+}
+
+// RunFor advances the session by durationMS of simulated time, activating
+// HBO whenever the policy calls for it.
+func (s *Session) RunFor(durationMS float64) error {
+	return s.inner.RunFor(durationMS)
+}
+
+// Activations returns how many times the session re-optimized.
+func (s *Session) Activations() int {
+	return len(s.inner.Activations())
+}
+
+// LookupReplays returns how many activations were served from the lookup
+// table instead of running Bayesian iterations.
+func (s *Session) LookupReplays() int {
+	n := 0
+	for _, a := range s.inner.Activations() {
+		if a.FromLookup {
+			n++
+		}
+	}
+	return n
+}
+
+// ExplorationTimeMS returns the total simulated time spent inside
+// activations (the user-visible exploration cost).
+func (s *Session) ExplorationTimeMS() float64 {
+	return s.inner.ExplorationTimeMS()
+}
+
+// SaveLookup persists the session's lookup table as JSON for reuse in a
+// later session via SessionOptions.LookupFrom.
+func (s *Session) SaveLookup(w io.Writer) error {
+	tab := s.inner.Lookup()
+	if tab == nil {
+		return fmt.Errorf("hbo: session has no lookup table (enable UseLookup)")
+	}
+	return state.SaveLookup(w, tab)
+}
+
+// Rewards returns the recorded reward samples.
+func (s *Session) Rewards() []RewardPoint {
+	samples := s.inner.Samples()
+	out := make([]RewardPoint, len(samples))
+	for i, smp := range samples {
+		out[i] = RewardPoint{TimeMS: smp.TimeMS, Reward: smp.Reward, InActivation: smp.InActivation}
+	}
+	return out
+}
