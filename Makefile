@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all vet build test race bench check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# check is the pre-commit gate: static analysis, full build, and the test
+# suite under the race detector.
+check: vet build race

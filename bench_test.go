@@ -10,13 +10,19 @@ package hbo_test
 // The printable artifacts themselves come from cmd/hbobench.
 
 import (
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	hbo "github.com/mar-hbo/hbo"
 	"github.com/mar-hbo/hbo/internal/alloc"
 	"github.com/mar-hbo/hbo/internal/bo"
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/edge"
 	"github.com/mar-hbo/hbo/internal/experiments"
+	"github.com/mar-hbo/hbo/internal/faults"
 	"github.com/mar-hbo/hbo/internal/mesh"
+	"github.com/mar-hbo/hbo/internal/render"
 	"github.com/mar-hbo/hbo/internal/scenario"
 	"github.com/mar-hbo/hbo/internal/sim"
 	"github.com/mar-hbo/hbo/internal/soc"
@@ -191,3 +197,93 @@ func BenchmarkClustering(b *testing.B) {
 		}
 	}
 }
+
+// benchChaosSession drives a Periodic session through an edge link whose
+// requests drop, 5xx, and spike (seeded injector, reproducible per
+// iteration). The fault-tolerant client retries, breaks the circuit, and
+// degrades to the local decimator; the fail-stop variant (no retries, no
+// fallback) dies at the first activation that needs the link. Reported
+// metrics: mean reward B_t per completed window and completed window count
+// — the cost of not having the fault-tolerance layer.
+func benchChaosSession(b *testing.B, failStop bool) {
+	b.Helper()
+	b.ReportAllocs()
+	totalReward, totalWindows := 0.0, 0
+	for i := 0; i < b.N; i++ {
+		spec := scenario.SC1CF1()
+		built, err := spec.Build(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs := make([]render.ObjectSpec, 0, len(spec.Objects))
+		for _, c := range spec.Objects {
+			specs = append(specs, c.Spec)
+		}
+		srv, err := edge.NewServer(specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		inj := faults.NewTransport(nil, uint64(i+1), faults.Plan{
+			DropRate:        0.3,
+			ServerErrorRate: 0.3,
+			LatencyMeanMS:   0.5,
+		})
+		cfg := edge.DefaultClientConfig()
+		cfg.Transport = inj
+		cfg.BackoffBase = time.Millisecond
+		cfg.BackoffMax = 2 * time.Millisecond
+		cfg.BreakerOpenFor = 20 * time.Millisecond
+		if failStop {
+			cfg.MaxRetries = 0
+		}
+		client, err := edge.NewClientWithConfig(ts.URL, 32, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := built.Runtime
+		rt.SetLODProvider(client)
+		if !failStop {
+			rt.SetLocalFallback(render.NewLocalDecimator(built.Library))
+			rt.SetBOBackend(client, 42)
+		}
+		hboCfg := core.DefaultConfig()
+		hboCfg.InitSamples = 2
+		hboCfg.Iterations = 2
+		hboCfg.PeriodMS = 400
+		hboCfg.SettleMS = 100
+		hboCfg.MonitorIntervalMS = 500
+		sess, err := core.NewSession(rt, core.SessionConfig{
+			HBO:                hboCfg,
+			Mode:               core.Periodic,
+			PeriodicIntervalMS: 1500,
+		}, sim.NewRNG(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// 20 monitor windows; a fail-stop session aborts at its first
+		// activation through the faulty link and keeps whatever it got.
+		for w := 0; w < 20; w++ {
+			if err := sess.Step(); err != nil {
+				break
+			}
+		}
+		for _, s := range sess.Samples() {
+			totalReward += s.Reward
+			totalWindows++
+		}
+		ts.Close()
+	}
+	if totalWindows > 0 {
+		b.ReportMetric(totalReward/float64(totalWindows), "reward/window")
+	}
+	b.ReportMetric(float64(totalWindows)/float64(b.N), "windows/session")
+}
+
+// BenchmarkChaosSessionFaultTolerant is the reward under an unreliable link
+// with the full fault-tolerance layer (retry + breaker + local fallback).
+func BenchmarkChaosSessionFaultTolerant(b *testing.B) { benchChaosSession(b, false) }
+
+// BenchmarkChaosSessionFailStop is the same link with a fail-stop client:
+// the session dies at the first fault, so windows/session collapses.
+func BenchmarkChaosSessionFailStop(b *testing.B) { benchChaosSession(b, true) }

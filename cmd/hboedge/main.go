@@ -2,16 +2,25 @@
 // it serves virtual-object decimation, Eq. 1 parameter training, and remote
 // Bayesian-optimization steps over HTTP.
 //
+// The server is hardened for unattended operation: request bodies are
+// size-capped, handlers are time-bounded, slow-client reads and writes time
+// out, and SIGINT/SIGTERM drain in-flight requests before exit.
+//
 // Usage:
 //
 //	hboedge -addr :8080
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/mar-hbo/hbo/internal/edge"
 	"github.com/mar-hbo/hbo/internal/render"
@@ -19,14 +28,17 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
-	if err := run(*addr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "hboedge: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string) error {
+func run(ctx context.Context, addr string, drain time.Duration) error {
 	// The server's catalog covers every Table II asset.
 	catalog := append(render.SC1(), render.SC2()...)
 	specs := make([]render.ObjectSpec, 0, len(catalog))
@@ -37,6 +49,32 @@ func run(addr string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("hboedge: serving %d objects on %s (POST /decimate, /train, /bo/next)\n", len(specs), addr)
-	return http.ListenAndServe(addr, srv.Handler())
+	httpSrv := &http.Server{
+		Addr:    addr,
+		Handler: srv.Handler(),
+		// Bound every phase of a connection so a stalled peer cannot pin
+		// one: header read, full request read, response write, keep-alive.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Printf("hboedge: serving %d objects on %s (POST /decimate, /train, /bo/next; GET /healthz)\n", len(specs), addr)
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("hboedge: signal received, draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

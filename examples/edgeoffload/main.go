@@ -6,16 +6,22 @@
 // payload is a few dozen bytes.
 //
 // This example exercises the wire protocol end to end on a loopback
-// listener; run cmd/hboedge for a standalone server.
+// listener — including what happens when the link misbehaves: a fault
+// injector degrades the connection mid-run, the client rides it out with
+// retries, and a sustained outage trips the circuit breaker, which re-closes
+// once the link heals. Run cmd/hboedge for a standalone server.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"github.com/mar-hbo/hbo/internal/edge"
+	"github.com/mar-hbo/hbo/internal/faults"
 	"github.com/mar-hbo/hbo/internal/quality"
 	"github.com/mar-hbo/hbo/internal/render"
 	"github.com/mar-hbo/hbo/internal/sim"
@@ -52,7 +58,17 @@ func run() error {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("edge server on %s\n\n", base)
 
-	client, err := edge.NewClient(base, 16)
+	// All client traffic flows through a fault injector — clean for the
+	// first three sections, then degraded in section 4.
+	inj := faults.NewTransport(nil, 11, faults.Plan{})
+	cfg := edge.DefaultClientConfig()
+	cfg.Transport = inj
+	cfg.BackoffBase = 2 * time.Millisecond
+	cfg.BackoffMax = 10 * time.Millisecond
+	cfg.BreakerFailureThreshold = 3
+	cfg.BreakerSuccessThreshold = 1
+	cfg.BreakerOpenFor = 50 * time.Millisecond
+	client, err := edge.NewClientWithConfig(base, 16, cfg)
 	if err != nil {
 		return err
 	}
@@ -108,7 +124,50 @@ func run() error {
 			best = o
 		}
 	}
-	fmt.Printf("remote BO after %d iterations: best cost %.3f at ratio %.2f (target 0.72)\n",
+	fmt.Printf("remote BO after %d iterations: best cost %.3f at ratio %.2f (target 0.72)\n\n",
 		len(obs), best.Cost, best.Point[3])
+
+	// 4. Fault tolerance. First a lossy-but-alive link: half the requests
+	// drop, and the client's retry/backoff loop absorbs them.
+	inj.SetPlan(faults.Plan{DropRate: 0.5})
+	for _, ratio := range []float64{0.35, 0.55, 0.85} {
+		if _, err := client.Decimate("apricot", ratio); err != nil {
+			return fmt.Errorf("lossy link: %w", err)
+		}
+	}
+	fmt.Printf("lossy link (50%% drops): 3 downloads OK after %d retries\n", client.Retries())
+
+	// Then a hard outage: every request 503s. After three consecutive
+	// failures the breaker opens and further calls fail fast without
+	// touching the network.
+	inj.SetPlan(faults.Plan{ServerErrorRate: 1})
+	for i := 0; i < 4; i++ {
+		// Fresh ratios each call, so the LRU cache cannot answer locally.
+		_, err := client.Decimate("apricot", 0.25+float64(i)*0.02)
+		st := client.BreakerStats()
+		switch {
+		case errors.Is(err, edge.ErrUnavailable):
+			fmt.Printf("outage call %d: fast-fail, breaker %s (%d short-circuits)\n", i+1, st.State, st.ShortCircuits)
+		case err != nil:
+			fmt.Printf("outage call %d: %v (breaker %s)\n", i+1, err, st.State)
+		default:
+			fmt.Printf("outage call %d: unexpectedly succeeded\n", i+1)
+		}
+	}
+
+	// Link heals: once the open window lapses, a half-open probe succeeds
+	// and the breaker re-closes — the edge is re-adopted transparently.
+	inj.SetPlan(faults.Plan{})
+	time.Sleep(cfg.BreakerOpenFor + 10*time.Millisecond)
+	m, err := client.Decimate("apricot", 0.6)
+	if err != nil {
+		return fmt.Errorf("post-recovery download: %w", err)
+	}
+	st := client.BreakerStats()
+	fmt.Printf("link healed: %d triangles downloaded, breaker %s after %d opens\n",
+		m.TriangleCount(), st.State, st.Opens)
+	fs := inj.Stats()
+	fmt.Printf("injector totals: %d requests (%d passed, %d dropped, %d synthesized 5xx)\n",
+		fs.Requests, fs.Passed, fs.Drops, fs.Synth5xx)
 	return nil
 }

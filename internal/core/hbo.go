@@ -92,6 +92,9 @@ type Iteration struct {
 	Epsilon float64
 	// Assignment is the per-task allocation the heuristic realized.
 	Assignment alloc.Assignment
+	// Degraded marks iterations measured while the runtime operated on
+	// fallback output (edge link down).
+	Degraded bool
 }
 
 // Result is the outcome of one HBO activation.
@@ -110,6 +113,11 @@ type Result struct {
 	Cost    float64
 	Quality float64
 	Epsilon float64
+	// RemoteProposals and FallbackProposals count post-init iterations whose
+	// configuration came from the remote BO backend versus the local
+	// optimizer after a remote failure. Both zero when no backend is set.
+	RemoteProposals   int
+	FallbackProposals int
 }
 
 // BestCostTrajectory returns the running minimum cost after each iteration
@@ -156,10 +164,18 @@ func RunActivation(rt *Runtime, cfg Config, rng *sim.RNG) (*Result, error) {
 	}
 	res := &Result{}
 	total := cfg.InitSamples + cfg.Iterations
+	// points and costs mirror the optimizer's database for the (stateless)
+	// remote backend; the local optimizer observes every sample regardless
+	// of who proposed it, so it can take over mid-activation at any time.
+	var points [][]float64
+	var costs []float64
 	for i := 0; i < total; i++ {
-		point, err := opt.Next()
-		if err != nil {
-			return nil, fmt.Errorf("core: BO suggestion %d: %w", i, err)
+		point := rt.proposeRemote(dom, cfg, i, points, costs, res)
+		if point == nil {
+			point, err = opt.Next()
+			if err != nil {
+				return nil, fmt.Errorf("core: BO suggestion %d: %w", i, err)
+			}
 		}
 		assignment, err := rt.ApplyConfiguration(point[:tasks.NumResources], point[tasks.NumResources])
 		if err != nil {
@@ -174,12 +190,15 @@ func RunActivation(rt *Runtime, cfg Config, rng *sim.RNG) (*Result, error) {
 		if err := opt.Observe(point, cost); err != nil {
 			return nil, err
 		}
+		points = append(points, point)
+		costs = append(costs, cost)
 		res.Iterations = append(res.Iterations, Iteration{
 			Point:      point,
 			Cost:       cost,
 			Quality:    m.Quality,
 			Epsilon:    m.Epsilon,
 			Assignment: assignment,
+			Degraded:   m.Degraded,
 		})
 		if cost < res.Iterations[res.BestIndex].Cost {
 			res.BestIndex = i
@@ -201,4 +220,26 @@ func RunActivation(rt *Runtime, cfg Config, rng *sim.RNG) (*Result, error) {
 	res.Quality = best.Quality
 	res.Epsilon = best.Epsilon
 	return res, nil
+}
+
+// proposeRemote asks the runtime's remote BO backend for iteration i's
+// configuration. It returns nil — deferring to the local optimizer — when no
+// backend is set, during the on-device init sampling, when the backend's
+// circuit is open, or when the proposal fails or is out of domain; remote
+// faults degrade the activation to local proposals instead of aborting it.
+func (rt *Runtime) proposeRemote(dom bo.Domain, cfg Config, i int, points [][]float64, costs []float64, res *Result) []float64 {
+	if rt.boBackend == nil || i < cfg.InitSamples {
+		return nil
+	}
+	if av, ok := rt.boBackend.(interface{ Available() bool }); ok && !av.Available() {
+		res.FallbackProposals++
+		return nil
+	}
+	p, err := rt.boBackend.BONextPoint(tasks.NumResources, cfg.RMin, rt.boSeed, points, costs)
+	if err != nil || len(p) != dom.Dim() || !dom.Contains(p) {
+		res.FallbackProposals++
+		return nil
+	}
+	res.RemoteProposals++
+	return p
 }

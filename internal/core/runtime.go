@@ -27,6 +27,26 @@ type Runtime struct {
 	// lod, when set, supplies actual decimated geometry after each TD run
 	// (Fig. 3's cache/server path); nil keeps triangle bookkeeping only.
 	lod render.LODProvider
+	// fallbackLOD, when set, takes over when lod is unavailable or failing
+	// (the on-device decimator): the app keeps rendering at locally
+	// decimated quality instead of stalling on a dead edge link.
+	fallbackLOD render.LODProvider
+	// boBackend, when set, proposes BO configurations remotely (§VI); on
+	// error the activation transparently falls back to the local optimizer.
+	boBackend BOBackend
+	boSeed    uint64
+	// degraded is sticky across windows: true from the moment a fallback
+	// takes over until the primary provider serves successfully again.
+	degraded       bool
+	degradedEvents int
+}
+
+// BOBackend proposes the next BO configuration from the full observation
+// database — the §VI remote-BO step, stateless per call so any proposal can
+// be lost to the link without corrupting the session. The edge client
+// implements it.
+type BOBackend interface {
+	BONextPoint(resources int, rmin float64, seed uint64, points [][]float64, costs []float64) ([]float64, error)
 }
 
 // NewRuntime registers every task of the set on its profiled best resource
@@ -62,6 +82,30 @@ func (rt *Runtime) TaskIDs() []string {
 func (rt *Runtime) SetLODProvider(p render.LODProvider) {
 	rt.lod = p
 }
+
+// SetLocalFallback attaches the on-device decimator used when the primary
+// LOD provider is unavailable (circuit open) or failing. With a fallback in
+// place, edge outages degrade the session instead of erroring it.
+func (rt *Runtime) SetLocalFallback(p render.LODProvider) {
+	rt.fallbackLOD = p
+}
+
+// SetBOBackend attaches a remote BO proposer (the edge client) with the
+// seed its server-side optimizer runs under. Activations ask it for
+// post-init proposals and fall back to the local optimizer when it fails.
+func (rt *Runtime) SetBOBackend(b BOBackend, seed uint64) {
+	rt.boBackend = b
+	rt.boSeed = seed
+}
+
+// Degraded reports whether the runtime is currently operating on fallback
+// output (degraded mode): set when a fallback takes over, cleared when the
+// primary provider serves successfully again (breaker recovery).
+func (rt *Runtime) Degraded() bool { return rt.degraded }
+
+// DegradedEvents counts entries into degraded mode (fault episodes, not
+// windows — Session counts windows).
+func (rt *Runtime) DegradedEvents() int { return rt.degradedEvents }
 
 // SyncRenderLoad pushes the scene's current GPU rendering utilization into
 // the SoC simulator. Call after any change to object triangles or distance.
@@ -99,13 +143,44 @@ func (rt *Runtime) ApplyConfiguration(c []float64, x float64) (alloc.Assignment,
 		return nil, err
 	}
 	if rt.lod != nil {
-		// Refetch geometry only when an object's ratio moved visibly.
-		if err := rt.Scene.ApplyLOD(rt.lod, 0.02); err != nil {
+		if err := rt.applyLOD(); err != nil {
 			return nil, err
 		}
 	}
 	rt.SyncRenderLoad()
 	return assignment, nil
+}
+
+// applyLOD fetches decimated geometry through the primary provider,
+// degrading to the local fallback when the primary is unavailable or
+// failing — the paper's app keeps rendering (at locally decimated quality)
+// rather than stalling on a dead edge link. Recovery is transparent: the
+// next successful primary fetch clears degraded mode.
+func (rt *Runtime) applyLOD() error {
+	// Refetch geometry only when an object's ratio moved visibly.
+	const minDelta = 0.02
+	primaryReady := true
+	if av, ok := rt.lod.(render.Availability); ok {
+		primaryReady = av.Available()
+	}
+	if primaryReady || rt.fallbackLOD == nil {
+		err := rt.Scene.ApplyLOD(rt.lod, minDelta)
+		if err == nil {
+			rt.degraded = false
+			return nil
+		}
+		if rt.fallbackLOD == nil {
+			return err
+		}
+	}
+	if err := rt.Scene.ApplyLOD(rt.fallbackLOD, minDelta); err != nil {
+		return fmt.Errorf("core: local LOD fallback: %w", err)
+	}
+	if !rt.degraded {
+		rt.degradedEvents++
+	}
+	rt.degraded = true
+	return nil
 }
 
 // Measurement is one control-period observation of the system.
@@ -126,6 +201,10 @@ type Measurement struct {
 	// DeadlineMissRate is the fraction of inferences across all tasks whose
 	// latency exceeded their issue period (stale perception results).
 	DeadlineMissRate float64
+	// Degraded marks windows measured while the runtime operated on
+	// fallback output (edge unavailable) — the fault-tolerance layer's
+	// degraded-mode accounting.
+	Degraded bool
 }
 
 // Reward returns B_t = Q − w·ε (Eq. 3).
@@ -151,6 +230,7 @@ func (rt *Runtime) Measure(periodMS float64) (Measurement, error) {
 		PerTaskLatency: make(map[string]float64, len(stats)),
 		AveragePowerW:  soc.AveragePowerW(rt.Sys.EnergyMJ(), periodMS),
 		FPS:            dev.FPSFor(rt.Scene.VisibleTriangles()),
+		Degraded:       rt.degraded,
 	}
 	sum := 0.0
 	n := 0

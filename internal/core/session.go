@@ -14,6 +14,9 @@ type RewardSample struct {
 	// InActivation marks samples produced while Bayesian iterations were
 	// exploring (the boxed regions of Fig. 8a).
 	InActivation bool
+	// Degraded marks windows measured while the runtime ran on local
+	// fallback output (edge link down).
+	Degraded bool
 }
 
 // ActivationMark records one activation and its outcome.
@@ -63,10 +66,11 @@ type Session struct {
 	monitor *Monitor
 	lookup  *LookupTable
 
-	lastPeriodic   float64
-	lastActivation float64
-	samples        []RewardSample
-	activations    []ActivationMark
+	lastPeriodic    float64
+	lastActivation  float64
+	samples         []RewardSample
+	activations     []ActivationMark
+	degradedWindows int
 	// recent holds the last few monitor rewards; drift is judged on their
 	// mean so a single noisy window cannot trigger a full activation.
 	recent []float64
@@ -109,6 +113,18 @@ func (s *Session) Activations() []ActivationMark { return s.activations }
 // Lookup returns the lookup table (nil unless enabled).
 func (s *Session) Lookup() *LookupTable { return s.lookup }
 
+// DegradedWindows returns how many recorded reward windows were measured in
+// degraded mode (runtime on local fallback because the edge was down).
+func (s *Session) DegradedWindows() int { return s.degradedWindows }
+
+// record appends one reward sample and maintains the degraded-window count.
+func (s *Session) record(smp RewardSample) {
+	s.samples = append(s.samples, smp)
+	if smp.Degraded {
+		s.degradedWindows++
+	}
+}
+
 // ExplorationTimeMS returns the total virtual time the session spent inside
 // activations — the user-visible cost of re-optimizing that the §VI lookup
 // table exists to amortize.
@@ -128,7 +144,7 @@ func (s *Session) Step() error {
 		return err
 	}
 	b := m.Reward(s.cfg.HBO.Weight)
-	s.samples = append(s.samples, RewardSample{TimeMS: s.rt.Sys.Now(), Reward: b})
+	s.record(RewardSample{TimeMS: s.rt.Sys.Now(), Reward: b, Degraded: m.Degraded})
 	const smoothing = 3
 	s.recent = append(s.recent, b)
 	if len(s.recent) > smoothing {
@@ -192,7 +208,7 @@ func (s *Session) activate() error {
 			s.monitor.SetReference(b)
 			s.recent = s.recent[:0]
 			s.lastActivation = s.rt.Sys.Now()
-			s.samples = append(s.samples, RewardSample{TimeMS: s.rt.Sys.Now(), Reward: b, InActivation: true})
+			s.record(RewardSample{TimeMS: s.rt.Sys.Now(), Reward: b, InActivation: true, Degraded: m.Degraded})
 			s.activations = append(s.activations, ActivationMark{TimeMS: start, EndMS: s.rt.Sys.Now(), FromLookup: true})
 			return nil
 		}
@@ -205,10 +221,11 @@ func (s *Session) activate() error {
 		// Reconstruct per-iteration timestamps: iterations ran back to back
 		// over PeriodMS windows.
 		ts := start + float64(i+1)*s.cfg.HBO.PeriodMS
-		s.samples = append(s.samples, RewardSample{
+		s.record(RewardSample{
 			TimeMS:       ts,
 			Reward:       -it.Cost,
 			InActivation: true,
+			Degraded:     it.Degraded,
 		})
 	}
 	// The winning iteration's cost can be optimistic (exploration noise

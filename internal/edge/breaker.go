@@ -1,0 +1,163 @@
+package edge
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrUnavailable is returned (wrapped) when the client's circuit breaker is
+// open and the call was short-circuited without touching the network. Callers
+// holding a local fallback (render.LocalDecimator, on-device BO) should
+// switch to it on this error rather than treating the session as failed.
+var ErrUnavailable = errors.New("edge server unavailable (circuit open)")
+
+// BreakerState is the circuit breaker's three-state machine.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are short-circuited until the open window ends.
+	BreakerOpen
+	// BreakerHalfOpen: probe requests flow; enough successes re-close the
+	// circuit, any failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String returns the state name for logs and bench output.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerStats is a snapshot of the breaker's counters, exposed for the
+// chaos bench and for operators deciding whether degraded windows correlate
+// with link faults.
+type BreakerStats struct {
+	State BreakerState
+	// Opens counts closed/half-open → open transitions.
+	Opens int
+	// ShortCircuits counts requests rejected without touching the network.
+	ShortCircuits int
+	// Failures and Successes count recorded attempt outcomes.
+	Failures  int
+	Successes int
+	// ConsecutiveFailures is the current run of failures while closed.
+	ConsecutiveFailures int
+}
+
+// breaker is a three-state circuit breaker. All methods are safe for
+// concurrent use. Time is injectable so tests control the open window.
+type breaker struct {
+	mu sync.Mutex
+
+	failureThreshold int
+	successThreshold int
+	openFor          time.Duration
+	now              func() time.Time
+
+	state     BreakerState
+	failures  int // consecutive, while closed
+	successes int // consecutive, while half-open
+	openedAt  time.Time
+	stats     BreakerStats
+}
+
+func newBreaker(failureThreshold, successThreshold int, openFor time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{
+		failureThreshold: failureThreshold,
+		successThreshold: successThreshold,
+		openFor:          openFor,
+		now:              now,
+	}
+}
+
+// allow reports whether a request may proceed, moving open → half-open once
+// the open window has elapsed. A false return is counted as a short circuit.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		if b.now().Sub(b.openedAt) >= b.openFor {
+			b.state = BreakerHalfOpen
+			b.successes = 0
+		} else {
+			b.stats.ShortCircuits++
+			return false
+		}
+	}
+	return true
+}
+
+// ready reports whether a request would be allowed, without mutating state
+// or counting a short circuit — the availability probe degradation checks
+// use before deciding between edge and local fallback.
+func (b *breaker) ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != BreakerOpen || b.now().Sub(b.openedAt) >= b.openFor
+}
+
+// recordSuccess feeds one successful attempt outcome.
+func (b *breaker) recordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Successes++
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerHalfOpen:
+		b.successes++
+		if b.successes >= b.successThreshold {
+			b.state = BreakerClosed
+			b.failures = 0
+		}
+	}
+}
+
+// recordFailure feeds one failed attempt outcome.
+func (b *breaker) recordFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Failures++
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.failureThreshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		// A failing probe re-opens for a fresh window.
+		b.open()
+	}
+}
+
+// open transitions to BreakerOpen; callers hold b.mu.
+func (b *breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.successes = 0
+	b.stats.Opens++
+}
+
+// snapshot returns the current counters.
+func (b *breaker) snapshot() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stats
+	st.State = b.state
+	st.ConsecutiveFailures = b.failures
+	return st
+}

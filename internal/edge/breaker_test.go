@@ -1,0 +1,109 @@
+package edge
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker-window tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, 2, time.Second, clk.now)
+	if b.snapshot().State != BreakerClosed {
+		t.Fatal("new breaker not closed")
+	}
+	b.recordFailure()
+	b.recordFailure()
+	if st := b.snapshot().State; st != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", st)
+	}
+	b.recordFailure()
+	if st := b.snapshot(); st.State != BreakerOpen || st.Opens != 1 {
+		t.Fatalf("state after 3 failures = %+v, want open/1", st)
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed a request")
+	}
+	if st := b.snapshot(); st.ShortCircuits != 1 {
+		t.Fatalf("short circuits = %d, want 1", st.ShortCircuits)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, 1, time.Second, clk.now)
+	b.recordFailure()
+	b.recordFailure()
+	b.recordSuccess() // run broken
+	b.recordFailure()
+	b.recordFailure()
+	if st := b.snapshot().State; st != BreakerClosed {
+		t.Fatalf("interleaved successes still opened the breaker: %v", st)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, 2, time.Second, clk.now)
+	b.recordFailure() // opens
+	if b.allow() {
+		t.Fatal("allowed while open")
+	}
+	if b.ready() {
+		t.Fatal("ready while open")
+	}
+	clk.advance(time.Second)
+	if !b.ready() {
+		t.Fatal("not ready after open window")
+	}
+	if !b.allow() {
+		t.Fatal("probe rejected after open window")
+	}
+	if st := b.snapshot().State; st != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", st)
+	}
+	b.recordSuccess()
+	if st := b.snapshot().State; st != BreakerHalfOpen {
+		t.Fatalf("closed after 1/2 probe successes: %v", st)
+	}
+	b.recordSuccess()
+	if st := b.snapshot().State; st != BreakerClosed {
+		t.Fatalf("state after enough probe successes = %v, want closed", st)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, 1, time.Second, clk.now)
+	b.recordFailure()
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe rejected")
+	}
+	b.recordFailure()
+	if st := b.snapshot(); st.State != BreakerOpen || st.Opens != 2 {
+		t.Fatalf("failed probe state = %+v, want open/2", st)
+	}
+	// The fresh window starts from the reopen, not the original open.
+	clk.advance(900 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("reopened breaker allowed a request inside the fresh window")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if st.String() != want {
+			t.Fatalf("%d.String() = %q", st, st.String())
+		}
+	}
+}

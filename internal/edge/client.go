@@ -3,29 +3,117 @@ package edge
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
+	"sync"
+	"time"
 
 	"github.com/mar-hbo/hbo/internal/mesh"
 	"github.com/mar-hbo/hbo/internal/quality"
+	"github.com/mar-hbo/hbo/internal/sim"
 )
 
+// ClientConfig tunes the client's fault-tolerance behaviour: per-attempt
+// timeouts, capped exponential backoff with deterministic jitter for the
+// (idempotent) POSTs, the circuit breaker, and response-size bounds.
+type ClientConfig struct {
+	// Timeout bounds each individual HTTP attempt.
+	Timeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried (so a call
+	// makes at most 1+MaxRetries attempts). All three edge endpoints are
+	// pure computations, hence idempotent and safe to retry. 0 disables
+	// retries — the fail-stop client the chaos bench compares against.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between attempts: base·2^(attempt−1), capped, with up to 50%
+	// deterministic jitter subtracted.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed seeds the backoff jitter stream, keeping retry timing
+	// reproducible under the fault injector.
+	JitterSeed uint64
+	// MaxResponseBytes bounds how much of a response body is read; larger
+	// responses are rejected (a mesh at Table II sizes is well under 8 MiB).
+	MaxResponseBytes int64
+	// BreakerFailureThreshold consecutive failed attempts open the circuit;
+	// after BreakerOpenFor it half-opens, and BreakerSuccessThreshold
+	// consecutive successful probes close it again.
+	BreakerFailureThreshold int
+	BreakerSuccessThreshold int
+	BreakerOpenFor          time.Duration
+	// Transport overrides the HTTP transport (fault injection, tests).
+	Transport http.RoundTripper
+	// Clock overrides time.Now for breaker timing (tests).
+	Clock func() time.Time
+	// Sleep overrides the backoff sleeper (tests).
+	Sleep func(time.Duration)
+}
+
+// DefaultClientConfig returns production-shaped defaults: 5 s attempts, 3
+// retries starting at 50 ms backoff capped at 2 s, an 8 MiB response bound,
+// and a breaker that opens after 5 consecutive failures for 2 s.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		Timeout:                 5 * time.Second,
+		MaxRetries:              3,
+		BackoffBase:             50 * time.Millisecond,
+		BackoffMax:              2 * time.Second,
+		JitterSeed:              1,
+		MaxResponseBytes:        8 << 20,
+		BreakerFailureThreshold: 5,
+		BreakerSuccessThreshold: 2,
+		BreakerOpenFor:          2 * time.Second,
+	}
+}
+
+func (cfg ClientConfig) validate() error {
+	if cfg.Timeout <= 0 {
+		return fmt.Errorf("edge: non-positive timeout %v", cfg.Timeout)
+	}
+	if cfg.MaxRetries < 0 {
+		return fmt.Errorf("edge: negative retry count %d", cfg.MaxRetries)
+	}
+	if cfg.BackoffBase <= 0 || cfg.BackoffMax < cfg.BackoffBase {
+		return fmt.Errorf("edge: invalid backoff range [%v, %v]", cfg.BackoffBase, cfg.BackoffMax)
+	}
+	if cfg.MaxResponseBytes < 1024 {
+		return fmt.Errorf("edge: response bound %d too small", cfg.MaxResponseBytes)
+	}
+	if cfg.BreakerFailureThreshold < 1 || cfg.BreakerSuccessThreshold < 1 {
+		return fmt.Errorf("edge: breaker thresholds must be >= 1")
+	}
+	if cfg.BreakerOpenFor <= 0 {
+		return fmt.Errorf("edge: non-positive breaker open window %v", cfg.BreakerOpenFor)
+	}
+	return nil
+}
+
 // Client talks to an edge Server and caches decimated meshes locally, the
-// paper's "local cache" in Figure 3. It is not safe for concurrent use; one
-// MAR app session owns one client.
+// paper's "local cache" in Figure 3. Safe for concurrent use; the circuit
+// breaker and cache are shared across goroutines so every caller sees the
+// same view of the link's health.
 type Client struct {
 	base string
 	http *http.Client
+	cfg  ClientConfig
 
+	breaker *breaker
+	sleep   func(time.Duration)
+
+	mu       sync.Mutex
+	jitter   *sim.RNG
 	cacheCap int
 	cache    map[cacheKey]*list.Element
 	lru      *list.List
-
-	// hits and misses instrument the cache for the ablation bench.
+	// hits and misses instrument the cache for the ablation bench; retries
+	// counts attempts beyond each call's first.
 	hits, misses int
+	retries      int
 }
 
 type cacheKey struct {
@@ -47,17 +135,35 @@ func keyFor(object string, ratio float64) cacheKey {
 }
 
 // NewClient builds a client for the server at base URL (no trailing slash)
-// with an LRU decimation cache of the given capacity.
+// with an LRU decimation cache of the given capacity and default
+// fault-tolerance settings.
 func NewClient(base string, cacheCap int) (*Client, error) {
+	return NewClientWithConfig(base, cacheCap, DefaultClientConfig())
+}
+
+// NewClientWithConfig builds a client with explicit fault-tolerance
+// settings.
+func NewClientWithConfig(base string, cacheCap int, cfg ClientConfig) (*Client, error) {
 	if base == "" {
 		return nil, fmt.Errorf("edge: empty base URL")
 	}
 	if cacheCap < 1 {
 		return nil, fmt.Errorf("edge: cache capacity %d must be >= 1", cacheCap)
 	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	return &Client{
 		base:     base,
-		http:     &http.Client{},
+		http:     &http.Client{Transport: cfg.Transport},
+		cfg:      cfg,
+		breaker:  newBreaker(cfg.BreakerFailureThreshold, cfg.BreakerSuccessThreshold, cfg.BreakerOpenFor, cfg.Clock),
+		sleep:    sleep,
+		jitter:   sim.NewRNG(cfg.JitterSeed),
 		cacheCap: cacheCap,
 		cache:    make(map[cacheKey]*list.Element),
 		lru:      list.New(),
@@ -65,46 +171,93 @@ func NewClient(base string, cacheCap int) (*Client, error) {
 }
 
 // CacheStats returns cache hit/miss counters.
-func (c *Client) CacheStats() (hits, misses int) { return c.hits, c.misses }
+func (c *Client) CacheStats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Retries returns how many retry attempts (beyond each call's first) the
+// client has made.
+func (c *Client) Retries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries
+}
+
+// BreakerStats returns the circuit breaker's state and counters.
+func (c *Client) BreakerStats() BreakerStats { return c.breaker.snapshot() }
+
+// Available reports whether calls would currently be attempted: true while
+// the breaker is closed, half-open, or open past its window (a probe would
+// flow). Degradation logic uses this to route work to the local fallback
+// without paying a round of short-circuit errors.
+func (c *Client) Available() bool { return c.breaker.ready() }
 
 // Decimate returns the object decimated to the given ratio (quadric edge
 // collapse), from cache when possible.
 func (c *Client) Decimate(object string, ratio float64) (*mesh.Mesh, error) {
-	return c.decimate(object, ratio, false)
+	return c.DecimateContext(context.Background(), object, ratio)
+}
+
+// DecimateContext is Decimate with caller-controlled cancellation.
+func (c *Client) DecimateContext(ctx context.Context, object string, ratio float64) (*mesh.Mesh, error) {
+	return c.decimate(ctx, object, ratio, false)
 }
 
 // DecimateFast is the vertex-clustering path: coarser output, much lower
 // server latency. Fast and precise results share the cache key space with a
 // flag so one never masquerades as the other.
 func (c *Client) DecimateFast(object string, ratio float64) (*mesh.Mesh, error) {
-	return c.decimate(object, ratio, true)
+	return c.DecimateFastContext(context.Background(), object, ratio)
 }
 
-func (c *Client) decimate(object string, ratio float64, fast bool) (*mesh.Mesh, error) {
+// DecimateFastContext is DecimateFast with caller-controlled cancellation.
+func (c *Client) DecimateFastContext(ctx context.Context, object string, ratio float64) (*mesh.Mesh, error) {
+	return c.decimate(ctx, object, ratio, true)
+}
+
+// decimate serves a mesh from the LRU cache or the server. Returned meshes
+// are clones: callers (scenes) mutate geometry freely without corrupting
+// the cached copy.
+func (c *Client) decimate(ctx context.Context, object string, ratio float64, fast bool) (*mesh.Mesh, error) {
 	if ratio <= 0 || ratio > 1 {
 		return nil, fmt.Errorf("edge: ratio %v out of (0,1]", ratio)
 	}
 	key := keyFor(object, ratio)
 	key.fast = fast
+	c.mu.Lock()
 	if el, ok := c.cache[key]; ok {
 		c.hits++
 		c.lru.MoveToFront(el)
-		return el.Value.(*cacheEntry).mesh, nil
+		m := el.Value.(*cacheEntry).mesh.Clone()
+		c.mu.Unlock()
+		return m, nil
 	}
 	c.misses++
+	c.mu.Unlock()
 	var resp DecimateResponse
-	if err := c.post("/decimate", DecimateRequest{Object: object, Ratio: ratio, Fast: fast}, &resp); err != nil {
+	if err := c.post(ctx, "/decimate", DecimateRequest{Object: object, Ratio: ratio, Fast: fast}, &resp); err != nil {
 		return nil, err
 	}
 	m := resp.Mesh.ToMesh()
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("edge: server returned invalid mesh: %w", err)
 	}
+	c.mu.Lock()
 	c.insert(key, m)
-	return m, nil
+	c.mu.Unlock()
+	return m.Clone(), nil
 }
 
+// insert adds a cache entry; callers hold c.mu.
 func (c *Client) insert(key cacheKey, m *mesh.Mesh) {
+	if el, ok := c.cache[key]; ok {
+		// A concurrent miss already populated the key; refresh it.
+		el.Value.(*cacheEntry).mesh = m
+		c.lru.MoveToFront(el)
+		return
+	}
 	el := c.lru.PushFront(&cacheEntry{key: key, mesh: m})
 	c.cache[key] = el
 	for c.lru.Len() > c.cacheCap {
@@ -116,8 +269,13 @@ func (c *Client) insert(key cacheKey, m *mesh.Mesh) {
 
 // Train fits Eq. 1 parameters server-side from the given samples.
 func (c *Client) Train(object string, samples []quality.Sample) (quality.Params, error) {
+	return c.TrainContext(context.Background(), object, samples)
+}
+
+// TrainContext is Train with caller-controlled cancellation.
+func (c *Client) TrainContext(ctx context.Context, object string, samples []quality.Sample) (quality.Params, error) {
 	var resp TrainResponse
-	if err := c.post("/train", TrainRequest{Object: object, Samples: samples}, &resp); err != nil {
+	if err := c.post(ctx, "/train", TrainRequest{Object: object, Samples: samples}, &resp); err != nil {
 		return quality.Params{}, err
 	}
 	p := quality.Params{A: resp.A, B: resp.B, C: resp.C, D: resp.D}
@@ -127,9 +285,14 @@ func (c *Client) Train(object string, samples []quality.Sample) (quality.Params,
 // BONext uploads the observation database and returns the next
 // configuration to test (remote Bayesian optimization, §VI).
 func (c *Client) BONext(resources int, rmin float64, seed uint64, obs []Observation) ([]float64, error) {
+	return c.BONextContext(context.Background(), resources, rmin, seed, obs)
+}
+
+// BONextContext is BONext with caller-controlled cancellation.
+func (c *Client) BONextContext(ctx context.Context, resources int, rmin float64, seed uint64, obs []Observation) ([]float64, error) {
 	var resp BONextResponse
 	req := BONextRequest{Resources: resources, RMin: rmin, Seed: seed, Observations: obs}
-	if err := c.post("/bo/next", req, &resp); err != nil {
+	if err := c.post(ctx, "/bo/next", req, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Point) != resources+1 {
@@ -138,24 +301,158 @@ func (c *Client) BONext(resources int, rmin float64, seed uint64, obs []Observat
 	return resp.Point, nil
 }
 
-func (c *Client) post(path string, req, resp any) error {
+// BONextPoint adapts BONext to parallel point/cost slices — the shape
+// core.BOBackend wants, so a session can plug the client in as its remote
+// BO proposer without importing this package's wire types.
+func (c *Client) BONextPoint(resources int, rmin float64, seed uint64, points [][]float64, costs []float64) ([]float64, error) {
+	if len(points) != len(costs) {
+		return nil, fmt.Errorf("edge: %d points vs %d costs", len(points), len(costs))
+	}
+	obs := make([]Observation, len(points))
+	for i := range points {
+		obs[i] = Observation{Point: points[i], Cost: costs[i]}
+	}
+	return c.BONext(resources, rmin, seed, obs)
+}
+
+// statusError is a non-2xx response, kept typed so the retry policy can
+// distinguish server-side bursts (5xx, retryable) from rejections (4xx).
+type statusError struct {
+	status string
+	code   int
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("returned %s: %s", e.status, e.msg)
+}
+
+// retryable reports whether an attempt error is worth retrying: transport
+// errors, timeouts, 5xx responses, and mangled response bodies are
+// transient link faults; 4xx rejections are not.
+func retryable(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	return true
+}
+
+// post sends one idempotent JSON POST with per-attempt timeouts, capped
+// exponential backoff with deterministic jitter, and circuit-breaker
+// accounting. When the breaker is open the call fails fast with
+// ErrUnavailable, and the caller's local fallback takes over.
+func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("edge: encoding %s request: %w", path, err)
 	}
-	httpResp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if !c.breaker.allow() {
+		return fmt.Errorf("edge: %s: %w", path, ErrUnavailable)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.retries++
+			delay := c.backoffLocked(attempt)
+			c.mu.Unlock()
+			if err := c.wait(ctx, delay); err != nil {
+				return fmt.Errorf("edge: %s: %w", path, err)
+			}
+		}
+		err := c.attempt(ctx, path, body, resp)
+		if err == nil {
+			c.breaker.recordSuccess()
+			return nil
+		}
+		c.breaker.recordFailure()
+		lastErr = err
+		if !retryable(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	return fmt.Errorf("edge: %s %s", path, lastErr)
+}
+
+// backoffLocked computes base·2^(attempt−1) capped at BackoffMax, minus up
+// to 50% deterministic jitter; callers hold c.mu.
+func (c *Client) backoffLocked(attempt int) time.Duration {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	return d - time.Duration(0.5*c.jitter.Float64()*float64(d))
+}
+
+// wait sleeps for delay or until ctx is cancelled.
+func (c *Client) wait(ctx context.Context, delay time.Duration) error {
+	done := ctx.Done()
+	if done == nil {
+		c.sleep(delay)
+		return nil
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return ctx.Err()
+	}
+}
+
+// attempt runs one HTTP round trip under the per-attempt timeout, with a
+// bounded response read that rejects oversize bodies and trailing garbage
+// after the JSON document.
+func (c *Client) attempt(ctx context.Context, path string, body []byte, resp any) error {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("edge: %s: %w", path, err)
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.http.Do(httpReq)
+	if err != nil {
+		return err
 	}
 	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(httpResp.Body, 4096))
 		_ = httpResp.Body.Close()
 	}()
 	if httpResp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
-		return fmt.Errorf("edge: %s returned %s: %s", path, httpResp.Status, bytes.TrimSpace(msg))
+		return &statusError{status: httpResp.Status, code: httpResp.StatusCode, msg: string(bytes.TrimSpace(msg))}
 	}
-	if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
-		return fmt.Errorf("edge: decoding %s response: %w", path, err)
+	limited := &countingReader{r: io.LimitReader(httpResp.Body, c.cfg.MaxResponseBytes+1)}
+	dec := json.NewDecoder(limited)
+	if err := dec.Decode(resp); err != nil {
+		if limited.n > c.cfg.MaxResponseBytes {
+			return fmt.Errorf("response exceeds %d-byte limit", c.cfg.MaxResponseBytes)
+		}
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	if limited.n > c.cfg.MaxResponseBytes {
+		return fmt.Errorf("response exceeds %d-byte limit", c.cfg.MaxResponseBytes)
+	}
+	// A valid document must be the whole body: trailing garbage means a
+	// corrupted or concatenated payload, which must not be trusted.
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON response")
 	}
 	return nil
+}
+
+// countingReader counts bytes so oversize responses are detected even when
+// the JSON document itself parses.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
 }

@@ -10,15 +10,37 @@ package edge
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
+	"time"
 
 	"github.com/mar-hbo/hbo/internal/bo"
 	"github.com/mar-hbo/hbo/internal/mesh"
 	"github.com/mar-hbo/hbo/internal/quality"
 	"github.com/mar-hbo/hbo/internal/render"
 	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// Server-side request limits. One client is a single MAR session, so even
+// generous bounds are tiny next to what an unvalidated request could cost:
+// an unbounded body pins memory, an enormous BO database pins a CPU for the
+// O(K^3) GP fit, and a handler that never finishes pins a connection.
+const (
+	// maxRequestBytes bounds any request body (a full Table II training
+	// upload is well under 1 MiB).
+	maxRequestBytes = 4 << 20
+	// maxTrainSamples bounds one /train upload.
+	maxTrainSamples = 100000
+	// maxObservations bounds the /bo/next database (the paper's budget is
+	// 20 observations per activation).
+	maxObservations = 10000
+	// maxResources bounds the BO domain dimensionality.
+	maxResources = 64
+	// handlerTimeout bounds one request's server-side work.
+	handlerTimeout = 30 * time.Second
 )
 
 // DecimateRequest asks for a decimated version of a catalog object. Fast
@@ -135,13 +157,43 @@ func NewServer(specs []render.ObjectSpec) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP routes.
+// Handler returns the HTTP routes. Every POST handler runs behind a
+// request-body size cap and a per-handler timeout, so one abusive or stuck
+// request cannot pin the server's memory or connections.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /decimate", s.handleDecimate)
-	mux.HandleFunc("POST /train", s.handleTrain)
-	mux.HandleFunc("POST /bo/next", s.handleBONext)
+	mux.Handle("POST /decimate", guard(s.handleDecimate))
+	mux.Handle("POST /train", guard(s.handleTrain))
+	mux.Handle("POST /bo/next", guard(s.handleBONext))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		_, _ = w.Write([]byte("ok\n"))
+	})
 	return mux
+}
+
+// guard wraps a handler with the body cap and handler timeout.
+func guard(h http.HandlerFunc) http.Handler {
+	limited := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+		h(w, r)
+	})
+	return http.TimeoutHandler(limited, handlerTimeout, "edge: handler timeout")
+}
+
+// decodeRequest decodes a guarded JSON request body, translating the
+// MaxBytesReader trip into 413 and everything else into 400.
+func decodeRequest(w http.ResponseWriter, r *http.Request, into any) bool {
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("request body over %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+			return false
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
 }
 
 // geometry returns (building if needed) the full-quality mesh for an object.
@@ -168,11 +220,10 @@ func (s *Server) geometry(name string) (*mesh.Mesh, error) {
 
 func (s *Server) handleDecimate(w http.ResponseWriter, r *http.Request) {
 	var req DecimateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if !decodeRequest(w, r, &req) {
 		return
 	}
-	if req.Ratio <= 0 || req.Ratio > 1 {
+	if math.IsNaN(req.Ratio) || req.Ratio <= 0 || req.Ratio > 1 {
 		http.Error(w, fmt.Sprintf("ratio %v out of (0,1]", req.Ratio), http.StatusBadRequest)
 		return
 	}
@@ -205,8 +256,11 @@ func (s *Server) handleDecimate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	var req TrainRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if len(req.Samples) > maxTrainSamples {
+		http.Error(w, fmt.Sprintf("%d samples over the %d limit", len(req.Samples), maxTrainSamples), http.StatusBadRequest)
 		return
 	}
 	p, err := quality.Fit(req.Samples)
@@ -219,8 +273,15 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBONext(w http.ResponseWriter, r *http.Request) {
 	var req BONextRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if req.Resources < 1 || req.Resources > maxResources {
+		http.Error(w, fmt.Sprintf("resources %d out of [1,%d]", req.Resources, maxResources), http.StatusBadRequest)
+		return
+	}
+	if len(req.Observations) > maxObservations {
+		http.Error(w, fmt.Sprintf("%d observations over the %d limit", len(req.Observations), maxObservations), http.StatusBadRequest)
 		return
 	}
 	dom := bo.Domain{N: req.Resources, RMin: req.RMin}

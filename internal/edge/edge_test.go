@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -319,5 +320,86 @@ func TestClientServesSceneLOD(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Fatal("no cache hits on refetch")
+	}
+}
+
+func TestServerRejectsOversizeBody(t *testing.T) {
+	srv, err := NewServer([]render.ObjectSpec{
+		{Name: "apricot", MaxTriangles: 500, Shape: render.ShapeSphere, DistExp: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// A body past the request cap must come back 413, not be buffered.
+	body := `{"object":"` + strings.Repeat("x", (4<<20)+1024) + `"}`
+	resp, err := http.Post(ts.URL+"/decimate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestServerValidatesBONextLimits(t *testing.T) {
+	srv, err := NewServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for name, body := range map[string]string{
+		"zero resources": `{"resources":0,"rmin":0.1}`,
+		"huge resources": `{"resources":1000,"rmin":0.1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/bo/next", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv, err := NewServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerRejectsNaNRatio(t *testing.T) {
+	srv, err := NewServer([]render.ObjectSpec{
+		{Name: "apricot", MaxTriangles: 500, Shape: render.ShapeSphere, DistExp: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// JSON can't carry NaN directly, but a missing ratio decodes to 0 and
+	// must be rejected the same way.
+	resp, err := http.Post(ts.URL+"/decimate", "application/json", strings.NewReader(`{"object":"apricot"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
 	}
 }

@@ -1,0 +1,237 @@
+// Package faults provides a deterministic, seedable fault-injecting
+// http.RoundTripper for testing and benchmarking the edge offload path
+// under an unreliable link. Every failure decision is drawn from a seeded
+// RNG keyed off a per-transport request counter, so a given (seed, plan,
+// request sequence) reproduces exactly the same faults — chaos scenarios
+// are replayable in tests and benchmarks.
+//
+// Supported failure modes, composable per request:
+//
+//   - added latency (lognormal around a mean, i.e. occasional heavy-tail
+//     spikes, like a congested wireless link)
+//   - connection drops (the request errors before any response)
+//   - synthesized 5xx responses (an overloaded or crashing edge server)
+//   - truncated response bodies (mid-JSON cut, as on a reset connection)
+//   - corrupted response bodies (bit rot / proxy mangling)
+//   - flap windows: request-index ranges during which every request is
+//     dropped, modeling a hard outage with a scheduled recovery
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// Plan describes the fault mix. Rates are independent per-request
+// probabilities in [0,1]; a zero Plan passes everything through untouched.
+type Plan struct {
+	// DropRate is the probability a request fails with a connection error
+	// before reaching the server.
+	DropRate float64
+	// ServerErrorRate is the probability the transport short-circuits the
+	// request with a synthesized 503 response.
+	ServerErrorRate float64
+	// TruncateRate is the probability a successful response body is cut to
+	// half its length (invalid JSON mid-document).
+	TruncateRate float64
+	// CorruptRate is the probability a successful response body has bytes
+	// overwritten with garbage.
+	CorruptRate float64
+	// LatencyMeanMS adds lognormal latency with this mean (ms) to every
+	// request; LatencySigma is the shape of the underlying normal (0 gives
+	// the constant mean, larger values give heavy-tailed spikes).
+	LatencyMeanMS float64
+	LatencySigma  float64
+	// Flaps are request-index windows [From, To) during which every request
+	// is dropped regardless of the rates above.
+	Flaps []Window
+}
+
+// Window is a half-open request-index range [From, To).
+type Window struct{ From, To int }
+
+// Stats counts what the transport did, for assertions and bench reporting.
+type Stats struct {
+	Requests  int
+	Passed    int
+	Drops     int
+	Synth5xx  int
+	Truncated int
+	Corrupted int
+	Delayed   int
+}
+
+// Transport is the fault-injecting RoundTripper. Safe for concurrent use;
+// fault decisions are serialized under a mutex so the (seed, plan) draw
+// sequence is a deterministic function of request arrival order.
+type Transport struct {
+	inner http.RoundTripper
+	sleep func(time.Duration)
+
+	mu    sync.Mutex
+	rng   *sim.RNG
+	plan  Plan
+	req   int
+	stats Stats
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with the given
+// seed and plan.
+func NewTransport(inner http.RoundTripper, seed uint64, plan Plan) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, rng: sim.NewRNG(seed), plan: plan, sleep: time.Sleep}
+}
+
+// SetPlan swaps the fault plan mid-run (e.g. clean → chaos → recovered
+// phases of a chaos test). The request counter and RNG stream continue.
+func (t *Transport) SetPlan(plan Plan) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.plan = plan
+}
+
+// SetSleep overrides the latency-injection sleeper (tests).
+func (t *Transport) SetSleep(sleep func(time.Duration)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sleep = sleep
+}
+
+// Stats returns a snapshot of the injection counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Requests returns how many requests the transport has seen.
+func (t *Transport) Requests() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.req
+}
+
+// decision is what the seeded draw resolved for one request.
+type decision struct {
+	drop     bool
+	synth5xx bool
+	truncate bool
+	corrupt  bool
+	delay    time.Duration
+	garbage  uint64
+}
+
+// decide consumes a fixed number of draws per request so the stream stays
+// aligned regardless of which faults fire.
+func (t *Transport) decide() (decision, func(time.Duration)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := t.req
+	t.req++
+	t.stats.Requests++
+	var d decision
+	for _, w := range t.plan.Flaps {
+		if idx >= w.From && idx < w.To {
+			d.drop = true
+		}
+	}
+	d.drop = d.drop || t.rng.Float64() < t.plan.DropRate
+	d.synth5xx = t.rng.Float64() < t.plan.ServerErrorRate
+	d.truncate = t.rng.Float64() < t.plan.TruncateRate
+	d.corrupt = t.rng.Float64() < t.plan.CorruptRate
+	if t.plan.LatencyMeanMS > 0 {
+		ms := t.plan.LatencyMeanMS * t.rng.LogNormal(t.plan.LatencySigma)
+		d.delay = time.Duration(ms * float64(time.Millisecond))
+	}
+	d.garbage = t.rng.Uint64()
+	switch {
+	case d.drop:
+		t.stats.Drops++
+	case d.synth5xx:
+		t.stats.Synth5xx++
+	case d.truncate:
+		t.stats.Truncated++
+	case d.corrupt:
+		t.stats.Corrupted++
+	default:
+		t.stats.Passed++
+	}
+	if d.delay > 0 {
+		t.stats.Delayed++
+	}
+	return d, t.sleep
+}
+
+// DropError is the error returned for injected connection drops.
+type DropError struct{ Req int }
+
+func (e *DropError) Error() string {
+	return fmt.Sprintf("faults: injected connection drop (request %d)", e.Req)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d, sleep := t.decide()
+	if d.delay > 0 {
+		sleep(d.delay)
+	}
+	if d.drop {
+		return nil, &DropError{Req: t.Requests() - 1}
+	}
+	if d.synth5xx {
+		// Drain and close the request body as a real transport would.
+		if req.Body != nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			_ = req.Body.Close()
+		}
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    io.NopCloser(bytes.NewReader([]byte("faults: injected server error"))),
+			Request: req,
+		}, nil
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if d.truncate || d.corrupt {
+		body, rerr := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if d.truncate {
+			body = body[:len(body)/2]
+		} else {
+			corrupt(body, d.garbage)
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}
+
+// corrupt overwrites a handful of positions with garbage derived from the
+// seeded draw, guaranteed to break a JSON document of any useful size.
+func corrupt(body []byte, garbage uint64) {
+	if len(body) == 0 {
+		return
+	}
+	for i := 0; i < 8; i++ {
+		pos := int((garbage >> (8 * i)) % uint64(len(body)))
+		body[pos] = 0xFF
+	}
+}

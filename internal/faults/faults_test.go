@@ -1,0 +1,216 @@
+package faults
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true,"payload":"0123456789abcdef0123456789abcdef"}`))
+	}))
+}
+
+func get(t *testing.T, tr *Transport, url string) (*http.Response, error) {
+	t.Helper()
+	client := &http.Client{Transport: tr}
+	return client.Get(url)
+}
+
+func TestPassThrough(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	tr := NewTransport(nil, 1, Plan{})
+	for i := 0; i < 5; i++ {
+		resp, err := get(t, tr, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct{ OK bool }
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if !out.OK {
+			t.Fatal("payload mangled on clean plan")
+		}
+	}
+	st := tr.Stats()
+	if st.Requests != 5 || st.Passed != 5 || st.Drops+st.Synth5xx+st.Truncated+st.Corrupted != 0 {
+		t.Fatalf("clean plan injected faults: %+v", st)
+	}
+}
+
+func TestDropsAreDeterministic(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	outcomes := func(seed uint64) []bool {
+		tr := NewTransport(nil, seed, Plan{DropRate: 0.5})
+		var out []bool
+		for i := 0; i < 20; i++ {
+			resp, err := get(t, tr, ts.URL)
+			if err == nil {
+				_ = resp.Body.Close()
+			}
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := outcomes(7), outcomes(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	dropped := 0
+	for _, d := range a {
+		if d {
+			dropped++
+		}
+	}
+	if dropped < 4 || dropped > 16 {
+		t.Fatalf("50%% drop rate yielded %d/20 drops", dropped)
+	}
+	var de *DropError
+	tr := NewTransport(nil, 3, Plan{DropRate: 1})
+	_, err := get(t, tr, ts.URL)
+	if !errors.As(err, &de) {
+		t.Fatalf("drop error type = %T (%v)", err, err)
+	}
+}
+
+func TestSynth5xx(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	tr := NewTransport(nil, 1, Plan{ServerErrorRate: 1})
+	resp, err := get(t, tr, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if st := tr.Stats(); st.Synth5xx != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTruncateAndCorruptBreakJSON(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	for name, plan := range map[string]Plan{
+		"truncate": {TruncateRate: 1},
+		"corrupt":  {CorruptRate: 1},
+	} {
+		tr := NewTransport(nil, 9, plan)
+		resp, err := get(t, tr, ts.URL)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		var out struct{ OK bool }
+		if json.Unmarshal(body, &out) == nil {
+			t.Fatalf("%s: body still parses: %q", name, body)
+		}
+	}
+}
+
+func TestFlapWindow(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	tr := NewTransport(nil, 1, Plan{Flaps: []Window{{From: 2, To: 5}}})
+	for i := 0; i < 8; i++ {
+		resp, err := get(t, tr, ts.URL)
+		inFlap := i >= 2 && i < 5
+		if inFlap && err == nil {
+			t.Fatalf("request %d inside flap succeeded", i)
+		}
+		if !inFlap && err != nil {
+			t.Fatalf("request %d outside flap failed: %v", i, err)
+		}
+		if err == nil {
+			_ = resp.Body.Close()
+		}
+	}
+	if st := tr.Stats(); st.Drops != 3 || st.Passed != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	tr := NewTransport(nil, 1, Plan{LatencyMeanMS: 12})
+	var mu sync.Mutex
+	var slept time.Duration
+	tr.SetSleep(func(d time.Duration) {
+		mu.Lock()
+		slept += d
+		mu.Unlock()
+	})
+	for i := 0; i < 3; i++ {
+		resp, err := get(t, tr, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+	}
+	if st := tr.Stats(); st.Delayed != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if slept < 30*time.Millisecond {
+		t.Fatalf("total injected latency %v, want >= 36ms-ish", slept)
+	}
+}
+
+func TestSetPlanMidRun(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	tr := NewTransport(nil, 1, Plan{DropRate: 1})
+	if _, err := get(t, tr, ts.URL); err == nil {
+		t.Fatal("chaos phase passed a request")
+	}
+	tr.SetPlan(Plan{})
+	resp, err := get(t, tr, ts.URL)
+	if err != nil {
+		t.Fatalf("recovered phase still failing: %v", err)
+	}
+	_ = resp.Body.Close()
+}
+
+func TestConcurrentUse(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	tr := NewTransport(nil, 1, Plan{DropRate: 0.3, ServerErrorRate: 0.2})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := get(t, tr, ts.URL)
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := tr.Stats(); st.Requests != 80 {
+		t.Fatalf("requests = %d, want 80", st.Requests)
+	}
+}

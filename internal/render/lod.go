@@ -14,6 +14,15 @@ type LODProvider interface {
 	Decimate(object string, ratio float64) (*mesh.Mesh, error)
 }
 
+// Availability is optionally implemented by providers whose backing service
+// can go away (the edge client exposes its circuit breaker through it).
+// Degradation logic checks it before issuing work, so an open circuit routes
+// straight to the local fallback instead of burning a round of errors.
+type Availability interface {
+	// Available reports whether the provider would currently attempt work.
+	Available() bool
+}
+
 // LocalDecimator runs quadric edge collapse on the spec's own geometry,
 // caching full-quality meshes per object — the no-edge-server fallback.
 type LocalDecimator struct {
