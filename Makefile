@@ -16,8 +16,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark with allocation stats and also records a
+# machine-readable snapshot (BENCH_<date>.json) via cmd/benchjson, so perf
+# regressions are diffable across commits.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
 
 # check is the pre-commit gate: static analysis, full build, and the test
 # suite under the race detector.

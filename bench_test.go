@@ -287,3 +287,137 @@ func BenchmarkChaosSessionFaultTolerant(b *testing.B) { benchChaosSession(b, fal
 // BenchmarkChaosSessionFailStop is the same link with a fail-stop client:
 // the session dies at the first fault, so windows/session collapses.
 func BenchmarkChaosSessionFailStop(b *testing.B) { benchChaosSession(b, true) }
+
+// gpDataset draws n observations for the GP micro-benchmarks.
+func gpDataset(n int) (xs [][]float64, ys []float64, probe []float64) {
+	rng := sim.NewRNG(1)
+	dom := bo.Domain{N: 3, RMin: 0.1}
+	xs = make([][]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i] = dom.Sample(rng)
+		ys[i] = rng.Norm()
+	}
+	return xs, ys, dom.Sample(rng)
+}
+
+// BenchmarkGPAddObservation grows a surrogate to 60 observations one point
+// at a time through the incremental Cholesky path — O(n²) per append, O(n³)
+// for the whole growth. Compare against BenchmarkGPFullRefitGrowth, which
+// pays a fresh O(n³) factorization at every step (O(n⁴) total).
+func BenchmarkGPAddObservation(b *testing.B) {
+	xs, ys, _ := gpDataset(60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gp, err := bo.NewGP(bo.Matern52{LengthScale: 0.3, SignalVar: 1}, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range xs {
+			if err := gp.AddObservation(xs[j], ys[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkGPFullRefitGrowth is the pre-optimization baseline for
+// BenchmarkGPAddObservation: the same growth with a from-scratch Fit at
+// every step.
+func BenchmarkGPFullRefitGrowth(b *testing.B) {
+	xs, ys, _ := gpDataset(60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gp, err := bo.NewGP(bo.Matern52{LengthScale: 0.3, SignalVar: 1}, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range xs {
+			if err := gp.Fit(xs[:j+1], ys[:j+1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkGPPredictInto is the allocation-free posterior query (0
+// allocs/op by contract; see TestPredictIntoZeroAlloc).
+func BenchmarkGPPredictInto(b *testing.B) {
+	xs, ys, probe := gpDataset(30)
+	gp, err := bo.NewGP(bo.Matern52{LengthScale: 0.3, SignalVar: 1}, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := gp.Fit(xs, ys); err != nil {
+		b.Fatal(err)
+	}
+	var scratch bo.PredictScratch
+	gp.PredictInto(probe, &scratch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gp.PredictInto(probe, &scratch)
+	}
+}
+
+// benchSuggestion measures one EI suggestion at a fixed candidate-scoring
+// parallelism.
+func benchSuggestion(b *testing.B, jobs int) {
+	rng := sim.NewRNG(1)
+	dom := bo.Domain{N: 3, RMin: 0.1}
+	cfg := bo.DefaultConfig()
+	cfg.Jobs = jobs
+	opt, err := bo.NewOptimizer(dom, cfg, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p := dom.Sample(rng)
+		if err := opt.Observe(p, rng.Norm()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBOSuggestionSerial scores the candidate pool on one goroutine;
+// BenchmarkBOSuggestionParallel uses GOMAXPROCS workers. Both produce
+// bit-identical suggestions.
+func BenchmarkBOSuggestionSerial(b *testing.B)   { benchSuggestion(b, 1) }
+func BenchmarkBOSuggestionParallel(b *testing.B) { benchSuggestion(b, 0) }
+
+// benchRunAll regenerates a small artifact subset through the scheduler at
+// the given parallelism.
+func benchRunAll(b *testing.B, jobs int) {
+	ids := []string{"Table I", "TD", "CrossDevice"}
+	var runners []experiments.Runner
+	for _, id := range ids {
+		r, err := experiments.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runners = append(runners, r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rep := range experiments.RunAll(runners, 42, jobs, nil) {
+			if rep.Err != nil {
+				b.Fatal(rep.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunAllSerial vs BenchmarkRunAllParallel is the harness-level
+// speedup measurement (identical reports either way).
+func BenchmarkRunAllSerial(b *testing.B)   { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }

@@ -1,0 +1,97 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a JSON array, one object per benchmark result line, so the repo can
+// keep machine-readable performance snapshots (BENCH_<date>.json) next to
+// the human-readable logs.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson > BENCH_$(date +%F).json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line, e.g.
+//
+//	BenchmarkGPPredictInto-8   1000000   1042 ns/op   0 B/op   0 allocs/op
+type result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds any custom metrics a benchmark reported via b.ReportMetric
+	// (unit -> value).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var results []result
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Extra: map[string]float64{}}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r.Iterations = iters
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		default:
+			r.Extra[fields[i+1]] = v
+		}
+	}
+	if len(r.Extra) == 0 {
+		r.Extra = nil
+	}
+	return r, true
+}

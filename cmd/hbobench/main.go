@@ -8,13 +8,21 @@
 //	hbobench -only "Figure 5 + Table IV"
 //	hbobench -seed 7         # change the experiment seed
 //	hbobench -list           # list artifacts
+//	hbobench -jobs 8         # artifact parallelism (default GOMAXPROCS)
+//	hbobench -timing t.json  # write per-artifact wall-clock/alloc stats
+//
+// Artifacts run on a bounded worker pool (-jobs) and every report is
+// byte-identical to a serial run: reports are printed in paper order and
+// each experiment derives all randomness from its own seed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,14 +35,35 @@ func main() {
 	list := flag.Bool("list", false, "list artifacts and exit")
 	ext := flag.Bool("ext", false, "also run the ablation/extension studies")
 	csvDir := flag.String("csv", "", "also write replottable CSV series to this directory")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrently running artifacts (1 = serial; output is identical either way)")
+	timing := flag.String("timing", "", "write per-artifact wall-clock/allocation stats to this JSON file")
 	flag.Parse()
-	if err := run(*seed, *only, *list, *ext, *csvDir); err != nil {
+	if err := run(*seed, *only, *list, *ext, *csvDir, *jobs, *timing); err != nil {
 		fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, only string, list bool, ext bool, csvDir string) error {
+// timingReport is the machine-readable performance record written by
+// -timing; it seeds the repo's BENCH_*.json perf trajectory.
+type timingReport struct {
+	Seed        uint64           `json:"seed"`
+	Jobs        int              `json:"jobs"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	TotalWallMS float64          `json:"total_wall_ms"`
+	Artifacts   []artifactTiming `json:"artifacts"`
+}
+
+type artifactTiming struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+	// AllocBytes is the process-wide heap-allocation delta during the
+	// artifact's run; with jobs > 1 concurrent artifacts bleed into each
+	// other's figure, so treat it as indicative.
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+func run(seed uint64, only string, list bool, ext bool, csvDir string, jobs int, timing string) error {
 	runners := experiments.All()
 	if ext {
 		runners = experiments.AllWithExtensions()
@@ -48,41 +77,65 @@ func run(seed uint64, only string, list bool, ext bool, csvDir string) error {
 	if only != "" {
 		r, err := experiments.ByID(only)
 		if err != nil {
-			// Extension studies are addressable by -only as well.
-			for _, e := range experiments.Extensions() {
-				if strings.EqualFold(e.ID, only) {
-					r, err = e, nil
-					break
-				}
-			}
-			if err != nil {
-				return err
-			}
+			return err
 		}
 		runners = []experiments.Runner{r}
 	}
-	for _, r := range runners {
-		fmt.Printf("%s\n%s (seed %d)\n%s\n\n", strings.Repeat("=", 72), r.ID, seed, r.Description)
-		start := time.Now()
-		out, err := r.Run(seed)
-		if err != nil {
-			return fmt.Errorf("%s: %w", r.ID, err)
+	start := time.Now()
+	var firstErr error
+	reports := experiments.RunAll(runners, seed, jobs, func(rep experiments.Report) {
+		if firstErr != nil {
+			return
 		}
-		fmt.Println(out.String())
+		r := rep.Runner
+		if rep.Err != nil {
+			firstErr = fmt.Errorf("%s: %w", r.ID, rep.Err)
+			return
+		}
+		fmt.Printf("%s\n%s (seed %d)\n%s\n\n", strings.Repeat("=", 72), r.ID, seed, r.Description)
+		fmt.Println(rep.Output.String())
 		if csvDir != "" {
-			if c, ok := out.(interface{ CSV() string }); ok {
+			if c, ok := rep.Output.(interface{ CSV() string }); ok {
 				if err := os.MkdirAll(csvDir, 0o755); err != nil {
-					return err
+					firstErr = err
+					return
 				}
 				name := strings.ReplaceAll(strings.ReplaceAll(r.ID, " ", "_"), "+", "and")
 				path := filepath.Join(csvDir, name+".csv")
 				if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
-					return err
+					firstErr = err
+					return
 				}
 				fmt.Printf("[wrote %s]\n", path)
 			}
 		}
-		fmt.Printf("[%s completed in %.1fs]\n\n", r.ID, time.Since(start).Seconds())
+		fmt.Printf("[%s completed in %.1fs]\n\n", r.ID, rep.Elapsed.Seconds())
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	if timing != "" {
+		tr := timingReport{
+			Seed:        seed,
+			Jobs:        jobs,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			TotalWallMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		for _, rep := range reports {
+			tr.Artifacts = append(tr.Artifacts, artifactTiming{
+				ID:         rep.Runner.ID,
+				WallMS:     float64(rep.Elapsed) / float64(time.Millisecond),
+				AllocBytes: rep.AllocBytes,
+			})
+		}
+		blob, err := json.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(timing, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("[wrote %s]\n", timing)
 	}
 	return nil
 }

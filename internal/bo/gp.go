@@ -5,6 +5,11 @@
 // paper's search domain — the simplex of per-resource task proportions
 // (Eqs. 8–9) crossed with the triangle-ratio interval (Eq. 10). It replaces
 // the scikit-optimize (skopt) dependency of the paper's prototype.
+//
+// The regression hot path is engineered for the controller's activation
+// loop: the Cholesky factor is stored as a flat row-major triangle that
+// grows by O(n²) incremental row appends instead of O(n³) refits, and
+// PredictInto scores candidates without allocating (see DESIGN.md §9).
 package bo
 
 import (
@@ -19,6 +24,9 @@ type Kernel interface {
 	Eval(a, b []float64) float64
 }
 
+// sqrt5 hoists the √5 of the Matérn-5/2 kernel out of the innermost loop.
+var sqrt5 = math.Sqrt(5)
+
 // Matern52 is the Matérn kernel with ν = 5/2 (Eq. 7 of the paper):
 //
 //	k(r) = σ² (1 + √5 r/ℓ + 5r²/3ℓ²) exp(−√5 r/ℓ)
@@ -31,30 +39,82 @@ type Matern52 struct {
 
 var _ Kernel = Matern52{}
 
+// matern52c is a Matern52 with the per-evaluation constants √5/ℓ and
+// 5/(3ℓ²) precomputed once; GP fitting and prediction evaluate this form so
+// the kernel's innermost loop is two multiplies, a sqrt, and an exp.
+type matern52c struct {
+	signalVar   float64
+	sqrt5OverL  float64 // √5/ℓ
+	fiveOver3L2 float64 // 5/(3ℓ²)
+}
+
+// compile precomputes the constant factors of the kernel.
+func (k Matern52) compile() matern52c {
+	return matern52c{
+		signalVar:   k.SignalVar,
+		sqrt5OverL:  sqrt5 / k.LengthScale,
+		fiveOver3L2: 5 / (3 * k.LengthScale * k.LengthScale),
+	}
+}
+
 // Eval returns the Matérn-5/2 covariance of a and b.
-func (k Matern52) Eval(a, b []float64) float64 {
-	r := 0.0
+func (k matern52c) Eval(a, b []float64) float64 {
+	r2 := 0.0
 	for i := range a {
 		d := a[i] - b[i]
-		r += d * d
+		r2 += d * d
 	}
-	r = math.Sqrt(r)
-	s := math.Sqrt(5) * r / k.LengthScale
-	return k.SignalVar * (1 + s + 5*r*r/(3*k.LengthScale*k.LengthScale)) * math.Exp(-s)
+	r := math.Sqrt(r2)
+	s := k.sqrt5OverL * r
+	return k.signalVar * (1 + s + k.fiveOver3L2*r2) * math.Exp(-s)
+}
+
+// Eval returns the Matérn-5/2 covariance of a and b.
+func (k Matern52) Eval(a, b []float64) float64 {
+	return k.compile().Eval(a, b)
+}
+
+// compileKernel returns the precomputed form of known kernels and the kernel
+// itself otherwise.
+func compileKernel(k Kernel) Kernel {
+	if m, ok := k.(Matern52); ok {
+		return m.compile()
+	}
+	return k
 }
 
 // GP is a Gaussian-process regressor (the paper's surrogate model, Eq. 6).
 // Fit factorizes the kernel matrix once; Predict then evaluates the
-// posterior mean and variance at arbitrary points.
+// posterior mean and variance at arbitrary points. Between activations the
+// factorization can be extended one observation at a time with Update or
+// AddObservation at O(n²) instead of refit's O(n³).
+//
+// Methods that mutate the GP (Fit, Update, AddObservation) are not safe for
+// concurrent use; Predict and PredictInto (with per-goroutine scratch) may
+// run concurrently once the GP is fitted.
 type GP struct {
 	kernel Kernel
+	ev     Kernel  // kernel with precomputed constants, used on hot paths
 	noise  float64 // observation noise variance added to the diagonal
 
-	x     [][]float64
-	yMean float64
-	yStd  float64
-	chol  [][]float64 // lower-triangular Cholesky factor of K + noise·I
-	alpha []float64   // (K + noise·I)^{-1} of the standardized observations
+	x  [][]float64
+	n  int // fitted observations
+	ys []float64
+
+	// chol is the lower-triangular Cholesky factor of K + noise·I stored
+	// row-major with the given stride; row i occupies chol[i*stride : i*stride+i+1].
+	chol   []float64
+	stride int
+	// jitter is the diagonal jitter the current factorization needed; zero
+	// in the common case. A jittered factor is never extended incrementally
+	// (each fresh fit restarts the jitter ladder from zero, so extending a
+	// jittered factor would diverge from a from-scratch refit).
+	jitter float64
+
+	yMean    float64
+	yStd     float64
+	centered []float64 // standardized observations
+	alpha    []float64 // (K + noise·I)^{-1} of the standardized observations
 }
 
 // NewGP returns a regressor with the given kernel and observation-noise
@@ -64,11 +124,12 @@ func NewGP(kernel Kernel, noiseVar float64) (*GP, error) {
 	if noiseVar <= 0 {
 		return nil, fmt.Errorf("bo: noise variance must be positive, got %v", noiseVar)
 	}
-	return &GP{kernel: kernel, noise: noiseVar}, nil
+	return &GP{kernel: kernel, ev: compileKernel(kernel), noise: noiseVar}, nil
 }
 
-// Fit conditions the GP on observations (x, y). It copies neither slice; the
-// caller must not mutate them afterward.
+// Fit conditions the GP on observations (x, y) with a full O(n³)
+// factorization. It does not copy the x rows; the caller must not mutate
+// them afterward.
 func (g *GP) Fit(x [][]float64, y []float64) error {
 	if len(x) != len(y) {
 		return fmt.Errorf("bo: %d inputs but %d observations", len(x), len(y))
@@ -78,6 +139,152 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 	}
 	n := len(x)
 	g.x = x
+	g.ensureStride(n) // before g.n moves: it preserves the old factor's rows
+	g.n = n
+	if err := g.factorize(); err != nil {
+		g.n = 0
+		return err
+	}
+	g.setTargets(y)
+	return nil
+}
+
+// Update extends the fit to the observation set (x, y), where x must be the
+// previously fitted inputs followed by zero or more new points and y carries
+// the (possibly re-scaled, e.g. re-winsorized) targets for all of them. New
+// points are appended to the Cholesky factor at O(n²) each; the targets are
+// re-standardized and re-solved at O(n²). It falls back to a full refit when
+// the incremental append is numerically unsafe (the previous factorization
+// needed jitter, or a new diagonal pivot is non-positive), so the resulting
+// model is always identical to a from-scratch Fit on the same data.
+func (g *GP) Update(x [][]float64, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("bo: %d inputs but %d observations", len(x), len(y))
+	}
+	if g.n == 0 || len(x) < g.n || g.jitter > 0 {
+		return g.Fit(x, y)
+	}
+	g.ensureStride(len(x))
+	for i := g.n; i < len(x); i++ {
+		if !g.appendRow(x, i) {
+			g.n = 0
+			return g.Fit(x, y)
+		}
+		g.n = i + 1
+	}
+	g.x = x
+	g.setTargets(y)
+	return nil
+}
+
+// AddObservation appends a single observation to the fitted GP, extending
+// the Cholesky factor incrementally (O(n²) instead of a full refit's O(n³)).
+// The point is copied; the raw targets seen so far are retained internally.
+func (g *GP) AddObservation(x []float64, y float64) error {
+	xc := append([]float64(nil), x...)
+	if g.n == 0 {
+		return g.Fit([][]float64{xc}, []float64{y})
+	}
+	xs := append(g.x[:g.n:g.n], xc)
+	ys := append(g.ys[:g.n:g.n], y)
+	return g.Update(xs, ys)
+}
+
+// Observations returns the number of fitted observations.
+func (g *GP) Observations() int { return g.n }
+
+// ensureStride grows the flat factor storage to hold n rows, preserving the
+// already-factorized triangle.
+func (g *GP) ensureStride(n int) {
+	if n <= g.stride {
+		return
+	}
+	newStride := g.stride * 2
+	if newStride < n {
+		newStride = n
+	}
+	if newStride < 16 {
+		newStride = 16
+	}
+	grown := make([]float64, newStride*newStride)
+	for i := 0; i < g.n; i++ {
+		copy(grown[i*newStride:i*newStride+i+1], g.chol[i*g.stride:i*g.stride+i+1])
+	}
+	g.chol = grown
+	g.stride = newStride
+}
+
+// factorize (re)computes the full Cholesky factor of K + noise·I in place,
+// adding growing jitter to the diagonal if the matrix is numerically
+// indefinite. Kernel evaluation and elimination are interleaved row by row —
+// exactly the arithmetic an incremental appendRow performs, so the two paths
+// agree to the last bit.
+func (g *GP) factorize() error {
+	jitter := 0.0
+	for attempt := 0; attempt < 6; attempt++ {
+		ok := true
+		for i := 0; i < g.n; i++ {
+			if !g.eliminateRow(g.x, i, jitter) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			g.jitter = jitter
+			return nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 100
+		}
+	}
+	return errors.New("bo: kernel matrix is not positive definite even with jitter")
+}
+
+// appendRow extends the factor with row i of the observation set x, assuming
+// rows 0..i-1 are already factorized jitter-free. It reports whether the new
+// diagonal pivot stayed positive.
+func (g *GP) appendRow(x [][]float64, i int) bool {
+	return g.eliminateRow(x, i, 0)
+}
+
+// eliminateRow evaluates kernel row i and performs its forward-elimination
+// step of the Cholesky factorization in place.
+func (g *GP) eliminateRow(x [][]float64, i int, jitter float64) bool {
+	row := g.chol[i*g.stride : i*g.stride+i+1]
+	xi := x[i]
+	for j := 0; j < i; j++ {
+		row[j] = g.ev.Eval(xi, x[j])
+	}
+	row[i] = g.ev.Eval(xi, xi) + g.noise
+	for j := 0; j <= i; j++ {
+		sum := row[j]
+		if i == j {
+			sum += jitter
+		}
+		lj := g.chol[j*g.stride : j*g.stride+j]
+		for k := 0; k < j; k++ {
+			sum -= row[k] * lj[k]
+		}
+		if i == j {
+			if sum <= 0 {
+				return false
+			}
+			row[j] = math.Sqrt(sum)
+		} else {
+			row[j] = sum / g.chol[j*g.stride+j]
+		}
+	}
+	return true
+}
+
+// setTargets standardizes the targets and re-solves for alpha against the
+// current factorization. O(n²); called whenever the targets change (new
+// observation, or a winsorization clip level moved old ones).
+func (g *GP) setTargets(y []float64) {
+	n := g.n
+	g.ys = append(g.ys[:0], y...)
 	g.yMean = 0
 	for _, v := range y {
 		g.yMean += v
@@ -95,132 +302,91 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 	if g.yStd < 1e-9 {
 		g.yStd = 1
 	}
-
-	k := make([][]float64, n)
-	for i := range k {
-		k[i] = make([]float64, n)
-		for j := 0; j <= i; j++ {
-			v := g.kernel.Eval(x[i], x[j])
-			k[i][j] = v
-			k[j][i] = v
-		}
-		k[i][i] += g.noise
-	}
-	chol, err := cholesky(k)
-	if err != nil {
-		return err
-	}
-	g.chol = chol
-
-	centered := make([]float64, n)
+	g.centered = growFloats(g.centered, n)
 	for i, v := range y {
-		centered[i] = (v - g.yMean) / g.yStd
+		g.centered[i] = (v - g.yMean) / g.yStd
 	}
-	g.alpha = cholSolve(chol, centered)
-	return nil
+	g.alpha = growFloats(g.alpha, n)
+	copy(g.alpha, g.centered)
+	g.forwardSolveInPlace(g.alpha)
+	g.backSolveInPlace(g.alpha)
+}
+
+// growFloats returns a slice of length n reusing buf's storage when it can.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// forwardSolveInPlace solves L·v = b for lower-triangular L, overwriting b.
+func (g *GP) forwardSolveInPlace(b []float64) {
+	for i := 0; i < len(b); i++ {
+		sum := b[i]
+		li := g.chol[i*g.stride : i*g.stride+i]
+		for k := 0; k < i; k++ {
+			sum -= li[k] * b[k]
+		}
+		b[i] = sum / g.chol[i*g.stride+i]
+	}
+}
+
+// backSolveInPlace solves Lᵀ·x = b for lower-triangular L, overwriting b.
+func (g *GP) backSolveInPlace(b []float64) {
+	n := len(b)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= g.chol[k*g.stride+i] * b[k]
+		}
+		b[i] = sum / g.chol[i*g.stride+i]
+	}
+}
+
+// PredictScratch is caller-owned scratch for PredictInto. A zero value is
+// ready to use; reusing one across calls makes prediction allocation-free.
+// Concurrent predictors must each own their own scratch.
+type PredictScratch struct {
+	buf []float64
 }
 
 // Predict returns the posterior mean and variance at point p (Eq. 6's
-// N(μ_t, σ_t²)). Variance is clamped at zero against round-off.
+// N(μ_t, σ_t²)). Variance is clamped at zero against round-off. It allocates
+// a transient buffer; hot loops should hold a PredictScratch and call
+// PredictInto instead.
 func (g *GP) Predict(p []float64) (mean, variance float64) {
-	n := len(g.x)
+	var s PredictScratch
+	return g.PredictInto(p, &s)
+}
+
+// PredictInto is Predict with caller-owned scratch: zero allocations once
+// the scratch has warmed up, so a candidate-scoring loop can evaluate
+// thousands of points without touching the garbage collector.
+func (g *GP) PredictInto(p []float64, s *PredictScratch) (mean, variance float64) {
+	n := g.n
 	if n == 0 {
-		return g.yMean, g.kernel.Eval(p, p)
+		return g.yMean, g.ev.Eval(p, p)
 	}
-	ks := make([]float64, n)
-	for i, xi := range g.x {
-		ks[i] = g.kernel.Eval(p, xi)
+	ks := growFloats(s.buf, n)
+	s.buf = ks
+	for i := 0; i < n; i++ {
+		ks[i] = g.ev.Eval(p, g.x[i])
 	}
 	std := 0.0
 	for i := range ks {
 		std += ks[i] * g.alpha[i]
 	}
 	mean = g.yMean + g.yStd*std
-	v := forwardSolve(g.chol, ks)
-	variance = g.kernel.Eval(p, p)
-	for _, vi := range v {
+	g.forwardSolveInPlace(ks)
+	variance = g.ev.Eval(p, p)
+	for _, vi := range ks {
 		variance -= vi * vi
 	}
 	if variance < 0 {
 		variance = 0
 	}
 	return mean, variance * g.yStd * g.yStd
-}
-
-// cholesky returns the lower-triangular factor L with L·Lᵀ = m, adding
-// growing jitter to the diagonal if the matrix is numerically indefinite.
-func cholesky(m [][]float64) ([][]float64, error) {
-	n := len(m)
-	jitter := 0.0
-	for attempt := 0; attempt < 6; attempt++ {
-		l := make([][]float64, n)
-		for i := range l {
-			l[i] = make([]float64, n)
-		}
-		ok := true
-		for i := 0; i < n && ok; i++ {
-			for j := 0; j <= i; j++ {
-				sum := m[i][j]
-				if i == j {
-					sum += jitter
-				}
-				for k := 0; k < j; k++ {
-					sum -= l[i][k] * l[j][k]
-				}
-				if i == j {
-					if sum <= 0 {
-						ok = false
-						break
-					}
-					l[i][j] = math.Sqrt(sum)
-				} else {
-					l[i][j] = sum / l[j][j]
-				}
-			}
-		}
-		if ok {
-			return l, nil
-		}
-		if jitter == 0 {
-			jitter = 1e-10
-		} else {
-			jitter *= 100
-		}
-	}
-	return nil, errors.New("bo: kernel matrix is not positive definite even with jitter")
-}
-
-// forwardSolve solves L·v = b for lower-triangular L.
-func forwardSolve(l [][]float64, b []float64) []float64 {
-	n := len(b)
-	v := make([]float64, n)
-	for i := 0; i < n; i++ {
-		sum := b[i]
-		for k := 0; k < i; k++ {
-			sum -= l[i][k] * v[k]
-		}
-		v[i] = sum / l[i][i]
-	}
-	return v
-}
-
-// backSolve solves Lᵀ·x = b for lower-triangular L.
-func backSolve(l [][]float64, b []float64) []float64 {
-	n := len(b)
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		sum := b[i]
-		for k := i + 1; k < n; k++ {
-			sum -= l[k][i] * x[k]
-		}
-		x[i] = sum / l[i][i]
-	}
-	return x
-}
-
-// cholSolve solves (L·Lᵀ)·x = b.
-func cholSolve(l [][]float64, b []float64) []float64 {
-	return backSolve(l, forwardSolve(l, b))
 }
 
 // normPDF is the standard normal density.
@@ -249,29 +415,23 @@ func ExpectedImprovement(mean, variance, best float64) float64 {
 
 // LogMarginalLikelihood returns the log evidence of the fitted observations
 // under the GP prior (computed on the standardized targets): the standard
-// model-selection criterion for kernel hyperparameters.
+// model-selection criterion for kernel hyperparameters. It reuses the stored
+// standardized targets and alpha, so the quadratic form costs O(n) instead
+// of re-evaluating the kernel matrix.
 func (g *GP) LogMarginalLikelihood() float64 {
-	n := len(g.x)
+	n := g.n
 	if n == 0 || g.chol == nil {
 		return math.Inf(-1)
 	}
-	// -0.5 yᵀ K⁻¹ y  -  Σ log L_ii  -  n/2 log 2π, with y standardized.
-	// α = K⁻¹y is stored; reconstruct y = Kα to form yᵀK⁻¹y = yᵀα.
+	// -0.5 yᵀ K⁻¹ y  -  Σ log L_ii  -  n/2 log 2π, with y standardized:
+	// α = K⁻¹y is stored, so yᵀK⁻¹y = yᵀα directly.
 	quadSum := 0.0
 	for i := 0; i < n; i++ {
-		yi := 0.0
-		for j := 0; j < n; j++ {
-			kij := g.kernel.Eval(g.x[i], g.x[j])
-			if i == j {
-				kij += g.noise
-			}
-			yi += kij * g.alpha[j]
-		}
-		quadSum += yi * g.alpha[i]
+		quadSum += g.centered[i] * g.alpha[i]
 	}
 	logDet := 0.0
 	for i := 0; i < n; i++ {
-		logDet += math.Log(g.chol[i][i])
+		logDet += math.Log(g.chol[i*g.stride+i])
 	}
 	return -0.5*quadSum - logDet - float64(n)/2*math.Log(2*math.Pi)
 }

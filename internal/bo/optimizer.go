@@ -3,7 +3,9 @@ package bo
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/mar-hbo/hbo/internal/sim"
 )
@@ -84,9 +86,14 @@ func (d Domain) Project(p []float64) {
 // Sample draws a uniform point: Dirichlet(1) on the simplex, uniform ratio.
 func (d Domain) Sample(rng *sim.RNG) []float64 {
 	p := make([]float64, d.Dim())
+	d.sampleInto(rng, p)
+	return p
+}
+
+// sampleInto draws a uniform point into p, which must have length Dim().
+func (d Domain) sampleInto(rng *sim.RNG, p []float64) {
 	rng.Dirichlet(1, p[:d.N])
 	p[d.N] = d.RMin + (1-d.RMin)*rng.Float64()
-	return p
 }
 
 // Distance returns the Euclidean distance between two points (used for the
@@ -122,6 +129,11 @@ type Config struct {
 	// suggestion by maximizing the log marginal likelihood over a small
 	// grid, instead of using the fixed LengthScale.
 	AutoLengthScale bool
+	// Jobs bounds the worker goroutines scoring the candidate pool; 0
+	// means GOMAXPROCS. Candidates are pre-drawn sequentially from the
+	// seeded RNG and the argmax breaks ties by lowest index, so the
+	// suggestion is bit-identical for every Jobs value.
+	Jobs int
 }
 
 // DefaultConfig returns the paper-matching configuration.
@@ -138,7 +150,9 @@ func DefaultConfig() Config {
 
 // Optimizer is a sequential model-based minimizer of a black-box function
 // over a Domain, implementing the paper's BO(D) step (Algorithm 1, line 1).
-// It is not safe for concurrent use.
+// It is not safe for concurrent use. Between suggestions it keeps the GP
+// surrogate's Cholesky factorization and extends it incrementally, so a
+// suggestion costs O(n²) in the database size instead of O(n³).
 type Optimizer struct {
 	dom Domain
 	cfg Config
@@ -146,6 +160,23 @@ type Optimizer struct {
 
 	xs [][]float64
 	ys []float64
+
+	// Persistent surrogate state: the factorization is reused across Next
+	// calls while the length scale is unchanged (see DESIGN.md §9).
+	gp      *GP
+	gpScale float64
+
+	// Reusable scratch: winsorization buffers, the pre-drawn candidate
+	// pool, its scores, per-worker prediction scratch, and the two
+	// refinement buffers.
+	clipBuf   []float64
+	sortBuf   []float64
+	candFlat  []float64
+	cands     [][]float64
+	scores    []float64
+	scratches []PredictScratch
+	refineA   []float64
+	refineB   []float64
 }
 
 // NewOptimizer builds an optimizer for the domain.
@@ -161,6 +192,9 @@ func NewOptimizer(dom Domain, cfg Config, rng *sim.RNG) (*Optimizer, error) {
 	}
 	if cfg.LengthScale <= 0 {
 		return nil, fmt.Errorf("bo: length scale must be positive, got %v", cfg.LengthScale)
+	}
+	if cfg.Jobs < 0 {
+		return nil, fmt.Errorf("bo: Jobs must be >= 0, got %d", cfg.Jobs)
 	}
 	if rng == nil {
 		return nil, fmt.Errorf("bo: nil RNG")
@@ -206,7 +240,9 @@ func (o *Optimizer) Best() (p []float64, cost float64, ok bool) {
 
 // Next suggests the next configuration to evaluate: random during the
 // initialization phase, then the EI-maximizing candidate under the GP
-// posterior.
+// posterior. The candidate pool is pre-drawn sequentially from the seeded
+// RNG and scored on a bounded worker pool (Config.Jobs); the result is
+// bit-identical to a serial scan.
 func (o *Optimizer) Next() ([]float64, error) {
 	if len(o.xs) < o.cfg.InitSamples {
 		return o.dom.Sample(o.rng), nil
@@ -219,60 +255,164 @@ func (o *Optimizer) Next() ([]float64, error) {
 			lengthScale = l
 		}
 	}
-	gp, err := NewGP(Matern52{LengthScale: lengthScale, SignalVar: 1}, o.cfg.NoiseVar)
-	if err != nil {
+	if err := o.ensureSurrogate(lengthScale, clipped); err != nil {
 		return nil, err
 	}
-	if err := gp.Fit(o.xs, clipped); err != nil {
-		return nil, fmt.Errorf("bo: surrogate fit: %w", err)
-	}
-	_, best, _ := o.Best()
-
-	score := func(p []float64) float64 {
-		mean, variance := gp.Predict(p)
-		return o.cfg.Acquisition.Score(mean, variance, best)
-	}
+	bestPoint, best, _ := o.Best()
 
 	// Candidate pool: uniform draws plus perturbations of the incumbent,
-	// mixing exploration and exploitation.
-	bestPoint, _, _ := o.Best()
-	var top []float64
-	topEI := math.Inf(-1)
+	// mixing exploration and exploitation. All draws happen here, on the
+	// single RNG stream, before any concurrent scoring.
+	dim := o.dom.Dim()
+	o.ensureSearchBuffers(o.cfg.Candidates, dim)
 	for i := 0; i < o.cfg.Candidates; i++ {
-		var cand []float64
 		if i%4 == 0 {
-			cand = o.perturb(bestPoint, 0.15)
+			o.perturbInto(o.cands[i], bestPoint, 0.15)
 		} else {
-			cand = o.dom.Sample(o.rng)
-		}
-		if ei := score(cand); ei > topEI {
-			topEI = ei
-			top = cand
+			o.dom.sampleInto(o.rng, o.cands[i])
 		}
 	}
+	o.scoreCandidates(best)
+	topIdx := 0
+	topEI := math.Inf(-1)
+	for i, ei := range o.scores[:o.cfg.Candidates] {
+		if ei > topEI {
+			topEI = ei
+			topIdx = i
+		}
+	}
+
 	// Stochastic local refinement with a shrinking step.
+	top := append(o.refineA[:0], o.cands[topIdx]...)
+	cand := o.refineB[:dim]
+	scratch := &o.scratches[0]
 	step := 0.2
 	for i := 0; i < o.cfg.RefineSteps; i++ {
-		cand := o.perturb(top, step)
-		if ei := score(cand); ei > topEI {
+		o.perturbInto(cand, top, step)
+		mean, variance := o.gp.PredictInto(cand, scratch)
+		if ei := o.cfg.Acquisition.Score(mean, variance, best); ei > topEI {
 			topEI = ei
-			top = cand
+			top, cand = cand, top
 		} else {
 			step *= 0.93
 		}
 	}
-	return top, nil
+	o.refineA, o.refineB = top, cand
+	return append([]float64(nil), top...), nil
 }
 
-// clippedCosts returns the observations winsorized at an upper quantile.
-// HBO's cost is unbounded above (a saturated configuration can be orders of
-// magnitude slower than a good one); feeding such outliers to the GP blows
-// up the output scale and erases the resolution needed to discriminate
-// among *good* configurations. Clipping preserves "this region is bad"
-// while keeping the interesting region's scale.
+// ensureSurrogate brings the persistent GP in sync with the observation
+// database: a full refit when the length scale changed (or no fit exists),
+// an O(n²) incremental extension otherwise. Targets are re-standardized
+// every call because the winsorization clip level moves with the database.
+func (o *Optimizer) ensureSurrogate(lengthScale float64, clipped []float64) error {
+	if o.gp == nil || lengthScale != o.gpScale {
+		gp, err := NewGP(Matern52{LengthScale: lengthScale, SignalVar: 1}, o.cfg.NoiseVar)
+		if err != nil {
+			return err
+		}
+		if err := gp.Fit(o.xs, clipped); err != nil {
+			return fmt.Errorf("bo: surrogate fit: %w", err)
+		}
+		o.gp, o.gpScale = gp, lengthScale
+		return nil
+	}
+	if err := o.gp.Update(o.xs, clipped); err != nil {
+		return fmt.Errorf("bo: surrogate fit: %w", err)
+	}
+	return nil
+}
+
+// ensureSearchBuffers sizes the candidate pool, score, scratch, and
+// refinement buffers without allocating on the steady state.
+func (o *Optimizer) ensureSearchBuffers(n, dim int) {
+	if cap(o.candFlat) < n*dim {
+		o.candFlat = make([]float64, n*dim)
+		o.cands = make([][]float64, n)
+		for i := range o.cands {
+			o.cands[i] = o.candFlat[i*dim : (i+1)*dim]
+		}
+	}
+	if cap(o.scores) < n {
+		o.scores = make([]float64, n)
+	}
+	o.scores = o.scores[:n]
+	if cap(o.refineA) < dim {
+		o.refineA = make([]float64, dim)
+		o.refineB = make([]float64, dim)
+	}
+	o.refineA, o.refineB = o.refineA[:dim], o.refineB[:dim]
+	workers := o.workers(n)
+	if len(o.scratches) < workers {
+		o.scratches = make([]PredictScratch, workers)
+	}
+}
+
+// workers resolves the candidate-scoring concurrency.
+func (o *Optimizer) workers(n int) int {
+	w := o.cfg.Jobs
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// scoreCandidates fills o.scores for the pre-drawn pool. Each candidate's
+// score depends only on the frozen GP and the incumbent, so the split into
+// contiguous worker chunks cannot change any value.
+func (o *Optimizer) scoreCandidates(best float64) {
+	n := o.cfg.Candidates
+	acq := o.cfg.Acquisition
+	workers := o.workers(n)
+	if workers == 1 {
+		s := &o.scratches[0]
+		for i := 0; i < n; i++ {
+			mean, variance := o.gp.PredictInto(o.cands[i], s)
+			o.scores[i] = acq.Score(mean, variance, best)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int, s *PredictScratch) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				mean, variance := o.gp.PredictInto(o.cands[i], s)
+				o.scores[i] = acq.Score(mean, variance, best)
+			}
+		}(lo, hi, &o.scratches[w])
+	}
+	wg.Wait()
+}
+
+// clippedCosts returns the observations winsorized at an upper quantile,
+// reusing internal buffers (the returned slice is valid until the next
+// call). HBO's cost is unbounded above (a saturated configuration can be
+// orders of magnitude slower than a good one); feeding such outliers to the
+// GP blows up the output scale and erases the resolution needed to
+// discriminate among *good* configurations. Clipping preserves "this region
+// is bad" while keeping the interesting region's scale.
 func (o *Optimizer) clippedCosts() []float64 {
-	ys := append([]float64(nil), o.ys...)
-	sorted := append([]float64(nil), ys...)
+	ys := append(o.clipBuf[:0], o.ys...)
+	o.clipBuf = ys
+	sorted := append(o.sortBuf[:0], o.ys...)
+	o.sortBuf = sorted
 	sort.Float64s(sorted)
 	// 70th percentile as the clip level, but never below best + a minimal
 	// spread so early iterations (few points, all bad) still discriminate.
@@ -290,12 +430,10 @@ func (o *Optimizer) clippedCosts() []float64 {
 	return ys
 }
 
-// perturb returns a projected Gaussian perturbation of p.
-func (o *Optimizer) perturb(p []float64, scale float64) []float64 {
-	out := make([]float64, len(p))
+// perturbInto writes a projected Gaussian perturbation of p into dst.
+func (o *Optimizer) perturbInto(dst, p []float64, scale float64) {
 	for i := range p {
-		out[i] = p[i] + scale*o.rng.Norm()
+		dst[i] = p[i] + scale*o.rng.Norm()
 	}
-	o.dom.Project(out)
-	return out
+	o.dom.Project(dst)
 }

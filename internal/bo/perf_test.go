@@ -1,0 +1,196 @@
+package bo
+
+// Tests for the performance architecture (DESIGN.md §9): the incremental
+// Cholesky update must be numerically indistinguishable from a full refit,
+// the prediction hot path must not allocate, and parallel candidate scoring
+// must be bit-identical to a serial scan.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// TestIncrementalUpdateMatchesFullRefit grows one GP observation-by-
+// observation via Update (the incremental append-row path) and refits a
+// second GP from scratch at every step; posteriors must agree to 1e-9.
+// Every few steps the targets are rewritten wholesale, mimicking the
+// optimizer's winsorization clip level moving, which must also be absorbed
+// without drift.
+func TestIncrementalUpdateMatchesFullRefit(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 42} {
+		rng := sim.NewRNG(seed)
+		dom := Domain{N: 3, RMin: 0.1}
+		kern := Matern52{LengthScale: 0.3, SignalVar: 1}
+
+		inc, err := NewGP(kern, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var xs [][]float64
+		var ys []float64
+		probes := make([][]float64, 8)
+		for i := range probes {
+			probes[i] = dom.Sample(rng)
+		}
+		for step := 0; step < 30; step++ {
+			xs = append(xs, dom.Sample(rng))
+			ys = append(ys, rng.Norm())
+			if step%5 == 4 {
+				// Wholesale target rewrite (winsorization analogue): the
+				// factorization must be reused, only alpha recomputed.
+				clip := rng.Norm()
+				for i := range ys {
+					if ys[i] > clip {
+						ys[i] = clip
+					}
+				}
+			}
+			if err := inc.Update(xs, ys); err != nil {
+				t.Fatalf("seed %d step %d: Update: %v", seed, step, err)
+			}
+
+			fresh, err := NewGP(kern, 0.01)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Fit(xs, ys); err != nil {
+				t.Fatalf("seed %d step %d: Fit: %v", seed, step, err)
+			}
+			for _, p := range probes {
+				m1, v1 := inc.Predict(p)
+				m2, v2 := fresh.Predict(p)
+				if math.Abs(m1-m2) > 1e-9 || math.Abs(v1-v2) > 1e-9 {
+					t.Fatalf("seed %d step %d: incremental (%.12g, %.12g) vs refit (%.12g, %.12g)",
+						seed, step, m1, v1, m2, v2)
+				}
+			}
+			l1 := inc.LogMarginalLikelihood()
+			l2 := fresh.LogMarginalLikelihood()
+			if math.Abs(l1-l2) > 1e-9 {
+				t.Fatalf("seed %d step %d: LML %v vs %v", seed, step, l1, l2)
+			}
+		}
+	}
+}
+
+// TestAddObservationMatchesFit checks the single-point convenience path.
+func TestAddObservationMatchesFit(t *testing.T) {
+	rng := sim.NewRNG(9)
+	dom := Domain{N: 2, RMin: 0.1}
+	kern := Matern52{LengthScale: 0.5, SignalVar: 1}
+	inc, err := NewGP(kern, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs [][]float64
+	var ys []float64
+	probe := dom.Sample(rng)
+	for i := 0; i < 20; i++ {
+		x := dom.Sample(rng)
+		y := rng.Norm()
+		xs = append(xs, x)
+		ys = append(ys, y)
+		if err := inc.AddObservation(x, y); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewGP(kern, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		m1, v1 := inc.Predict(probe)
+		m2, v2 := fresh.Predict(probe)
+		if math.Abs(m1-m2) > 1e-9 || math.Abs(v1-v2) > 1e-9 {
+			t.Fatalf("step %d: incremental (%v, %v) vs refit (%v, %v)", i, m1, v1, m2, v2)
+		}
+	}
+	if inc.Observations() != 20 {
+		t.Fatalf("Observations = %d, want 20", inc.Observations())
+	}
+}
+
+// TestPredictIntoZeroAlloc pins the hot path's allocation-free contract:
+// with a warm scratch, PredictInto must not touch the heap.
+func TestPredictIntoZeroAlloc(t *testing.T) {
+	rng := sim.NewRNG(4)
+	dom := Domain{N: 3, RMin: 0.1}
+	gp, err := NewGP(Matern52{LengthScale: 0.3, SignalVar: 1}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([][]float64, 25)
+	ys := make([]float64, 25)
+	for i := range xs {
+		xs[i] = dom.Sample(rng)
+		ys[i] = rng.Norm()
+	}
+	if err := gp.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	probe := dom.Sample(rng)
+	var scratch PredictScratch
+	gp.PredictInto(probe, &scratch) // warm the scratch buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		gp.PredictInto(probe, &scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictInto allocates %.1f times per call, want 0", allocs)
+	}
+
+	// And PredictInto must agree exactly with Predict.
+	m1, v1 := gp.Predict(probe)
+	m2, v2 := gp.PredictInto(probe, &scratch)
+	if m1 != m2 || v1 != v2 {
+		t.Fatalf("PredictInto (%v, %v) != Predict (%v, %v)", m2, v2, m1, v1)
+	}
+}
+
+// TestParallelSuggestionDeterminism runs two identically seeded optimizers,
+// one serial and one with a 4-worker candidate-scoring pool, through a full
+// observe/suggest loop; every suggestion must be bit-identical.
+func TestParallelSuggestionDeterminism(t *testing.T) {
+	dom := Domain{N: 3, RMin: 0.1}
+	mk := func(jobs int) *Optimizer {
+		cfg := DefaultConfig()
+		cfg.Jobs = jobs
+		opt, err := NewOptimizer(dom, cfg, sim.NewRNG(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return opt
+	}
+	serial, par := mk(1), mk(4)
+	// Synthetic objective, deterministic in the point.
+	cost := func(p []float64) float64 {
+		s := 0.0
+		for i, v := range p {
+			s += float64(i+1) * (v - 0.4) * (v - 0.4)
+		}
+		return s
+	}
+	for iter := 0; iter < 15; iter++ {
+		p1, err := serial.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := par.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("iter %d dim %d: serial %v != parallel %v", iter, i, p1, p2)
+			}
+		}
+		if err := serial.Observe(p1, cost(p1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Observe(p2, cost(p2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -34,34 +34,49 @@ var _ fmt.Stringer = (*CrossDeviceResult)(nil)
 // RunCrossDevice executes one HBO activation per device on the SC1-CF1
 // combination.
 func RunCrossDevice(seed uint64) (*CrossDeviceResult, error) {
-	res := &CrossDeviceResult{}
-	for _, dev := range []func() *soc.DeviceProfile{soc.Pixel7, soc.GalaxyS22} {
+	return RunCrossDeviceJobs(seed, 1)
+}
+
+// RunCrossDeviceJobs is RunCrossDevice with the per-device activations run
+// on up to jobs workers; each device owns its own built system and seed-
+// derived RNG, so the report is byte-identical for every jobs value.
+func RunCrossDeviceJobs(seed uint64, jobs int) (*CrossDeviceResult, error) {
+	devs := []func() *soc.DeviceProfile{soc.Pixel7, soc.GalaxyS22}
+	outs := make([]DeviceOutcome, len(devs))
+	errs := make([]error, len(devs))
+	forEach(jobs, len(devs), func(i int) {
 		spec := scenario.Spec{
 			Name:     "SC1-CF1",
-			Device:   dev,
+			Device:   devs[i],
 			Objects:  render.SC1(),
 			Taskset:  tasks.CF1(),
 			Distance: 1.5,
 		}
 		built, err := spec.Build(seed)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		start, err := built.Runtime.Measure(4000)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		act, err := core.RunActivation(built.Runtime, core.DefaultConfig(), sim.NewRNG(seed))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", built.System.Device().Name, err)
+			errs[i] = fmt.Errorf("experiments: %s: %w", built.System.Device().Name, err)
+			return
 		}
-		res.Outcomes = append(res.Outcomes, DeviceOutcome{
+		outs[i] = DeviceOutcome{
 			Device:          built.System.Device().Name,
 			ScenarioOutcome: summarizeActivation("SC1-CF1", act),
 			StartEpsilon:    start.Epsilon,
-		})
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &CrossDeviceResult{Outcomes: outs}, nil
 }
 
 // Outcome finds a device's outcome.

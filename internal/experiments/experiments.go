@@ -19,6 +19,11 @@ type Runner struct {
 	Description string
 	// Run executes the experiment and returns a printable report.
 	Run func(seed uint64) (fmt.Stringer, error)
+	// RunJobs, when non-nil, executes the experiment with an internal
+	// worker budget (its independent sub-runs — seeds, devices, oracle
+	// configurations — spread over up to jobs goroutines). The report is
+	// byte-identical to Run's for every jobs value.
+	RunJobs func(seed uint64, jobs int) (fmt.Stringer, error)
 }
 
 // All returns every experiment runner in paper order.
@@ -39,17 +44,20 @@ func All() []Runner {
 		{ID: "Figure 6", Description: "in-depth analysis of one SC1-CF1 activation",
 			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure6(seed) }},
 		{ID: "Figure 7", Description: "best-cost convergence across six runs, SC1-CF2 and SC2-CF2",
-			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure7(seed) }},
+			Run:     func(seed uint64) (fmt.Stringer, error) { return RunFigure7(seed) },
+			RunJobs: func(seed uint64, jobs int) (fmt.Stringer, error) { return RunFigure7Jobs(seed, jobs) }},
 		{ID: "Figure 8", Description: "event-based vs periodic activation over a scripted session",
 			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure8(seed) }},
 		{ID: "Figure 9", Description: "simulated user study, HBO vs SML at close and far distance",
-			Run: func(seed uint64) (fmt.Stringer, error) { return RunFigure9(seed) }},
+			Run:     func(seed uint64) (fmt.Stringer, error) { return RunFigure9(seed) },
+			RunJobs: func(seed uint64, jobs int) (fmt.Stringer, error) { return RunFigure9Jobs(seed, jobs) }},
 	}
 }
 
-// ByID finds a runner by artifact name.
+// ByID finds a runner by artifact name among the paper artifacts and the
+// ablation/extension studies.
 func ByID(id string) (Runner, error) {
-	for _, r := range All() {
+	for _, r := range AllWithExtensions() {
 		if strings.EqualFold(r.ID, id) {
 			return r, nil
 		}

@@ -18,7 +18,8 @@ import (
 func Extensions() []Runner {
 	return []Runner{
 		{ID: "Acquisition", Description: "EI vs PI vs LCB acquisition functions (the paper's §IV-C claim)",
-			Run: func(seed uint64) (fmt.Stringer, error) { return RunAcquisitionStudy(seed) }},
+			Run:     func(seed uint64) (fmt.Stringer, error) { return RunAcquisitionStudy(seed) },
+			RunJobs: func(seed uint64, jobs int) (fmt.Stringer, error) { return RunAcquisitionStudyJobs(seed, jobs) }},
 		{ID: "Energy", Description: "average platform power and frame rate per controller (eAR-lineage extension)",
 			Run: func(seed uint64) (fmt.Stringer, error) { return RunEnergyStudy(seed) }},
 		{ID: "TD", Description: "sensitivity-weighted vs uniform triangle distribution (Algorithm 1 line 23 ablation)",
@@ -26,11 +27,13 @@ func Extensions() []Runner {
 		{ID: "Thermal", Description: "die temperature and throttling over 5 minutes, HBO config vs AllN (opt-in thermal model)",
 			Run: func(seed uint64) (fmt.Stringer, error) { return RunThermalStudy(seed) }},
 		{ID: "CrossDevice", Description: "HBO on SC1-CF1 for both calibrated devices (the paper's §V-A similarity remark)",
-			Run: func(seed uint64) (fmt.Stringer, error) { return RunCrossDevice(seed) }},
+			Run:     func(seed uint64) (fmt.Stringer, error) { return RunCrossDevice(seed) },
+			RunJobs: func(seed uint64, jobs int) (fmt.Stringer, error) { return RunCrossDeviceJobs(seed, jobs) }},
 		{ID: "DynamicEnv", Description: "activation churn under user mobility, with and without the lookup table (§VI)",
 			Run: func(seed uint64) (fmt.Stringer, error) { return RunDynamicEnv(seed) }},
 		{ID: "Optimality", Description: "exhaustive oracle vs HBO on the tractable SC2-CF2 instance (the \"near-optimal\" claim)",
-			Run: func(seed uint64) (fmt.Stringer, error) { return RunOptimalityStudy(seed) }},
+			Run:     func(seed uint64) (fmt.Stringer, error) { return RunOptimalityStudy(seed) },
+			RunJobs: func(seed uint64, jobs int) (fmt.Stringer, error) { return RunOptimalityStudyJobs(seed, jobs) }},
 		{ID: "QualityFit", Description: "per-object Eq. 1 training fidelity against the geometry-derived ground truth",
 			Run: func(seed uint64) (fmt.Stringer, error) { return RunQualityFit(seed) }},
 		{ID: "MultiApp", Description: "foreground MAR app + background AI service alternating optimization on one SoC",
@@ -71,31 +74,56 @@ var _ fmt.Stringer = (*AcquisitionStudyResult)(nil)
 // RunAcquisitionStudy runs HBO activations under each acquisition function
 // across several seeds.
 func RunAcquisitionStudy(seed uint64) (*AcquisitionStudyResult, error) {
+	return RunAcquisitionStudyJobs(seed, 1)
+}
+
+// RunAcquisitionStudyJobs is RunAcquisitionStudy with the independent
+// (acquisition, trial) activations spread over up to jobs workers; each
+// trial owns a system and RNG derived from its own trial seed, so the
+// report is byte-identical for every jobs value.
+func RunAcquisitionStudyJobs(seed uint64, jobs int) (*AcquisitionStudyResult, error) {
 	const trials = 3
 	acqs := []bo.Acquisition{bo.EI{}, bo.PI{Xi: 0.01}, bo.LCB{Beta: 2}}
+	type trialOut struct {
+		final       float64
+		convergedAt float64
+	}
+	outs := make([]trialOut, len(acqs)*trials)
+	errs := make([]error, len(acqs)*trials)
+	forEach(jobs, len(outs), func(i int) {
+		acq := acqs[i/trials]
+		trial := i % trials
+		trialSeed := seed + uint64(trial)*7919
+		built, err := scenario.SC1CF1().Build(trialSeed)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		act, err := runActivationWithAcquisition(built.Runtime, acq, trialSeed)
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: %s trial %d: %w", acq.Name(), trial, err)
+			return
+		}
+		traj := act.BestCostTrajectory()
+		outs[i].final = traj[len(traj)-1]
+		for j, v := range traj {
+			if v == outs[i].final {
+				outs[i].convergedAt = float64(j + 1)
+				break
+			}
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
 	res := &AcquisitionStudyResult{Trials: trials}
-	for _, acq := range acqs {
+	for ai, acq := range acqs {
 		out := AcquisitionOutcome{Name: acq.Name()}
 		var convSum float64
 		for trial := 0; trial < trials; trial++ {
-			trialSeed := seed + uint64(trial)*7919
-			built, err := scenario.SC1CF1().Build(trialSeed)
-			if err != nil {
-				return nil, err
-			}
-			act, err := runActivationWithAcquisition(built.Runtime, acq, trialSeed)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s trial %d: %w", acq.Name(), trial, err)
-			}
-			traj := act.BestCostTrajectory()
-			final := traj[len(traj)-1]
-			out.FinalCosts = append(out.FinalCosts, final)
-			for i, v := range traj {
-				if v == final {
-					convSum += float64(i + 1)
-					break
-				}
-			}
+			o := outs[ai*trials+trial]
+			out.FinalCosts = append(out.FinalCosts, o.final)
+			convSum += o.convergedAt
 		}
 		for _, c := range out.FinalCosts {
 			out.MeanFinal += c

@@ -130,8 +130,12 @@ func (s fig2Script) run(seed uint64) (*Figure2Result, error) {
 		}
 		st.sys.ResetWindow()
 		st.sys.RunFor(1000)
-		for id, stats := range st.sys.WindowStats() {
-			if err := res.Recorder.Record(id, st.sys.Now(), stats.MeanLatencyMS); err != nil {
+		// Record in sorted ID order: ranging the stats map directly would
+		// let Go's random map iteration decide the first-seen series order,
+		// making the rendered timeline (and CSV) drift run to run.
+		stats := st.sys.WindowStats()
+		for _, id := range sortedKeys(stats) {
+			if err := res.Recorder.Record(id, st.sys.Now(), stats[id].MeanLatencyMS); err != nil {
 				return nil, err
 			}
 		}

@@ -41,25 +41,54 @@ func (r *Figure7Result) FinalCosts(scenarioName string) []float64 {
 // change the five random initialization points, as the paper's robustness
 // study does.
 func RunFigure7(seed uint64) (*Figure7Result, error) {
-	res := &Figure7Result{Runs: make(map[string][]ConvergenceRun)}
-	for _, spec := range []scenario.Spec{scenario.SC1CF2(), scenario.SC2CF2()} {
-		for run := 1; run <= 6; run++ {
-			runSeed := seed + uint64(run)*1000
-			built, err := spec.Build(runSeed)
-			if err != nil {
-				return nil, err
-			}
-			act, err := core.RunActivation(built.Runtime, core.DefaultConfig(), sim.NewRNG(runSeed))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s run %d: %w", spec.Name, run, err)
-			}
-			res.Runs[spec.Name] = append(res.Runs[spec.Name], ConvergenceRun{
-				Run:         run,
-				BestCost:    act.BestCostTrajectory(),
-				Ratio:       act.Ratio,
-				Proportions: act.Point[:len(act.Point)-1],
-			})
+	return RunFigure7Jobs(seed, 1)
+}
+
+// RunFigure7Jobs is RunFigure7 with the twelve independent runs (two
+// scenarios × six seeds) spread over up to jobs workers. Each run owns a
+// freshly built system and an RNG derived from its own run seed, so the
+// result is byte-identical for every jobs value.
+func RunFigure7Jobs(seed uint64, jobs int) (*Figure7Result, error) {
+	specs := []scenario.Spec{scenario.SC1CF2(), scenario.SC2CF2()}
+	const runsPerSpec = 6
+	type job struct {
+		spec scenario.Spec
+		run  int
+	}
+	var todo []job
+	for _, spec := range specs {
+		for run := 1; run <= runsPerSpec; run++ {
+			todo = append(todo, job{spec, run})
 		}
+	}
+	outs := make([]ConvergenceRun, len(todo))
+	errs := make([]error, len(todo))
+	forEach(jobs, len(todo), func(i int) {
+		spec, run := todo[i].spec, todo[i].run
+		runSeed := seed + uint64(run)*1000
+		built, err := spec.Build(runSeed)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		act, err := core.RunActivation(built.Runtime, core.DefaultConfig(), sim.NewRNG(runSeed))
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: %s run %d: %w", spec.Name, run, err)
+			return
+		}
+		outs[i] = ConvergenceRun{
+			Run:         run,
+			BestCost:    act.BestCostTrajectory(),
+			Ratio:       act.Ratio,
+			Proportions: act.Point[:len(act.Point)-1],
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	res := &Figure7Result{Runs: make(map[string][]ConvergenceRun)}
+	for i, j := range todo {
+		res.Runs[j.spec.Name] = append(res.Runs[j.spec.Name], outs[i])
 	}
 	return res, nil
 }

@@ -51,57 +51,88 @@ func fig9Catalog() []render.ObjectCount {
 // RunFigure9 evaluates HBO and SML at close (1 m) and far (4 m) distances
 // and collects panel scores.
 func RunFigure9(seed uint64) (*Figure9Result, error) {
+	return RunFigure9Jobs(seed, 1)
+}
+
+// fig9Condition is one distance's simulated outcome, before panel rating.
+type fig9Condition struct {
+	hboRatio float64
+	hboQ     float64
+	smlRatio float64
+	smlQ     float64
+}
+
+// RunFigure9Jobs is RunFigure9 with the two distance conditions simulated
+// on up to jobs workers. The rater panel consumes its RNG stream strictly
+// in condition order (close-HBO, close-SML, far-HBO, far-SML) after the
+// simulations complete, so scores — and the report — are byte-identical
+// for every jobs value.
+func RunFigure9Jobs(seed uint64, jobs int) (*Figure9Result, error) {
 	panel, err := userstudy.NewPanel(7, seed)
 	if err != nil {
 		return nil, err
 	}
-	res := &Figure9Result{PanelSize: panel.Size()}
-	for _, dist := range []struct {
+	dists := []struct {
 		label string
 		m     float64
-	}{{"close", 1.0}, {"far", 4.0}} {
+	}{{"close", 1.0}, {"far", 4.0}}
+	conds := make([]fig9Condition, len(dists))
+	errs := make([]error, len(dists))
+	forEach(jobs, len(dists), func(i int) {
 		spec := scenario.Spec{
-			Name:     "Fig9-" + dist.label,
+			Name:     "Fig9-" + dists[i].label,
 			Device:   soc.Pixel7,
 			Objects:  fig9Catalog(),
 			Taskset:  tasks.CF1(),
-			Distance: dist.m,
+			Distance: dists[i].m,
 		}
 		// HBO condition.
 		built, err := spec.Build(seed)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		act, err := core.RunActivation(built.Runtime, core.DefaultConfig(), sim.NewRNG(seed))
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		trueQ := built.Scene.TrueAverageQuality()
-		scores := panel.Scores(trueQ)
-		res.Conditions = append(res.Conditions, StudyCondition{
-			Controller:  "HBO",
-			Distance:    dist.label,
-			Ratio:       act.Ratio,
-			TrueQuality: trueQ,
-			MeanScore:   mean(scores),
-			Scores:      scores,
-		})
+		conds[i].hboRatio = act.Ratio
+		conds[i].hboQ = built.Scene.TrueAverageQuality()
 		// SML condition: match HBO's AI latency with the static allocation.
 		smlBuilt, err := spec.Build(seed)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		sml, err := baselines.SML{HBOEpsilon: act.Epsilon, RMin: core.DefaultConfig().RMin}.Run(smlBuilt.Runtime)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		smlQ := smlBuilt.Scene.TrueAverageQuality()
-		smlScores := panel.Scores(smlQ)
+		conds[i].smlRatio = sml.Ratio
+		conds[i].smlQ = smlBuilt.Scene.TrueAverageQuality()
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	res := &Figure9Result{PanelSize: panel.Size()}
+	for i, dist := range dists {
+		scores := panel.Scores(conds[i].hboQ)
+		res.Conditions = append(res.Conditions, StudyCondition{
+			Controller:  "HBO",
+			Distance:    dist.label,
+			Ratio:       conds[i].hboRatio,
+			TrueQuality: conds[i].hboQ,
+			MeanScore:   mean(scores),
+			Scores:      scores,
+		})
+		smlScores := panel.Scores(conds[i].smlQ)
 		res.Conditions = append(res.Conditions, StudyCondition{
 			Controller:  "SML",
 			Distance:    dist.label,
-			Ratio:       sml.Ratio,
-			TrueQuality: smlQ,
+			Ratio:       conds[i].smlRatio,
+			TrueQuality: conds[i].smlQ,
 			MeanScore:   mean(smlScores),
 			Scores:      smlScores,
 		})

@@ -47,6 +47,16 @@ var ratioGrid = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 
 // RunOptimalityStudy brute-forces SC2-CF2 and runs HBO on an identical twin.
 func RunOptimalityStudy(seed uint64) (*OptimalityResult, error) {
+	return RunOptimalityStudyJobs(seed, 1)
+}
+
+// RunOptimalityStudyJobs is RunOptimalityStudy with the exhaustive sweep
+// spread over up to jobs workers. The supported configurations are
+// enumerated sequentially in the serial order, each is measured on its own
+// freshly built twin, and the minimum is taken in enumeration order with
+// strict improvement — so the oracle (and the report) is byte-identical
+// for every jobs value.
+func RunOptimalityStudyJobs(seed uint64, jobs int) (*OptimalityResult, error) {
 	spec := scenario.SC2CF2()
 	cfg := core.DefaultConfig()
 
@@ -66,6 +76,11 @@ func RunOptimalityStudy(seed uint64) (*OptimalityResult, error) {
 	for i := 0; i < m; i++ {
 		total *= tasks.NumResources
 	}
+	type oracleJob struct {
+		assignment alloc.Assignment
+		ratio      float64
+	}
+	var todo []oracleJob
 	for enc := 0; enc < total; enc++ {
 		assignment := make(alloc.Assignment, m)
 		code := enc
@@ -87,32 +102,48 @@ func RunOptimalityStudy(seed uint64) (*OptimalityResult, error) {
 			continue
 		}
 		for _, x := range ratioGrid {
-			twin, err := spec.Build(seed)
-			if err != nil {
-				return nil, err
-			}
-			if err := twin.Runtime.ApplyAllocation(assignment); err != nil {
-				return nil, err
-			}
-			if err := alloc.DistributeTriangles(twin.Scene.Objects(), x); err != nil {
-				return nil, err
-			}
-			twin.Runtime.SyncRenderLoad()
-			twin.System.RunFor(500)
-			meas, err := twin.Runtime.Measure(cfg.PeriodMS)
-			if err != nil {
-				return nil, err
-			}
-			res.Evaluated++
-			if cost := meas.Cost(cfg.Weight); cost < res.Oracle.Cost {
-				res.Oracle = OracleConfig{
-					Assignment: cloneAssignment(assignment),
-					Ratio:      x,
-					Cost:       cost,
-					Quality:    meas.Quality,
-					Epsilon:    meas.Epsilon,
-				}
-			}
+			todo = append(todo, oracleJob{assignment, x})
+		}
+	}
+	measured := make([]OracleConfig, len(todo))
+	errs := make([]error, len(todo))
+	forEach(jobs, len(todo), func(i int) {
+		twin, err := spec.Build(seed)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if err := twin.Runtime.ApplyAllocation(todo[i].assignment); err != nil {
+			errs[i] = err
+			return
+		}
+		if err := alloc.DistributeTriangles(twin.Scene.Objects(), todo[i].ratio); err != nil {
+			errs[i] = err
+			return
+		}
+		twin.Runtime.SyncRenderLoad()
+		twin.System.RunFor(500)
+		meas, err := twin.Runtime.Measure(cfg.PeriodMS)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		measured[i] = OracleConfig{
+			Assignment: todo[i].assignment,
+			Ratio:      todo[i].ratio,
+			Cost:       meas.Cost(cfg.Weight),
+			Quality:    meas.Quality,
+			Epsilon:    meas.Epsilon,
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	res.Evaluated = len(todo)
+	for i := range measured {
+		if measured[i].Cost < res.Oracle.Cost {
+			res.Oracle = measured[i]
+			res.Oracle.Assignment = cloneAssignment(measured[i].Assignment)
 		}
 	}
 

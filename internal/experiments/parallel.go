@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(i) for every i in [0, n) on at most jobs concurrent
+// workers. jobs <= 1 degenerates to a plain loop. It is the building block
+// behind every parallel experiment: the callers pre-derive all per-index
+// inputs (seeds, specs) deterministically, write results only to index i,
+// and combine them in index order afterwards, so the output is byte-
+// identical for every jobs value (see DESIGN.md §9).
+func forEach(jobs, n int, fn func(i int)) {
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// firstError returns the lowest-index error of a per-index error slice, so
+// a parallel run reports the same failure a serial scan would.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEach checks the worker-pool primitive covers every index exactly
+// once at any parallelism.
+func TestForEach(t *testing.T) {
+	for _, jobs := range []int{0, 1, 2, 7, 64} {
+		hits := make([]atomic.Int64, 100)
+		forEach(jobs, len(hits), func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("jobs=%d: index %d visited %d times", jobs, i, got)
+			}
+		}
+	}
+}
+
+// TestFirstError picks the lowest-index error, matching what a serial loop
+// with early return would have surfaced.
+func TestFirstError(t *testing.T) {
+	if err := firstError([]error{nil, nil}); err != nil {
+		t.Fatalf("want nil, got %v", err)
+	}
+	e1, e2 := errors.New("one"), errors.New("two")
+	if err := firstError([]error{nil, e1, e2}); err != e1 {
+		t.Fatalf("want %v, got %v", e1, err)
+	}
+}
+
+// TestRunAllEmitsInOrder verifies reports stream in paper order even when
+// later artifacts finish first.
+func TestRunAllEmitsInOrder(t *testing.T) {
+	mk := func(id string) Runner {
+		return Runner{ID: id, Run: func(seed uint64) (fmt.Stringer, error) {
+			return stringer(id), nil
+		}}
+	}
+	runners := []Runner{mk("a"), mk("b"), mk("c"), mk("d"), mk("e")}
+	var order []string
+	reports := RunAll(runners, 42, 8, func(rep Report) {
+		order = append(order, rep.Runner.ID)
+	})
+	want := "a b c d e"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("emit order %q, want %q", got, want)
+	}
+	if len(reports) != len(runners) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(runners))
+	}
+	for i, rep := range reports {
+		if rep.Runner.ID != runners[i].ID {
+			t.Fatalf("report %d is %q, want %q", i, rep.Runner.ID, runners[i].ID)
+		}
+	}
+}
+
+type stringer string
+
+func (s stringer) String() string { return string(s) }
+
+// TestRunAllParallelGolden is the determinism gate for the parallel
+// harness: a representative artifact subset — including every experiment
+// with internal RunJobs parallelism that the subset's runtime budget allows
+// — must render byte-identical reports at jobs=1 and jobs=8.
+func TestRunAllParallelGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second golden comparison")
+	}
+	ids := []string{"Table I", "TD", "CrossDevice", "Figure 7", "Figure 9"}
+	var runners []Runner
+	for _, id := range ids {
+		r, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runners = append(runners, r)
+	}
+	render := func(jobs int) string {
+		var b strings.Builder
+		reports := RunAll(runners, 42, jobs, func(rep Report) {
+			if rep.Err != nil {
+				t.Fatalf("jobs=%d: %s: %v", jobs, rep.Runner.ID, rep.Err)
+			}
+			fmt.Fprintf(&b, "== %s ==\n%s\n", rep.Runner.ID, rep.Output.String())
+		})
+		if len(reports) != len(runners) {
+			t.Fatalf("jobs=%d: got %d reports, want %d", jobs, len(reports), len(runners))
+		}
+		return b.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("parallel output diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestRunAllPropagatesError checks a failing artifact surfaces its error in
+// its own report while the others still complete.
+func TestRunAllPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	runners := []Runner{
+		{ID: "ok", Run: func(seed uint64) (fmt.Stringer, error) { return stringer("fine"), nil }},
+		{ID: "bad", Run: func(seed uint64) (fmt.Stringer, error) { return nil, boom }},
+	}
+	reports := RunAll(runners, 1, 4, nil)
+	if reports[0].Err != nil {
+		t.Fatalf("ok runner errored: %v", reports[0].Err)
+	}
+	if !errors.Is(reports[1].Err, boom) {
+		t.Fatalf("bad runner error = %v, want %v", reports[1].Err, boom)
+	}
+}
+
+// TestByIDFindsExtensions pins the fix for the registry lookup: extension
+// studies must be addressable by ID just like paper artifacts.
+func TestByIDFindsExtensions(t *testing.T) {
+	for _, id := range []string{"Figure 7", "CrossDevice", "Optimality", "Acquisition"} {
+		if _, err := ByID(id); err != nil {
+			t.Fatalf("ByID(%q): %v", id, err)
+		}
+	}
+	if _, err := ByID("no such artifact"); err == nil {
+		t.Fatal("ByID of unknown artifact succeeded")
+	}
+}
