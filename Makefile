@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench check
+.PHONY: all vet build test race bench fuzz cover check
 
 all: check
 
@@ -21,6 +21,22 @@ race:
 # regressions are diffable across commits.
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
+
+# fuzz gives each native fuzz target a time-boxed run (override with
+# FUZZTIME=2m etc.). Checked-in seed corpora live under testdata/fuzz/; any
+# crasher Go minimizes is written there too, so it reproduces in plain
+# `go test` forever after.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzOBJParse -fuzztime=$(FUZZTIME) ./internal/mesh/
+	$(GO) test -run=^$$ -fuzz=FuzzEdgeRequestDecode -fuzztime=$(FUZZTIME) ./internal/edge/
+
+# cover runs the full suite with coverage and prints the per-function
+# summary; the HTML report lands in cover.html.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -5
+	$(GO) tool cover -html=cover.out -o cover.html
 
 # check is the pre-commit gate: static analysis, full build, and the test
 # suite under the race detector.

@@ -22,6 +22,7 @@ import (
 	"github.com/mar-hbo/hbo/internal/experiments"
 	"github.com/mar-hbo/hbo/internal/faults"
 	"github.com/mar-hbo/hbo/internal/mesh"
+	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/render"
 	"github.com/mar-hbo/hbo/internal/scenario"
 	"github.com/mar-hbo/hbo/internal/sim"
@@ -421,3 +422,32 @@ func benchRunAll(b *testing.B, jobs int) {
 // speedup measurement (identical reports either way).
 func BenchmarkRunAllSerial(b *testing.B)   { benchRunAll(b, 1) }
 func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }
+
+// benchMeasureWindow measures one 2-second monitoring window on SC1-CF1 with
+// the given default registry installed — the observability layer's overhead
+// probe. With reg == nil every instrument is a nil pointer whose methods are
+// no-ops, so allocs/op must match the pre-observability baseline exactly;
+// with a live registry the contract is ≤2% extra wall time.
+func benchMeasureWindow(b *testing.B, reg *obs.Registry) {
+	b.Helper()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+	built, err := scenario.SC1CF1().Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := built.Runtime.Measure(2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureNilRegistry is the disabled path (nil instruments);
+// BenchmarkMeasureLiveRegistry pays the atomic counters and histogram
+// observes. Compare the two to verify the zero-overhead-when-disabled and
+// ≤2%-when-live guarantees.
+func BenchmarkMeasureNilRegistry(b *testing.B)  { benchMeasureWindow(b, nil) }
+func BenchmarkMeasureLiveRegistry(b *testing.B) { benchMeasureWindow(b, obs.New()) }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"github.com/mar-hbo/hbo/internal/experiments"
+	"github.com/mar-hbo/hbo/internal/obs"
 )
 
 func main() {
@@ -37,11 +38,41 @@ func main() {
 	csvDir := flag.String("csv", "", "also write replottable CSV series to this directory")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrently running artifacts (1 = serial; output is identical either way)")
 	timing := flag.String("timing", "", "write per-artifact wall-clock/allocation stats to this JSON file")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file (enables observability; with -jobs > 1 all artifacts aggregate into one registry)")
 	flag.Parse()
+	if *metrics != "" {
+		// Install before any simulation is built so scenario.Build wires the
+		// registry through every layer. The registry is concurrency-safe, so
+		// parallel artifacts aggregate into the same instruments.
+		obs.SetDefault(obs.New())
+	}
 	if err := run(*seed, *only, *list, *ext, *csvDir, *jobs, *timing); err != nil {
 		fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
 		os.Exit(1)
 	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics dumps the process-wide registry snapshot to path.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default().Snapshot().WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
 }
 
 // timingReport is the machine-readable performance record written by

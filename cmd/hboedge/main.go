@@ -6,6 +6,12 @@
 // size-capped, handlers are time-bounded, slow-client reads and writes time
 // out, and SIGINT/SIGTERM drain in-flight requests before exit.
 //
+// Observability endpoints ride alongside the service routes:
+//
+//	GET /metricsz     JSON snapshot of the metrics registry and event tap
+//	GET /debug/vars   expvar (includes the registry under "hbo")
+//	GET /debug/pprof  runtime profiles
+//
 // Usage:
 //
 //	hboedge -addr :8080
@@ -14,15 +20,18 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/mar-hbo/hbo/internal/edge"
+	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/render"
 )
 
@@ -49,9 +58,24 @@ func run(ctx context.Context, addr string, drain time.Duration) error {
 	if err != nil {
 		return err
 	}
+	reg := obs.New()
+	srv.SetObserver(reg)
+	obs.Publish("hbo", reg)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	httpSrv := &http.Server{
 		Addr:    addr,
-		Handler: srv.Handler(),
+		Handler: mux,
 		// Bound every phase of a connection so a stalled peer cannot pin
 		// one: header read, full request read, response write, keep-alive.
 		ReadHeaderTimeout: 5 * time.Second,
@@ -61,7 +85,7 @@ func run(ctx context.Context, addr string, drain time.Duration) error {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	fmt.Printf("hboedge: serving %d objects on %s (POST /decimate, /train, /bo/next; GET /healthz)\n", len(specs), addr)
+	fmt.Printf("hboedge: serving %d objects on %s (POST /decimate, /train, /bo/next; GET /healthz, /metricsz, /debug/vars, /debug/pprof)\n", len(specs), addr)
 	select {
 	case err := <-serveErr:
 		return err

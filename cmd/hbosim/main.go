@@ -18,6 +18,7 @@ import (
 	"github.com/mar-hbo/hbo/internal/alloc"
 	"github.com/mar-hbo/hbo/internal/baselines"
 	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/scenario"
 	"github.com/mar-hbo/hbo/internal/sim"
 )
@@ -27,11 +28,40 @@ func main() {
 	controller := flag.String("controller", "hbo", "controller: hbo, smq, sml, bnt, alln")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	weight := flag.Float64("w", 2.5, "latency/quality weight w (Eq. 3)")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file (enables observability)")
 	flag.Parse()
+	if *metrics != "" {
+		// Install before any simulation is built so scenario.Build wires the
+		// registry through every layer.
+		obs.SetDefault(obs.New())
+	}
 	if err := run(*name, *controller, *seed, *weight); err != nil {
 		fmt.Fprintf(os.Stderr, "hbosim: %v\n", err)
 		os.Exit(1)
 	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "hbosim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics dumps the process-wide registry snapshot to path.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default().Snapshot().WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
 }
 
 func run(name, controller string, seed uint64, weight float64) error {

@@ -1,0 +1,133 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+	"github.com/mar-hbo/hbo/internal/soc"
+	"github.com/mar-hbo/hbo/internal/tasks"
+)
+
+// quickCfg runs every property for at least the thousand cases the test
+// battery promises.
+var quickCfg = &quick.Config{MaxCount: 1200}
+
+// TestCountsWithinOneOfIdealShare checks the largest-remainder rounding
+// invariants on random simplex points: counts are non-negative integers
+// summing to m, and each resource's count is within one task of its ideal
+// fractional share c_i·m.
+func TestCountsWithinOneOfIdealShare(t *testing.T) {
+	f := func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw % 41) // 0..40 tasks, including the empty taskset
+		rng := sim.NewRNG(seed)
+		c := make([]float64, tasks.NumResources)
+		rng.Dirichlet(1, c)
+		counts, err := Counts(c, m)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for i, v := range counts {
+			if v < 0 {
+				return false
+			}
+			sum += v
+			if math.Abs(float64(v)-c[i]*float64(m)) > 1+1e-9 {
+				return false
+			}
+		}
+		return sum == m
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// propModels is the model pool random tasksets draw from; it mixes
+// everywhere-supported models with deeplabv3, which Pixel 7 cannot run on
+// NNAPI, so the repair pass is exercised too.
+var propModels = []string{tasks.MNIST, tasks.MobileNetV1, tasks.DeepLabV3, tasks.MobileNetDetV1, tasks.EfficientLiteV0}
+
+// profileCache memoizes taskset profiles by model mask: profiling simulates
+// every (task, resource) pair and would dominate the property run.
+var profileCache = map[uint32]*soc.Profile{}
+
+func randomTaskset(t *testing.T, seed uint64) (*soc.Profile, []string) {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	var counts []tasks.ModelCount
+	var mask uint32
+	for i, m := range propModels {
+		n := int(rng.Float64() * 3) // 0..2 instances
+		if n > 0 {
+			counts = append(counts, tasks.ModelCount{Model: m, Count: n})
+			mask |= uint32(n) << (2 * i)
+		}
+	}
+	if len(counts) == 0 {
+		counts = append(counts, tasks.ModelCount{Model: tasks.MNIST, Count: 1})
+		mask = 1
+	}
+	set, err := tasks.Expand("prop", counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, ok := profileCache[mask]
+	if !ok {
+		prof, err = soc.ProfileTaskset(soc.Pixel7(), set, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profileCache[mask] = prof
+	}
+	ids := make([]string, len(set.Tasks))
+	for i, task := range set.Tasks {
+		ids[i] = task.ID()
+	}
+	return prof, ids
+}
+
+// TestAssignRandomTasksetsCoverEveryTaskOnce drives Assign with random
+// tasksets and random simplex points: the returned allocation must place
+// every task exactly once, on a resource the task is actually profiled for.
+func TestAssignRandomTasksetsCoverEveryTaskOnce(t *testing.T) {
+	f := func(seed uint64) bool {
+		prof, ids := randomTaskset(t, seed)
+		rng := sim.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+		c := make([]float64, tasks.NumResources)
+		rng.Dirichlet(1, c)
+		counts, err := Counts(c, len(ids))
+		if err != nil {
+			return false
+		}
+		got, err := Assign(counts, prof, ids)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(ids) {
+			return false
+		}
+		for _, id := range ids {
+			r, ok := got[id]
+			if !ok {
+				return false // a task was left unplaced
+			}
+			supported := false
+			for _, e := range prof.Entries {
+				if e.TaskID == id && e.Resource == r {
+					supported = true
+					break
+				}
+			}
+			if !supported {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/mar-hbo/hbo/internal/obs"
 )
 
 // Kernel is a positive-definite covariance function over R^d.
@@ -115,6 +117,11 @@ type GP struct {
 	yStd     float64
 	centered []float64 // standardized observations
 	alpha    []float64 // (K + noise·I)^{-1} of the standardized observations
+
+	// metRestarts counts jitter-ladder restarts during factorization (an
+	// indefinite kernel matrix forcing a retry with more diagonal jitter).
+	// Nil — the common case — is a no-op.
+	metRestarts *obs.Counter
 }
 
 // NewGP returns a regressor with the given kernel and observation-noise
@@ -233,6 +240,7 @@ func (g *GP) factorize() error {
 			g.jitter = jitter
 			return nil
 		}
+		g.metRestarts.Inc()
 		if jitter == 0 {
 			jitter = 1e-10
 		} else {

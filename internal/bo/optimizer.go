@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/sim"
 )
 
@@ -177,6 +179,36 @@ type Optimizer struct {
 	scratches []PredictScratch
 	refineA   []float64
 	refineB   []float64
+
+	// Observability instruments; nil (no-op) unless SetObserver is called.
+	// The wall clock is read only when the suggestion-latency histogram is
+	// live, and its value never feeds back into the search, so suggestions
+	// are bit-identical with metrics on or off.
+	metSuggestions *obs.Counter
+	metRefits      *obs.Counter
+	metUpdates     *obs.Counter
+	metRestarts    *obs.Counter
+	metGPSize      *obs.Gauge
+	metSuggestMS   *obs.Histogram
+}
+
+// SetObserver attaches a metrics registry: suggestion count and wall-clock
+// latency, GP database size, full refits versus incremental extensions, and
+// Cholesky jitter-ladder restarts. Passing nil detaches.
+func (o *Optimizer) SetObserver(reg *obs.Registry) {
+	o.metSuggestions = reg.Counter("bo.suggestions")
+	o.metRefits = reg.Counter("bo.gp_refits")
+	o.metUpdates = reg.Counter("bo.gp_incremental_updates")
+	o.metRestarts = reg.Counter("bo.jitter_restarts")
+	o.metGPSize = reg.Gauge("bo.gp_size")
+	if reg != nil {
+		o.metSuggestMS = reg.Histogram("bo.suggest_wall_ms", obs.LatencyBucketsMS)
+	} else {
+		o.metSuggestMS = nil
+	}
+	if o.gp != nil {
+		o.gp.metRestarts = o.metRestarts
+	}
 }
 
 // NewOptimizer builds an optimizer for the domain.
@@ -244,6 +276,17 @@ func (o *Optimizer) Best() (p []float64, cost float64, ok bool) {
 // RNG and scored on a bounded worker pool (Config.Jobs); the result is
 // bit-identical to a serial scan.
 func (o *Optimizer) Next() ([]float64, error) {
+	o.metSuggestions.Inc()
+	if o.metSuggestMS == nil {
+		return o.next()
+	}
+	start := time.Now()
+	p, err := o.next()
+	o.metSuggestMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	return p, err
+}
+
+func (o *Optimizer) next() ([]float64, error) {
 	if len(o.xs) < o.cfg.InitSamples {
 		return o.dom.Sample(o.rng), nil
 	}
@@ -311,15 +354,20 @@ func (o *Optimizer) ensureSurrogate(lengthScale float64, clipped []float64) erro
 		if err != nil {
 			return err
 		}
+		gp.metRestarts = o.metRestarts
 		if err := gp.Fit(o.xs, clipped); err != nil {
 			return fmt.Errorf("bo: surrogate fit: %w", err)
 		}
 		o.gp, o.gpScale = gp, lengthScale
+		o.metRefits.Inc()
+		o.metGPSize.Set(float64(gp.Observations()))
 		return nil
 	}
 	if err := o.gp.Update(o.xs, clipped); err != nil {
 		return fmt.Errorf("bo: surrogate fit: %w", err)
 	}
+	o.metUpdates.Inc()
+	o.metGPSize.Set(float64(o.gp.Observations()))
 	return nil
 }
 

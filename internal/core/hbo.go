@@ -5,6 +5,7 @@ import (
 
 	"github.com/mar-hbo/hbo/internal/alloc"
 	"github.com/mar-hbo/hbo/internal/bo"
+	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/sim"
 	"github.com/mar-hbo/hbo/internal/tasks"
 )
@@ -162,6 +163,9 @@ func RunActivation(rt *Runtime, cfg Config, rng *sim.RNG) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	opt.SetObserver(rt.reg)
+	rt.metActivations.Inc()
+	rt.emit(obs.Event{TimeMS: rt.Sys.Now(), Kind: "core.activation.start"})
 	res := &Result{}
 	total := cfg.InitSamples + cfg.Iterations
 	// points and costs mirror the optimizer's database for the (stateless)
@@ -219,6 +223,7 @@ func RunActivation(rt *Runtime, cfg Config, rng *sim.RNG) (*Result, error) {
 	res.Cost = best.Cost
 	res.Quality = best.Quality
 	res.Epsilon = best.Epsilon
+	rt.emit(obs.Event{TimeMS: rt.Sys.Now(), Kind: "core.activation.end", Value: res.Cost})
 	return res, nil
 }
 

@@ -67,6 +67,11 @@ type EnvironmentKey struct {
 	Objects int
 }
 
+// String renders the key compactly for event details and diagnostics.
+func (k EnvironmentKey) String() string {
+	return fmt.Sprintf("%s/tri%d/dist%d/obj%d", k.Taskset, k.TriBucket, k.DistBucket, k.Objects)
+}
+
 // LookupEntry is one remembered solution.
 type LookupEntry struct {
 	Point  []float64

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"github.com/mar-hbo/hbo/internal/alloc"
+	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/render"
 	"github.com/mar-hbo/hbo/internal/soc"
 	"github.com/mar-hbo/hbo/internal/tasks"
@@ -39,7 +40,49 @@ type Runtime struct {
 	// takes over until the primary provider serves successfully again.
 	degraded       bool
 	degradedEvents int
+
+	// Observability: reg is kept so activations can hand it down to the BO
+	// optimizer and emit timeline events; the individual instruments are
+	// nil-safe no-ops when no registry is attached.
+	reg               *obs.Registry
+	metActivations    *obs.Counter
+	metLookupHits     *obs.Counter
+	metLookupMisses   *obs.Counter
+	metLODPrimary     *obs.Counter
+	metLODFallback    *obs.Counter
+	metDegradedEnter  *obs.Counter
+	metDegradedExit   *obs.Counter
+	metWindows        *obs.Counter
+	metWindowQuality  *obs.Histogram
+	metWindowEpsilon  *obs.Histogram
+	metDeadlineMisses *obs.Gauge
 }
+
+// epsilonBuckets covers the normalized-latency-inflation range: 0 is the
+// profiled isolation latency, a few means heavy contention.
+var epsilonBuckets = []float64{0, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1, 1.5, 2, 3, 5}
+
+// SetObserver attaches a metrics registry to the runtime (and, via
+// RunActivation, to the optimizers it spawns). Metrics never influence
+// control decisions: measurements, activations, and golden outputs are
+// byte-identical with observability on or off.
+func (rt *Runtime) SetObserver(reg *obs.Registry) {
+	rt.reg = reg
+	rt.metActivations = reg.Counter("core.activations")
+	rt.metLookupHits = reg.Counter("core.lookup_hits")
+	rt.metLookupMisses = reg.Counter("core.lookup_misses")
+	rt.metLODPrimary = reg.Counter("core.lod_primary_ok")
+	rt.metLODFallback = reg.Counter("core.lod_fallback")
+	rt.metDegradedEnter = reg.Counter("core.degraded_enter")
+	rt.metDegradedExit = reg.Counter("core.degraded_exit")
+	rt.metWindows = reg.Counter("core.windows_measured")
+	rt.metWindowQuality = reg.Histogram("core.window_quality", obs.RewardBuckets)
+	rt.metWindowEpsilon = reg.Histogram("core.window_epsilon", epsilonBuckets)
+	rt.metDeadlineMisses = reg.Gauge("core.deadline_miss_rate")
+}
+
+// Observer returns the attached registry (nil when observability is off).
+func (rt *Runtime) Observer() *obs.Registry { return rt.reg }
 
 // BOBackend proposes the next BO configuration from the full observation
 // database — the §VI remote-BO step, stateless per call so any proposal can
@@ -166,6 +209,11 @@ func (rt *Runtime) applyLOD() error {
 	if primaryReady || rt.fallbackLOD == nil {
 		err := rt.Scene.ApplyLOD(rt.lod, minDelta)
 		if err == nil {
+			rt.metLODPrimary.Inc()
+			if rt.degraded {
+				rt.metDegradedExit.Inc()
+				rt.emit(obs.Event{TimeMS: rt.Sys.Now(), Kind: "core.degraded.exit"})
+			}
 			rt.degraded = false
 			return nil
 		}
@@ -176,12 +224,18 @@ func (rt *Runtime) applyLOD() error {
 	if err := rt.Scene.ApplyLOD(rt.fallbackLOD, minDelta); err != nil {
 		return fmt.Errorf("core: local LOD fallback: %w", err)
 	}
+	rt.metLODFallback.Inc()
 	if !rt.degraded {
 		rt.degradedEvents++
+		rt.metDegradedEnter.Inc()
+		rt.emit(obs.Event{TimeMS: rt.Sys.Now(), Kind: "core.degraded.enter"})
 	}
 	rt.degraded = true
 	return nil
 }
+
+// emit forwards an event to the attached registry (no-op when detached).
+func (rt *Runtime) emit(ev obs.Event) { rt.reg.Emit(ev) }
 
 // Measurement is one control-period observation of the system.
 type Measurement struct {
@@ -262,5 +316,9 @@ func (rt *Runtime) Measure(periodMS float64) (Measurement, error) {
 	if completions > 0 {
 		m.DeadlineMissRate = float64(misses) / float64(completions)
 	}
+	rt.metWindows.Inc()
+	rt.metWindowQuality.Observe(m.Quality)
+	rt.metWindowEpsilon.Observe(m.Epsilon)
+	rt.metDeadlineMisses.Set(m.DeadlineMissRate)
 	return m, nil
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
+	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/sim"
 	"github.com/mar-hbo/hbo/internal/tasks"
 )
@@ -125,6 +127,59 @@ func (s *Session) record(smp RewardSample) {
 	}
 }
 
+// TimelineEvent is one entry of the merged observability timeline: reward
+// samples interleaved with activation boundaries and degraded-mode edges, in
+// virtual-time order.
+type TimelineEvent struct {
+	TimeMS float64 `json:"t_ms"`
+	// Kind is one of "sample", "activation.start", "activation.end",
+	// "degraded.enter", "degraded.exit".
+	Kind string `json:"kind"`
+	// Value is the reward for samples and the enforced solution's reward for
+	// activation ends (zero for lookup replays, whose reward arrives as the
+	// in-activation sample at the same timestamp).
+	Value float64 `json:"value,omitempty"`
+	// Detail annotates the event: "in_activation" on samples taken during
+	// exploration, "lookup" on activations replayed from the lookup table.
+	Detail string `json:"detail,omitempty"`
+}
+
+// ObservedTimeline merges the recorded reward series with activation marks
+// and degraded-mode transitions (derived from consecutive samples' Degraded
+// flag) into one chronologically sorted trace. It is built purely from
+// session state, so it works with or without an attached metrics registry.
+func (s *Session) ObservedTimeline() []TimelineEvent {
+	out := make([]TimelineEvent, 0, len(s.samples)+2*len(s.activations))
+	degraded := false
+	for _, smp := range s.samples {
+		if smp.Degraded && !degraded {
+			out = append(out, TimelineEvent{TimeMS: smp.TimeMS, Kind: "degraded.enter"})
+		} else if !smp.Degraded && degraded {
+			out = append(out, TimelineEvent{TimeMS: smp.TimeMS, Kind: "degraded.exit"})
+		}
+		degraded = smp.Degraded
+		ev := TimelineEvent{TimeMS: smp.TimeMS, Kind: "sample", Value: smp.Reward}
+		if smp.InActivation {
+			ev.Detail = "in_activation"
+		}
+		out = append(out, ev)
+	}
+	for _, a := range s.activations {
+		startEv := TimelineEvent{TimeMS: a.TimeMS, Kind: "activation.start"}
+		endEv := TimelineEvent{TimeMS: a.EndMS, Kind: "activation.end"}
+		if a.FromLookup {
+			startEv.Detail = "lookup"
+			endEv.Detail = "lookup"
+		}
+		if a.Result != nil {
+			endEv.Value = -a.Result.Cost
+		}
+		out = append(out, startEv, endEv)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TimeMS < out[j].TimeMS })
+	return out
+}
+
 // ExplorationTimeMS returns the total virtual time the session spent inside
 // activations — the user-visible cost of re-optimizing that the §VI lookup
 // table exists to amortize.
@@ -196,7 +251,10 @@ func (s *Session) RunFor(durationMS float64) error {
 func (s *Session) activate() error {
 	start := s.rt.Sys.Now()
 	if s.lookup != nil {
-		if e, ok := s.lookup.Find(Key(s.rt)); ok {
+		key := Key(s.rt)
+		if e, ok := s.lookup.Find(key); ok {
+			s.rt.metLookupHits.Inc()
+			s.rt.emit(obs.Event{TimeMS: start, Kind: "core.lookup.hit", Detail: key.String()})
 			if _, err := s.rt.ApplyConfiguration(e.Point[:tasks.NumResources], e.Point[tasks.NumResources]); err != nil {
 				return err
 			}
@@ -212,6 +270,8 @@ func (s *Session) activate() error {
 			s.activations = append(s.activations, ActivationMark{TimeMS: start, EndMS: s.rt.Sys.Now(), FromLookup: true})
 			return nil
 		}
+		s.rt.metLookupMisses.Inc()
+		s.rt.emit(obs.Event{TimeMS: start, Kind: "core.lookup.miss", Detail: key.String()})
 	}
 	res, err := RunActivation(s.rt, s.cfg.HBO, s.rng)
 	if err != nil {

@@ -69,6 +69,26 @@ type breaker struct {
 	successes int // consecutive, while half-open
 	openedAt  time.Time
 	stats     BreakerStats
+
+	// onTransition, when set, is invoked (with b.mu held) after every state
+	// change. The hook must not call back into the breaker.
+	onTransition func(from, to BreakerState)
+}
+
+// setTransitionHook installs (or, with nil, removes) the state-change hook.
+func (b *breaker) setTransitionHook(hook func(from, to BreakerState)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onTransition = hook
+}
+
+// transition switches states and fires the hook; callers hold b.mu.
+func (b *breaker) transition(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.onTransition != nil && from != to {
+		b.onTransition(from, to)
+	}
 }
 
 func newBreaker(failureThreshold, successThreshold int, openFor time.Duration, now func() time.Time) *breaker {
@@ -90,7 +110,7 @@ func (b *breaker) allow() bool {
 	defer b.mu.Unlock()
 	if b.state == BreakerOpen {
 		if b.now().Sub(b.openedAt) >= b.openFor {
-			b.state = BreakerHalfOpen
+			b.transition(BreakerHalfOpen)
 			b.successes = 0
 		} else {
 			b.stats.ShortCircuits++
@@ -120,7 +140,7 @@ func (b *breaker) recordSuccess() {
 	case BreakerHalfOpen:
 		b.successes++
 		if b.successes >= b.successThreshold {
-			b.state = BreakerClosed
+			b.transition(BreakerClosed)
 			b.failures = 0
 		}
 	}
@@ -145,7 +165,7 @@ func (b *breaker) recordFailure() {
 
 // open transitions to BreakerOpen; callers hold b.mu.
 func (b *breaker) open() {
-	b.state = BreakerOpen
+	b.transition(BreakerOpen)
 	b.openedAt = b.now()
 	b.failures = 0
 	b.successes = 0

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/mar-hbo/hbo/internal/mesh"
+	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/quality"
 	"github.com/mar-hbo/hbo/internal/sim"
 )
@@ -114,6 +115,47 @@ type Client struct {
 	// counts attempts beyond each call's first.
 	hits, misses int
 	retries      int
+
+	// Observability instruments; nil (no-op) unless SetObserver is called.
+	metCalls           *obs.Counter
+	metAttempts        *obs.Counter
+	metAttemptFailures *obs.Counter
+	metRetries         *obs.Counter
+	metShortCircuits   *obs.Counter
+	metCacheHits       *obs.Counter
+	metCacheMisses     *obs.Counter
+	metBreakerState    *obs.Gauge
+}
+
+// SetObserver attaches a metrics registry: per-call and per-attempt outcome
+// counters, retry and short-circuit counts, cache hits/misses, and a breaker
+// state gauge plus transition events (wall-clock timestamps — this runs in
+// real processes, not the simulator). Call before the client is shared across
+// goroutines; passing nil detaches.
+func (c *Client) SetObserver(reg *obs.Registry) {
+	c.metCalls = reg.Counter("edge.client.calls")
+	c.metAttempts = reg.Counter("edge.client.attempts")
+	c.metAttemptFailures = reg.Counter("edge.client.attempt_failures")
+	c.metRetries = reg.Counter("edge.client.retries")
+	c.metShortCircuits = reg.Counter("edge.client.short_circuits")
+	c.metCacheHits = reg.Counter("edge.client.cache_hits")
+	c.metCacheMisses = reg.Counter("edge.client.cache_misses")
+	c.metBreakerState = reg.Gauge("edge.client.breaker_state")
+	if reg == nil {
+		c.breaker.setTransitionHook(nil)
+		return
+	}
+	gauge := c.metBreakerState
+	clock := c.breaker.now
+	c.breaker.setTransitionHook(func(from, to BreakerState) {
+		gauge.Set(float64(to))
+		reg.Emit(obs.Event{
+			TimeMS: float64(clock().UnixMilli()),
+			Kind:   "edge.breaker.transition",
+			Detail: from.String() + "->" + to.String(),
+			Value:  float64(to),
+		})
+	})
 }
 
 type cacheKey struct {
@@ -232,10 +274,12 @@ func (c *Client) decimate(ctx context.Context, object string, ratio float64, fas
 		c.lru.MoveToFront(el)
 		m := el.Value.(*cacheEntry).mesh.Clone()
 		c.mu.Unlock()
+		c.metCacheHits.Inc()
 		return m, nil
 	}
 	c.misses++
 	c.mu.Unlock()
+	c.metCacheMisses.Inc()
 	var resp DecimateResponse
 	if err := c.post(ctx, "/decimate", DecimateRequest{Object: object, Ratio: ratio, Fast: fast}, &resp); err != nil {
 		return nil, err
@@ -347,7 +391,9 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	if err != nil {
 		return fmt.Errorf("edge: encoding %s request: %w", path, err)
 	}
+	c.metCalls.Inc()
 	if !c.breaker.allow() {
+		c.metShortCircuits.Inc()
 		return fmt.Errorf("edge: %s: %w", path, ErrUnavailable)
 	}
 	var lastErr error
@@ -357,15 +403,18 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 			c.retries++
 			delay := c.backoffLocked(attempt)
 			c.mu.Unlock()
+			c.metRetries.Inc()
 			if err := c.wait(ctx, delay); err != nil {
 				return fmt.Errorf("edge: %s: %w", path, err)
 			}
 		}
 		err := c.attempt(ctx, path, body, resp)
+		c.metAttempts.Inc()
 		if err == nil {
 			c.breaker.recordSuccess()
 			return nil
 		}
+		c.metAttemptFailures.Inc()
 		c.breaker.recordFailure()
 		lastErr = err
 		if !retryable(err) || ctx.Err() != nil {

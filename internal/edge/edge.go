@@ -19,6 +19,7 @@ import (
 
 	"github.com/mar-hbo/hbo/internal/bo"
 	"github.com/mar-hbo/hbo/internal/mesh"
+	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/quality"
 	"github.com/mar-hbo/hbo/internal/render"
 	"github.com/mar-hbo/hbo/internal/sim"
@@ -140,7 +141,16 @@ type Server struct {
 
 	mu     sync.Mutex
 	meshes map[string]*mesh.Mesh // full-quality geometry, built lazily
+
+	// reg is the attached metrics registry; nil leaves Handler uninstrumented
+	// (no wrapper, no per-request overhead at all).
+	reg *obs.Registry
 }
+
+// SetObserver attaches a metrics registry to the server: per-endpoint request
+// and error counters plus wall-clock latency histograms. Call before
+// Handler(); passing nil (the default) keeps the routes unwrapped.
+func (s *Server) SetObserver(reg *obs.Registry) { s.reg = reg }
 
 // NewServer builds a server for the given catalog.
 func NewServer(specs []render.ObjectSpec) (*Server, error) {
@@ -162,14 +172,48 @@ func NewServer(specs []render.ObjectSpec) (*Server, error) {
 // request cannot pin the server's memory or connections.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("POST /decimate", guard(s.handleDecimate))
-	mux.Handle("POST /train", guard(s.handleTrain))
-	mux.Handle("POST /bo/next", guard(s.handleBONext))
+	mux.Handle("POST /decimate", s.instrument("decimate", guard(s.handleDecimate)))
+	mux.Handle("POST /train", s.instrument("train", guard(s.handleTrain)))
+	mux.Handle("POST /bo/next", s.instrument("bo_next", guard(s.handleBONext)))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	return mux
+}
+
+// instrument wraps a route with request/error counters and a latency
+// histogram when a registry is attached; with none it returns h unchanged.
+// Instruments are resolved once here, so the per-request cost is two atomic
+// increments and a histogram observe.
+func (s *Server) instrument(name string, h http.Handler) http.Handler {
+	if s.reg == nil {
+		return h
+	}
+	requests := s.reg.Counter("edge.server.requests." + name)
+	errors := s.reg.Counter("edge.server.errors." + name)
+	latency := s.reg.Histogram("edge.server.latency_ms."+name, obs.LatencyBucketsMS)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		requests.Inc()
+		if rec.status >= 400 {
+			errors.Inc()
+		}
+	})
+}
+
+// statusRecorder captures the response status for the error counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
 }
 
 // guard wraps a handler with the body cap and handler timeout.

@@ -1,0 +1,65 @@
+package edge
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/render"
+)
+
+// fuzzHandler builds the server routes once for the whole fuzz run; the
+// catalog is tiny so accidental valid decimate requests stay cheap.
+var fuzzHandler = sync.OnceValue(func() http.Handler {
+	srv, err := NewServer([]render.ObjectSpec{
+		{Name: "fuzzy", MaxTriangles: 500, Shape: render.ShapeBlob, ShapeSeed: 7, Roughness: 0.3, DistExp: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return srv.Handler()
+})
+
+// FuzzEdgeRequestDecode throws arbitrary bodies at each POST endpoint's
+// request decoding and validation. The server must never panic and must
+// always answer with a plausible HTTP status, whatever the body contains —
+// truncated JSON, out-of-range numbers, huge polygon counts, or a valid
+// request for an unknown object.
+func FuzzEdgeRequestDecode(f *testing.F) {
+	seeds := []struct {
+		endpoint byte
+		body     string
+	}{
+		{0, `{"object":"fuzzy","ratio":0.5}`},
+		{0, `{"object":"fuzzy","ratio":0.1,"fast":true}`},
+		{0, `{"object":"missing","ratio":0.5}`},
+		{0, `{"object":"fuzzy","ratio":1e999}`},
+		{0, `{"object":"fuzzy","ratio":-1}`},
+		{1, `{"object":"fuzzy","samples":[{"ratio":0.5,"score":0.8},{"ratio":1,"score":1}]}`},
+		{1, `{"object":"fuzzy","samples":[]}`},
+		{2, `{"resources":3,"rmin":0.1,"seed":1,"observations":[]}`},
+		{2, `{"resources":-1,"rmin":0.1,"seed":1,"observations":[]}`},
+		{2, `{"resources":3,"rmin":0.1,"seed":1,"observations":[{"point":[1,0,0,0.5],"cost":0.2}]}`},
+		{2, `{"resources":3,"rmin":2}`},
+		{0, `{`},
+		{1, `null`},
+		{2, `[]`},
+		{3, ``},
+	}
+	for _, s := range seeds {
+		f.Add(s.endpoint, []byte(s.body))
+	}
+	paths := []string{"/decimate", "/train", "/bo/next"}
+	f.Fuzz(func(t *testing.T, endpoint byte, body []byte) {
+		path := paths[int(endpoint)%len(paths)]
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		fuzzHandler().ServeHTTP(rec, req)
+		if rec.Code < 200 || rec.Code > 599 {
+			t.Fatalf("%s returned impossible status %d", path, rec.Code)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package mesh
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzOBJParse feeds arbitrary bytes to the OBJ reader. The contract under
+// fuzz: never panic, and any stream the parser accepts must validate and
+// survive a write/re-read round trip bit-identically (vertices compared by
+// float bits so NaN coordinates — which ParseFloat accepts — don't break
+// equality).
+func FuzzOBJParse(f *testing.F) {
+	seeds := []string{
+		"v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n",
+		"# comment\nv 0 0 0\nv 1 0 0\nv 0 1 0\nv 1 1 0\nf 1 2 3 4\n",
+		"v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n",
+		"v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1/1/1 2/2/2 3//3\n",
+		"v NaN 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n",
+		"v 1e308 -1e308 0.5\nv 1 0 0\nv 0 1 0\nf 1 1 2\nf 1 2 3\n",
+		"v 0x1p-3 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n",
+		"vn 0 0 1\nvt 0 0\ng g\no o\ns 1\nusemtl m\nmtllib l\n",
+		"f 1 2 3\n",
+		"v 0 0\n",
+		"f 0 1 2\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadOBJ(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; only a panic is a failure here
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted mesh fails validation: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteOBJ(&buf, m); werr != nil {
+			t.Fatalf("accepted mesh does not serialize: %v", werr)
+		}
+		m2, rerr := ReadOBJ(bytes.NewReader(buf.Bytes()))
+		if rerr != nil {
+			t.Fatalf("serialized mesh does not re-parse: %v\n%s", rerr, buf.Bytes())
+		}
+		if len(m2.Vertices) != len(m.Vertices) || len(m2.Triangles) != len(m.Triangles) {
+			t.Fatalf("round trip changed shape: %dv/%dt -> %dv/%dt",
+				len(m.Vertices), len(m.Triangles), len(m2.Vertices), len(m2.Triangles))
+		}
+		for i := range m.Vertices {
+			if !sameVec3Bits(m.Vertices[i], m2.Vertices[i]) {
+				t.Fatalf("vertex %d changed: %v -> %v", i, m.Vertices[i], m2.Vertices[i])
+			}
+		}
+		for i := range m.Triangles {
+			if m.Triangles[i] != m2.Triangles[i] {
+				t.Fatalf("triangle %d changed: %v -> %v", i, m.Triangles[i], m2.Triangles[i])
+			}
+		}
+	})
+}
+
+// sameVec3Bits compares coordinates by their float64 bit patterns, so NaN
+// equals NaN and -0 is distinguished from +0.
+func sameVec3Bits(a, b Vec3) bool {
+	return math.Float64bits(a.X) == math.Float64bits(b.X) &&
+		math.Float64bits(a.Y) == math.Float64bits(b.Y) &&
+		math.Float64bits(a.Z) == math.Float64bits(b.Z)
+}

@@ -1,0 +1,48 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecimateMonotoneInBudget checks the decimator's budget contract on
+// random blob meshes and random target pairs: the output never exceeds the
+// target, a smaller budget never yields more triangles than a larger one,
+// and every output validates.
+func TestDecimateMonotoneInBudget(t *testing.T) {
+	f := func(seed uint64, roughRaw uint8, sizeRaw uint16, aRaw, bRaw uint16) bool {
+		size := 60 + int(sizeRaw%300)
+		rough := float64(roughRaw%50) / 100
+		m, err := Blob(size, seed, rough)
+		if err != nil {
+			return false
+		}
+		n := m.TriangleCount()
+		if n < 10 {
+			return false
+		}
+		hi := 8 + int(aRaw)%(n-8)
+		lo := 8 + int(bRaw)%(n-8)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		outHi, err := Decimate(m, hi)
+		if err != nil {
+			return false
+		}
+		outLo, err := Decimate(m, lo)
+		if err != nil {
+			return false
+		}
+		if outHi.Validate() != nil || outLo.Validate() != nil {
+			return false
+		}
+		if outHi.TriangleCount() > hi || outLo.TriangleCount() > lo {
+			return false
+		}
+		return outLo.TriangleCount() <= outHi.TriangleCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

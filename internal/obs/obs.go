@@ -1,0 +1,342 @@
+// Package obs is the reproduction's observability layer: a lightweight,
+// allocation-conscious metrics registry (counters, gauges, histograms with
+// fixed bucket layouts) plus a bounded structured event tap.
+//
+// The design constraint that shapes everything here is the simulator's hot
+// loop: instrumentation must cost nothing when disabled and must never
+// perturb determinism when enabled. Both follow from the same idiom —
+// components hold concrete *Counter/*Gauge/*Histogram pointers obtained once
+// at setup (nil when no registry is attached), and every method is a nil-safe
+// no-op. There are no interface calls on the hot path, no map lookups, no
+// allocations, and no reads of the wall clock or any RNG: metrics are pure
+// observers, so golden outputs are byte-identical with observability on or
+// off.
+//
+// Instruments are safe for concurrent use (the edge client and server share
+// one registry across goroutines); the registry itself serializes
+// registration and event emission behind a mutex, which only rare paths
+// (setup, breaker transitions, activations) touch.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. The zero value is NOT
+// usable — obtain counters from a Registry; a nil *Counter is a no-op, which
+// is the disabled fast path.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value returns the current count (zero for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float value (queue depth, GP size, temperature).
+// A nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value (zero for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into a fixed bucket layout chosen at
+// registration. Buckets are cumulative-upper-bound style: bucket i counts
+// observations v <= Bounds[i], with an implicit +Inf overflow bucket. A nil
+// *Histogram is a no-op.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// LatencyBucketsMS is the default bucket layout for millisecond latencies,
+// covering sub-millisecond scheduling delays up to multi-second stalls.
+var LatencyBucketsMS = []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+// RewardBuckets is the default layout for the dimensionless reward/cost
+// range the controller operates in.
+var RewardBuckets = []float64{-2, -1, -0.5, -0.2, 0, 0.2, 0.4, 0.6, 0.8, 1}
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if v <= h.bounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra trailing
+	// entry for the overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Mean returns the running mean of all observations (zero when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Event is one structured occurrence on the event tap: breaker transitions,
+// activation boundaries, degraded-window edges. TimeMS is virtual simulation
+// time for in-sim emitters and wall-clock Unix milliseconds for the edge
+// processes; the Kind namespace keeps the two apart.
+type Event struct {
+	TimeMS float64 `json:"t_ms"`
+	Kind   string  `json:"kind"`
+	Detail string  `json:"detail,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+}
+
+// DefaultMaxEvents bounds the event tap: a ring of the most recent events,
+// with a drop counter so truncation is visible rather than silent.
+const DefaultMaxEvents = 4096
+
+// Registry is a named collection of instruments plus the event tap. The nil
+// registry is fully usable and free: every lookup returns nil, every nil
+// instrument is a no-op.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+
+	events    []Event
+	head      int // next write position once the ring is full
+	wrapped   bool
+	maxEvents int
+	dropped   uint64
+}
+
+// New returns an empty registry with the default event-tap bound.
+func New() *Registry { return NewWithCapacity(DefaultMaxEvents) }
+
+// NewWithCapacity returns a registry whose event tap keeps at most maxEvents
+// recent events (0 disables the tap entirely).
+func NewWithCapacity(maxEvents int) *Registry {
+	if maxEvents < 0 {
+		maxEvents = 0
+	}
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		maxEvents:  maxEvents,
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// on a nil registry — the disabled fast path.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (nil on a nil registry). Bounds must be sorted
+// ascending; later registrations of the same name reuse the first layout.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Emit appends an event to the tap, dropping the oldest once the ring is
+// full. No-op on a nil registry.
+func (r *Registry) Emit(ev Event) {
+	if r == nil || r.maxEvents == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) < r.maxEvents {
+		r.events = append(r.events, ev)
+		return
+	}
+	r.events[r.head] = ev
+	r.head = (r.head + 1) % r.maxEvents
+	r.wrapped = true
+	r.dropped++
+}
+
+// Snapshot is a point-in-time, JSON-marshalable copy of the registry.
+// encoding/json sorts map keys, so marshaling a snapshot is deterministic
+// given deterministic instrument values.
+type Snapshot struct {
+	Counters      map[string]uint64            `json:"counters,omitempty"`
+	Gauges        map[string]float64           `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Events        []Event                      `json:"events,omitempty"`
+	DroppedEvents uint64                       `json:"dropped_events,omitempty"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields the
+// zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:      make(map[string]uint64, len(r.counters)),
+		Gauges:        make(map[string]float64, len(r.gauges)),
+		Histograms:    make(map[string]HistogramSnapshot, len(r.histograms)),
+		DroppedEvents: r.dropped,
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	// Unroll the ring into chronological order.
+	if r.wrapped {
+		s.Events = make([]Event, 0, len(r.events))
+		s.Events = append(s.Events, r.events[r.head:]...)
+		s.Events = append(s.Events, r.events[:r.head]...)
+	} else {
+		s.Events = append(s.Events, r.events...)
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON — the payload of the edge
+// server's /metricsz endpoint and the CLIs' -metrics dumps.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Publish registers the registry under name in the process's expvar space,
+// so /debug/vars exposes a live snapshot alongside the runtime's memstats.
+// Like expvar.Publish it must be called at most once per name.
+func Publish(name string, r *Registry) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// defaultRegistry is the process-wide registry the CLIs opt into with their
+// -metrics flags; scenario.Build wires it through every layer it assembles.
+// It is nil — observability disabled, the zero-overhead path — unless
+// SetDefault is called, and is meant to be set once during process startup,
+// before any simulation is built.
+var defaultRegistry atomic.Pointer[Registry]
+
+// SetDefault installs the process-wide default registry.
+func SetDefault(r *Registry) { defaultRegistry.Store(r) }
+
+// Default returns the process-wide registry, or nil when observability is
+// disabled.
+func Default() *Registry { return defaultRegistry.Load() }

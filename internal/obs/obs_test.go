@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(10)
+	g.Set(3)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil instruments returned non-zero values")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", LatencyBucketsMS) != nil {
+		t.Fatal("nil registry handed out live instruments")
+	}
+	r.Emit(Event{Kind: "x"})
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Events) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+// TestHotPathsDoNotAllocate pins the tentpole's zero-overhead contract: both
+// the disabled (nil) and the live instrument paths must be allocation-free.
+func TestHotPathsDoNotAllocate(t *testing.T) {
+	var nilC *Counter
+	var nilG *Gauge
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		nilC.Inc()
+		nilC.Add(2)
+		nilG.Set(1.5)
+		nilH.Observe(3)
+	}); n != 0 {
+		t.Fatalf("nil instrument path allocates %v times per op", n)
+	}
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", LatencyBucketsMS)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1.5)
+		h.Observe(3)
+	}); n != 0 {
+		t.Fatalf("live instrument path allocates %v times per op", n)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("hits") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7.5)
+	g.Set(-2)
+	if g.Value() != -2 {
+		t.Fatalf("gauge = %v, want -2", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	wantCounts := []uint64{2, 1, 1, 2} // <=1, <=10, <=100, overflow
+	if len(s.Counts) != len(wantCounts) {
+		t.Fatalf("bucket count %d, want %d", len(s.Counts), len(wantCounts))
+	}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count %d, want 6", s.Count)
+	}
+	wantSum := 0.5 + 1 + 5 + 50 + 500 + 5000
+	if s.Sum != wantSum {
+		t.Fatalf("sum %v, want %v", s.Sum, wantSum)
+	}
+	if got := s.Mean(); got != wantSum/6 {
+		t.Fatalf("mean %v, want %v", got, wantSum/6)
+	}
+}
+
+func TestEventRingWrapsAndCountsDrops(t *testing.T) {
+	r := NewWithCapacity(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{TimeMS: float64(i), Kind: "tick"})
+	}
+	s := r.Snapshot()
+	if len(s.Events) != 3 {
+		t.Fatalf("ring kept %d events, want 3", len(s.Events))
+	}
+	// The oldest two dropped; the rest must be in chronological order.
+	for i, ev := range s.Events {
+		if ev.TimeMS != float64(i+2) {
+			t.Fatalf("event %d at t=%v, want %v", i, ev.TimeMS, float64(i+2))
+		}
+	}
+	if s.DroppedEvents != 2 {
+		t.Fatalf("dropped %d, want 2", s.DroppedEvents)
+	}
+	// Capacity 0 disables the tap entirely.
+	r0 := NewWithCapacity(0)
+	r0.Emit(Event{Kind: "x"})
+	if s := r0.Snapshot(); len(s.Events) != 0 || s.DroppedEvents != 0 {
+		t.Fatal("zero-capacity tap recorded events")
+	}
+}
+
+func TestSnapshotJSONIsDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := New()
+		r.Counter("b").Add(2)
+		r.Counter("a").Inc()
+		r.Gauge("z").Set(1)
+		r.Histogram("h", RewardBuckets).Observe(0.5)
+		r.Emit(Event{TimeMS: 1, Kind: "k", Detail: "d", Value: 2})
+		return r
+	}
+	var bufA, bufB bytes.Buffer
+	if err := build().Snapshot().WriteJSON(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Snapshot().WriteJSON(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", bufA.Bytes(), bufB.Bytes())
+	}
+	var round Snapshot
+	if err := json.Unmarshal(bufA.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if round.Counters["a"] != 1 || round.Counters["b"] != 2 {
+		t.Fatalf("round-tripped counters %v", round.Counters)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("lat", LatencyBucketsMS)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 7))
+				r.Gauge(fmt.Sprintf("g%d", w)).Set(float64(i))
+				if i%100 == 0 {
+					r.Emit(Event{TimeMS: float64(i), Kind: "w"})
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared"] != 8000 {
+		t.Fatalf("shared counter %d, want 8000", s.Counters["shared"])
+	}
+	if s.Histograms["lat"].Count != 8000 {
+		t.Fatalf("histogram count %d, want 8000", s.Histograms["lat"].Count)
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("default registry should start nil")
+	}
+	r := New()
+	SetDefault(r)
+	defer SetDefault(nil)
+	if Default() != r {
+		t.Fatal("SetDefault did not install the registry")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/render"
 	"github.com/mar-hbo/hbo/internal/sim"
 	"github.com/mar-hbo/hbo/internal/soc"
@@ -69,6 +70,14 @@ func (s Spec) Build(seed uint64) (*Built, error) {
 	rt, err := core.NewRuntime(sys, scene, prof, s.Taskset)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	// Wire the process-wide registry (if any) through every layer. With no
+	// registry set — the default — each SetObserver stores nil instruments
+	// and the hot paths keep their zero-overhead no-op behaviour.
+	if reg := obs.Default(); reg != nil {
+		eng.SetObserver(reg)
+		sys.SetObserver(reg)
+		rt.SetObserver(reg)
 	}
 	return &Built{
 		Spec:    s,

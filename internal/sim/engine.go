@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"github.com/mar-hbo/hbo/internal/obs"
 )
 
 // Action is the callback executed when a scheduled event fires. The engine
@@ -73,6 +75,21 @@ type Engine struct {
 	seq   uint64
 	queue eventQueue
 	rng   *RNG
+
+	// Observability instruments; nil (no-op) unless SetObserver is called.
+	// Metrics are pure observers of the engine — they never read the RNG or
+	// the wall clock, so event order is identical with or without them.
+	metFired     *obs.Counter
+	metScheduled *obs.Counter
+	metQueueLen  *obs.Gauge
+}
+
+// SetObserver attaches a metrics registry. Passing nil detaches (restoring
+// the zero-overhead path).
+func (e *Engine) SetObserver(reg *obs.Registry) {
+	e.metFired = reg.Counter("sim.events_fired")
+	e.metScheduled = reg.Counter("sim.events_scheduled")
+	e.metQueueLen = reg.Gauge("sim.event_queue_len")
 }
 
 // NewEngine returns an engine with the clock at zero and the given seed for
@@ -101,6 +118,8 @@ func (e *Engine) At(t float64, action Action) *Event {
 	e.seq++
 	ev := &Event{time: t, seq: e.seq, action: action}
 	heap.Push(&e.queue, ev)
+	e.metScheduled.Inc()
+	e.metQueueLen.Set(float64(len(e.queue)))
 	return ev
 }
 
@@ -118,6 +137,8 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.time
+		e.metFired.Inc()
+		e.metQueueLen.Set(float64(len(e.queue)))
 		ev.action()
 		return true
 	}

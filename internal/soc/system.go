@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/sim"
 	"github.com/mar-hbo/hbo/internal/tasks"
 )
@@ -138,6 +139,39 @@ type System struct {
 	// Thermal state (see thermal.go; disabled unless SetThermal is called).
 	thermal ThermalProfile
 	tempC   float64
+
+	// met holds the simulator's observability instruments. The zero value is
+	// all-nil — every call is an inlined nil-check no-op — so the inner loop
+	// pays nothing until SetObserver attaches a registry. Instruments never
+	// feed back into scheduling decisions, keeping event order bit-identical
+	// with metrics on or off.
+	met sysMetrics
+}
+
+// sysMetrics is the per-system instrument set: per-unit queue depths,
+// per-resource inference latency histograms, and completion/deadline
+// counters. Arrays are indexed by computeUnit and tasks.Resource so the hot
+// path never touches a map.
+type sysMetrics struct {
+	queueDepth [npuUnit + 1]*obs.Gauge
+	latency    [tasks.NumResources]*obs.Histogram
+	issues     *obs.Counter
+	inferences *obs.Counter
+	misses     *obs.Counter
+}
+
+// SetObserver attaches a metrics registry to the simulator. Passing nil
+// detaches, restoring the zero-overhead disabled path.
+func (s *System) SetObserver(reg *obs.Registry) {
+	s.met.queueDepth[cpuUnit] = reg.Gauge("soc.queue_depth.cpu")
+	s.met.queueDepth[gpuUnit] = reg.Gauge("soc.queue_depth.gpu")
+	s.met.queueDepth[npuUnit] = reg.Gauge("soc.queue_depth.npu")
+	for _, r := range tasks.Resources() {
+		s.met.latency[r] = reg.Histogram("soc.inference_latency_ms."+r.String(), obs.LatencyBucketsMS)
+	}
+	s.met.issues = reg.Counter("soc.inferences_issued")
+	s.met.inferences = reg.Counter("soc.inferences_completed")
+	s.met.misses = reg.Counter("soc.deadline_misses")
 }
 
 // NewSystem builds a simulator for the given device on the given engine.
@@ -304,6 +338,7 @@ func (s *System) issue(rt *runningTask) {
 	}
 	now := s.eng.Now()
 	rt.lastIssue = now
+	s.met.issues.Inc()
 	noise := s.rng.LogNormal(s.dev.NoiseSigma)
 	j := &job{task: rt, issued: now}
 	rt.inFlight = j
@@ -367,6 +402,7 @@ func (s *System) startPhase(j *job) {
 	p := j.phases[j.phaseIdx]
 	p.lastUpdate = s.eng.Now()
 	s.active[p.unit] = append(s.active[p.unit], p)
+	s.met.queueDepth[p.unit].Set(float64(len(s.active[p.unit])))
 	s.reschedule()
 }
 
@@ -387,8 +423,11 @@ func (s *System) finishPhase(p *phase) {
 	rt.lastLat = latency
 	rt.winCount++
 	rt.winLatSum += latency
+	s.met.inferences.Inc()
+	s.met.latency[rt.alloc].Observe(latency)
 	if latency > s.cfg.PeriodMS {
 		rt.winMisses++
+		s.met.misses.Inc()
 	}
 	rt.totCount++
 	next := rt.lastIssue + s.nextGap(rt)
@@ -433,6 +472,7 @@ func (s *System) detach(p *phase) {
 	for i, q := range list {
 		if q == p {
 			s.active[p.unit] = append(list[:i], list[i+1:]...)
+			s.met.queueDepth[p.unit].Set(float64(len(s.active[p.unit])))
 			return
 		}
 	}

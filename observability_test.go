@@ -1,0 +1,207 @@
+package hbo_test
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+
+	hbo "github.com/mar-hbo/hbo"
+	"github.com/mar-hbo/hbo/internal/obs"
+)
+
+// optimizeFingerprint runs one full activation for the scenario and flattens
+// everything the optimizer decided into raw float bits plus the allocation
+// map, so two runs can be compared bit-for-bit.
+func optimizeFingerprint(t *testing.T) ([]uint64, map[string]string) {
+	t.Helper()
+	app, err := hbo.New(hbo.Options{Scenario: "SC1-CF1", Seed: 17, InitSamples: 3, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := app.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := []uint64{
+		math.Float64bits(sol.TriangleRatio),
+		math.Float64bits(sol.Quality),
+		math.Float64bits(sol.Epsilon),
+		math.Float64bits(sol.Reward),
+	}
+	for _, c := range sol.BestCostTrajectory {
+		bits = append(bits, math.Float64bits(c))
+	}
+	return bits, sol.Allocation
+}
+
+// TestObservabilityDoesNotPerturbDeterminism is the tentpole's golden-output
+// guarantee: attaching a live metrics registry to every layer must leave the
+// simulation byte-identical. Metrics are pure observers — they never touch
+// the RNG or feed wall-clock readings back into control flow.
+func TestObservabilityDoesNotPerturbDeterminism(t *testing.T) {
+	baseBits, baseAlloc := optimizeFingerprint(t)
+
+	reg := obs.New()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+	obsBits, obsAlloc := optimizeFingerprint(t)
+
+	if len(baseBits) != len(obsBits) {
+		t.Fatalf("fingerprint lengths differ: %d vs %d", len(baseBits), len(obsBits))
+	}
+	for i := range baseBits {
+		if baseBits[i] != obsBits[i] {
+			t.Fatalf("fingerprint word %d differs with observability on: %#x vs %#x",
+				i, baseBits[i], obsBits[i])
+		}
+	}
+	if len(baseAlloc) != len(obsAlloc) {
+		t.Fatalf("allocation sizes differ: %d vs %d", len(baseAlloc), len(obsAlloc))
+	}
+	for id, r := range baseAlloc {
+		if obsAlloc[id] != r {
+			t.Fatalf("task %s allocated to %s without registry, %s with", id, r, obsAlloc[id])
+		}
+	}
+
+	// The observed run must actually have fed the registry at every layer.
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"core.activations",
+		"core.windows_measured",
+		"sim.events_fired",
+		"soc.inferences_completed",
+		"bo.suggestions",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Fatalf("counter %q never incremented during an observed activation (counters: %v)",
+				name, snap.Counters)
+		}
+	}
+	if snap.Histograms["bo.suggest_wall_ms"].Count == 0 {
+		t.Fatal("bo.suggest_wall_ms histogram empty during an observed activation")
+	}
+	if len(snap.Events) == 0 {
+		t.Fatal("event tap empty during an observed activation")
+	}
+}
+
+// TestLookupRoundTripByteIdentical pins SaveLookup/LookupFrom as a lossless
+// pair: two sessions seeded from the same saved table replay the same
+// solutions (bit-identical reward traces) and save byte-identical tables.
+func TestLookupRoundTripByteIdentical(t *testing.T) {
+	run := func(lookupJSON []byte) ([]hbo.RewardPoint, []byte) {
+		app, err := hbo.New(hbo.Options{Scenario: "SC2-CF2", Seed: 31, InitSamples: 2, Iterations: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := hbo.SessionOptions{UseLookup: true}
+		if lookupJSON != nil {
+			opts.LookupFrom = bytes.NewReader(lookupJSON)
+		}
+		s, err := app.StartSession(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunFor(12000); err != nil {
+			t.Fatal(err)
+		}
+		var saved bytes.Buffer
+		if err := s.SaveLookup(&saved); err != nil {
+			t.Fatal(err)
+		}
+		return s.Rewards(), saved.Bytes()
+	}
+
+	_, saved := run(nil)
+	rewardsA, savedA := run(saved)
+	rewardsB, savedB := run(saved)
+
+	if !bytes.Equal(savedA, savedB) {
+		t.Fatalf("re-saved lookup tables differ:\n%s\nvs\n%s", savedA, savedB)
+	}
+	if len(rewardsA) == 0 || len(rewardsA) != len(rewardsB) {
+		t.Fatalf("reward trace lengths differ: %d vs %d", len(rewardsA), len(rewardsB))
+	}
+	for i := range rewardsA {
+		a, b := rewardsA[i], rewardsB[i]
+		if math.Float64bits(a.TimeMS) != math.Float64bits(b.TimeMS) ||
+			math.Float64bits(a.Reward) != math.Float64bits(b.Reward) ||
+			a.InActivation != b.InActivation {
+			t.Fatalf("reward sample %d differs between seeded replays: %+v vs %+v", i, a, b)
+		}
+	}
+
+	// A round trip through load+save must also reproduce the original table.
+	if !bytes.Equal(saved, savedA) {
+		// The seeded runs may append new environments; the original rows must
+		// still be a prefix-compatible subset. Sorted-row serialization makes
+		// the simplest correct check "identical when no new rows appeared" —
+		// and over the same 12 s the environment set is the same, so demand
+		// full byte identity here too.
+		t.Fatalf("seeded session did not reproduce the saved table:\noriginal:\n%s\nre-saved:\n%s", saved, savedA)
+	}
+}
+
+// TestObservedTimelineIsChronologicalAndComplete checks the session-level
+// timeline: sorted by virtual time, one start/end pair per activation, and
+// every reward sample present.
+func TestObservedTimelineIsChronologicalAndComplete(t *testing.T) {
+	app, err := hbo.New(hbo.Options{Scenario: "SC1-CF1", Seed: 7, InitSamples: 2, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := app.StartSession(hbo.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(10000); err != nil {
+		t.Fatal(err)
+	}
+
+	tl := s.ObservedTimeline()
+	if len(tl) == 0 {
+		t.Fatal("empty timeline after a 10 s session")
+	}
+	if !sort.SliceIsSorted(tl, func(i, j int) bool { return tl[i].TimeMS < tl[j].TimeMS }) {
+		t.Fatal("timeline is not sorted by TimeMS")
+	}
+	counts := map[string]int{}
+	for _, ev := range tl {
+		counts[ev.Kind]++
+	}
+	if got, want := counts["activation.start"], s.Activations(); got != want {
+		t.Fatalf("%d activation.start events, want %d", got, want)
+	}
+	if got, want := counts["activation.end"], s.Activations(); got != want {
+		t.Fatalf("%d activation.end events, want %d", got, want)
+	}
+	if got, want := counts["sample"], len(s.Rewards()); got != want {
+		t.Fatalf("%d sample events, want %d", got, want)
+	}
+	if counts["degraded.enter"] != counts["degraded.exit"]+boolToInt(endsDegraded(tl)) {
+		t.Fatalf("unbalanced degraded transitions: %d enter, %d exit",
+			counts["degraded.enter"], counts["degraded.exit"])
+	}
+}
+
+func endsDegraded(tl []hbo.TimelineEvent) bool {
+	degraded := false
+	for _, ev := range tl {
+		switch ev.Kind {
+		case "degraded.enter":
+			degraded = true
+		case "degraded.exit":
+			degraded = false
+		}
+	}
+	return degraded
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

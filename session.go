@@ -118,3 +118,31 @@ func (s *Session) Rewards() []RewardPoint {
 	}
 	return out
 }
+
+// TimelineEvent is one entry of ObservedTimeline: a reward sample, an
+// activation boundary, or a degraded-mode edge, in virtual-time order.
+type TimelineEvent struct {
+	// TimeMS is the virtual timestamp.
+	TimeMS float64 `json:"t_ms"`
+	// Kind is one of "sample", "activation.start", "activation.end",
+	// "degraded.enter", "degraded.exit".
+	Kind string `json:"kind"`
+	// Value carries the reward for samples and the enforced solution's
+	// reward for activation ends.
+	Value float64 `json:"value,omitempty"`
+	// Detail annotates the event ("in_activation", "lookup").
+	Detail string `json:"detail,omitempty"`
+}
+
+// ObservedTimeline merges the session's reward samples with its activation
+// boundaries and degraded-mode transitions into one chronologically sorted
+// trace — the session-level view the observability layer exposes without
+// needing a metrics registry attached.
+func (s *Session) ObservedTimeline() []TimelineEvent {
+	events := s.inner.ObservedTimeline()
+	out := make([]TimelineEvent, len(events))
+	for i, ev := range events {
+		out[i] = TimelineEvent{TimeMS: ev.TimeMS, Kind: ev.Kind, Value: ev.Value, Detail: ev.Detail}
+	}
+	return out
+}
