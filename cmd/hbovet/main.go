@@ -1,0 +1,27 @@
+// hbovet is the project's vettool: the four hbovet analyzers compiled into
+// a unitchecker binary that `go vet -vettool=bin/hbovet ./...` drives with
+// full type information per package. Build it with `make bin/hbovet` (or
+// just `make lint`, which builds it first).
+//
+// Findings are suppressed per line with `//lint:allow <analyzer> <reason>`;
+// `make lint` reports the suppression count alongside the run so silenced
+// findings stay visible in the vet summary.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"github.com/mar-hbo/hbo/internal/analysis/ctxlint"
+	"github.com/mar-hbo/hbo/internal/analysis/detlint"
+	"github.com/mar-hbo/hbo/internal/analysis/errlint"
+	"github.com/mar-hbo/hbo/internal/analysis/obslint"
+)
+
+func main() {
+	unitchecker.Main(
+		detlint.Analyzer,
+		obslint.Analyzer,
+		ctxlint.Analyzer,
+		errlint.Analyzer,
+	)
+}

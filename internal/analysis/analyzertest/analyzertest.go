@@ -1,0 +1,319 @@
+// Package analyzertest is an offline, network-free stand-in for
+// golang.org/x/tools/go/analysis/analysistest (which is not part of the
+// toolchain-vendored x/tools subset this repo pins). It loads want-comment
+// fixture packages from testdata/src/<pkg>, type-checks them against the
+// real standard library via export data produced by `go list -export`
+// (served from the local build cache, so no network), runs an analyzer and
+// its Requires closure in-process, and diffs reported diagnostics against
+// `// want "regexp"` expectations exactly like analysistest does.
+//
+// Fixture packages may import each other by bare path (testdata/src/obs is
+// resolved before the standard library), which is how the obs nil-receiver
+// idiom is reproduced in fixtures without importing the real module.
+package analyzertest
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each named fixture package from dir/src/<pkg>, applies a, and
+// checks diagnostics against // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	h := &harness{
+		t:       t,
+		fset:    token.NewFileSet(),
+		srcRoot: filepath.Join(dir, "src"),
+		typed:   map[string]*loadedPkg{},
+		exports: map[string]string{},
+	}
+	for _, pkg := range pkgs {
+		h.check(a, pkg)
+	}
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type harness struct {
+	t       *testing.T
+	fset    *token.FileSet
+	srcRoot string
+	typed   map[string]*loadedPkg
+	exports map[string]string // stdlib import path -> export data file
+	gc      types.Importer
+}
+
+// Import implements types.Importer: fixture-local packages win, everything
+// else is resolved from compiler export data.
+func (h *harness) Import(path string) (*types.Package, error) {
+	if lp, err := h.load(path); err == nil && lp != nil {
+		return lp.pkg, nil
+	} else if err != nil {
+		return nil, err
+	}
+	if h.gc == nil {
+		h.gc = importer.ForCompiler(h.fset, "gc", h.lookup)
+	}
+	return h.gc.Import(path)
+}
+
+// load parses and type-checks a fixture package, or returns (nil, nil) if
+// no such fixture directory exists.
+func (h *harness) load(path string) (*loadedPkg, error) {
+	if lp, ok := h.typed[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(h.srcRoot, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil // not a fixture package
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	for _, fname := range names {
+		f, err := parser.ParseFile(h.fset, fname, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", fname, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s has no Go files", path)
+	}
+	h.resolveExports(files)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: h}
+	pkg, err := conf.Check(path, h.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	h.typed[path] = lp
+	return lp, nil
+}
+
+// resolveExports maps every non-fixture import (transitively) to its export
+// data file with a single `go list -export -deps` invocation per batch.
+func (h *harness) resolveExports(files []*ast.File) {
+	var need []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if _, done := h.exports[p]; done {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(h.srcRoot, filepath.FromSlash(p))); err == nil && st.IsDir() {
+				continue // fixture-local
+			}
+			need = append(need, p)
+		}
+	}
+	if len(need) == 0 {
+		return
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, need...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		h.t.Fatalf("go list -export %v: %v", need, err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var rec struct{ ImportPath, Export string }
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			h.t.Fatalf("decode go list output: %v", err)
+		}
+		if rec.Export != "" {
+			h.exports[rec.ImportPath] = rec.Export
+		}
+	}
+}
+
+func (h *harness) lookup(path string) (io.ReadCloser, error) {
+	f, ok := h.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q (is it missing from the fixture imports?)", path)
+	}
+	return os.Open(f)
+}
+
+// check runs a (and its Requires closure, topologically) over the fixture
+// package and compares diagnostics to want comments.
+func (h *harness) check(a *analysis.Analyzer, path string) {
+	h.t.Helper()
+	lp, err := h.load(path)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if lp == nil {
+		h.t.Fatalf("fixture package %s not found under %s", path, h.srcRoot)
+	}
+
+	results := map[*analysis.Analyzer]any{}
+	var diags []analysis.Diagnostic
+	var runAnalyzer func(a *analysis.Analyzer, collect bool)
+	runAnalyzer = func(a *analysis.Analyzer, collect bool) {
+		if _, done := results[a]; done && !collect {
+			return
+		}
+		for _, req := range a.Requires {
+			runAnalyzer(req, false)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       h.fset,
+			Files:      lp.files,
+			Pkg:        lp.pkg,
+			TypesInfo:  lp.info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if collect {
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			h.t.Fatalf("%s on %s: %v", a.Name, path, err)
+		}
+		results[a] = res
+	}
+	runAnalyzer(a, true)
+	h.compare(path, lp, diags)
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// compare matches diagnostics against // want "re" comments, in both
+// directions, exactly like analysistest's expectation algebra (multiple
+// quoted patterns per comment allowed).
+func (h *harness) compare(path string, lp *loadedPkg, diags []analysis.Diagnostic) {
+	h.t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range lp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := h.fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, q := range splitQuoted(h.t, strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						h.t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := h.fset.Position(d.Pos)
+		key := wantKey{pos.Filename, pos.Line}
+		matched := -1
+		for i, re := range wants[key] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			h.t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+			continue
+		}
+		wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+	}
+	keys := make([]wantKey, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			h.t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+	_ = path
+}
+
+// splitQuoted extracts the double-quoted or backquoted patterns from a want
+// comment tail.
+func splitQuoted(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var end int
+		switch s[0] {
+		case '"':
+			end = strings.Index(s[1:], `"`)
+		case '`':
+			end = strings.Index(s[1:], "`")
+		default:
+			t.Fatalf("malformed want comment tail: %q", s)
+		}
+		if end < 0 {
+			t.Fatalf("unterminated quote in want comment: %q", s)
+		}
+		raw := s[:end+2]
+		q, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("cannot unquote %q: %v", raw, err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

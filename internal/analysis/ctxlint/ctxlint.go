@@ -1,0 +1,95 @@
+// Package ctxlint enforces the context-threading discipline PR 1
+// established for the edge offloading path: library code must accept and
+// propagate the caller's context so cancellation, per-attempt timeouts, and
+// graceful shutdown compose. Two rules:
+//
+//   - context.Background() / context.TODO() are forbidden in library
+//     packages (anything that is not package main and not a test file) —
+//     a fresh root context there silently detaches the call tree from the
+//     caller's deadline;
+//   - HTTP requests must be built with a context: http.NewRequest and the
+//     context-less convenience helpers (http.Get, http.Post, client.Get,
+//     ...) are flagged everywhere, tests excepted.
+//
+// Deliberate roots — e.g. the context-less convenience wrappers of the edge
+// client's public API — carry `//lint:allow ctxlint <reason>`.
+package ctxlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"github.com/mar-hbo/hbo/internal/analysis/lintutil"
+)
+
+const name = "ctxlint"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "forbid fresh root contexts in library packages and HTTP " +
+		"requests built without a context",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// contextlessHTTP lists net/http package functions and *http.Client methods
+// that build a request with context.Background under the hood.
+var contextlessHTTP = map[string]bool{
+	"Get": true, "Head": true, "Post": true, "PostForm": true, "NewRequest": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	isMain := pass.Pkg.Name() == "main"
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if lintutil.IsTestFile(pass.Fset, call.Pos()) {
+			return
+		}
+		fn := typeutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		switch fn.Pkg().Path() {
+		case "context":
+			if !isMain && (fn.Name() == "Background" || fn.Name() == "TODO") {
+				lintutil.Report(pass, call, name,
+					"context.%s() in library package %s: thread the caller's context "+
+						"instead of detaching from its deadline and cancellation",
+					fn.Name(), pass.Pkg.Name())
+			}
+		case "net/http":
+			if !contextlessHTTP[fn.Name()] {
+				return
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return
+			}
+			if sig.Recv() != nil && !isHTTPClient(sig.Recv().Type()) {
+				return
+			}
+			lintutil.Report(pass, call, name,
+				"http.%s builds a request without a context: use "+
+					"http.NewRequestWithContext so timeouts and shutdown propagate", fn.Name())
+		}
+	})
+	return nil, nil
+}
+
+func isHTTPClient(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Client"
+}

@@ -1,0 +1,12 @@
+package ctxlint_test
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/analysis/analyzertest"
+	"github.com/mar-hbo/hbo/internal/analysis/ctxlint"
+)
+
+func TestCtxlint(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxlint.Analyzer, "lib", "mainpkg")
+}

@@ -1,0 +1,36 @@
+// Package lib is a library-package fixture for ctxlint: fresh root
+// contexts and context-less HTTP constructors are flagged; threading the
+// caller's context is not.
+package lib
+
+import (
+	"context"
+	"net/http"
+)
+
+func freshRoots() {
+	_ = context.Background() // want `context\.Background\(\) in library package lib`
+	_ = context.TODO()       // want `context\.TODO\(\) in library package lib`
+}
+
+func threaded(ctx context.Context) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodGet, "http://e", nil)
+}
+
+func contextlessRequests(c *http.Client) {
+	_, _ = http.NewRequest(http.MethodGet, "http://e", nil) // want `http\.NewRequest builds a request without a context`
+	_, _ = http.Get("http://e")                             // want `http\.Get builds a request without a context`
+	_, _ = c.Post("http://e", "text/plain", nil)            // want `http\.Post builds a request without a context`
+}
+
+// Convenience wrappers that deliberately root a context carry a
+// suppression with the reason inline.
+func convenience() context.Context {
+	//lint:allow ctxlint public convenience wrapper mirrors the Context variant
+	return context.Background()
+}
+
+// derived contexts off a caller's ctx are fine.
+func derived(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

@@ -1,0 +1,15 @@
+// Package main: process entry points own their root context, so
+// context.Background is legal here — but HTTP without a context still is
+// not.
+package main
+
+import (
+	"context"
+	"net/http"
+)
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	_, _ = http.Get("http://e") // want `http\.Get builds a request without a context`
+}

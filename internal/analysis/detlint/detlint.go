@@ -1,0 +1,265 @@
+// Package detlint enforces the reproduction's determinism contract in the
+// packages whose outputs must replay bit-identically (internal/sim, bo,
+// alloc, mesh, soc, core, scenario, experiments):
+//
+//   - no wall-clock reads (time.Now, time.Since) unless gated behind a live
+//     obs registry via the nil-receiver idiom, and no time.Sleep at all;
+//   - no use of the global math/rand source (seeded construction via
+//     rand.New/NewSource remains legal — the simulator owns its RNG);
+//   - no range over a map whose body appends to an outer slice without a
+//     subsequent sort, writes formatted output, or accumulates floats —
+//     the exact bug class that silently reordered a Figure 2 series in PR 2.
+//
+// Intentional violations carry a `//lint:allow detlint <reason>` comment.
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"github.com/mar-hbo/hbo/internal/analysis/lintutil"
+)
+
+const name = "detlint"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "forbid wall-clock reads, the global math/rand source, and " +
+		"order-sensitive map iteration in determinism-critical packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// globalRandConstructors are the math/rand(/v2) names that do NOT touch the
+// shared global source: building an explicitly seeded generator is how
+// deterministic code is supposed to use the package.
+var globalRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.IsDeterminismCritical(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil), (*ast.RangeStmt)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, stack)
+		case *ast.RangeStmt:
+			checkMapRange(pass, n, stack)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Sleep":
+			lintutil.Report(pass, call, name,
+				"time.Sleep in determinism-critical package %s: virtual time only", pass.Pkg.Name())
+		case "Now", "Since":
+			if !lintutil.ObsGated(pass, stack) {
+				lintutil.Report(pass, call, name,
+					"un-gated wall-clock read time.%s in determinism-critical package %s: "+
+						"gate behind a live obs registry (nil-receiver idiom) or use virtual time",
+					fn.Name(), pass.Pkg.Name())
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on an explicitly constructed *rand.Rand are the sanctioned
+		// deterministic path; only package-level functions hit the global
+		// source.
+		sig, isFunc := fn.Type().(*types.Signature)
+		if isFunc && sig.Recv() == nil && !globalRandConstructors[fn.Name()] {
+			lintutil.Report(pass, call, name,
+				"rand.%s uses the global math/rand source: draw from an explicitly "+
+					"seeded *rand.Rand (sim.NewRNG) instead", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags order-sensitive bodies of a direct map iteration.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	// Collect outer-declared slice variables appended to in the body, and
+	// flag writes/float accumulation immediately.
+	appendTargets := map[*types.Var]ast.Node{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rng, n, appendTargets)
+		case *ast.CallExpr:
+			if isOutputWrite(pass, n) {
+				lintutil.Report(pass, n, name,
+					"map iteration writes output in map order: iterate a sorted key "+
+						"slice instead (this bug class broke the Figure 2 snapshot)")
+			}
+		}
+		return true
+	})
+
+	// An append target is fine if some later statement in the enclosing
+	// block sorts it (the canonical sortedKeys helper); otherwise the slice
+	// inherits map order.
+	for v, site := range appendTargets {
+		if !sortedAfter(pass, rng, stack, v) {
+			lintutil.Report(pass, site, name,
+				"slice %s is appended to in map-iteration order and never sorted "+
+					"before use: sort it (or iterate sorted keys)", v.Name())
+		}
+	}
+}
+
+func checkAssign(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, appendTargets map[*types.Var]ast.Node) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			v := outerVar(pass, rng, lhs)
+			if v == nil {
+				continue
+			}
+			if b, ok := v.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				lintutil.Report(pass, as, name,
+					"float accumulation over map iteration order is non-deterministic "+
+						"(FP addition is not associative): iterate sorted keys")
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			if v := outerVar(pass, rng, as.Lhs[i]); v != nil {
+				if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+					appendTargets[v] = as
+				}
+			}
+		}
+	}
+}
+
+// outerVar resolves e to a variable declared before the range statement
+// (i.e. outside the loop), or nil.
+func outerVar(pass *analysis.Pass, rng *ast.RangeStmt, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || v.Pos() >= rng.Pos() {
+		return nil
+	}
+	return v
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isOutputWrite recognizes fmt.Fprint* calls and Write/WriteString-family
+// method calls — emitting formatted output inside a map range serializes the
+// map's random order straight into an artifact.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func isOutputWrite(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return writeMethods[fn.Name()]
+	}
+	return false
+}
+
+// sortedAfter reports whether a statement after rng in an enclosing block
+// passes v to sort.* or slices.Sort*.
+func sortedAfter(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node, v *types.Var) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		past := false
+		for _, st := range block.List {
+			if !past {
+				if st == stack[i+1] || st == ast.Node(rng) {
+					past = true
+				}
+				continue
+			}
+			if stmtSorts(pass, st, v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func stmtSorts(pass *analysis.Pass, st ast.Stmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := typeutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/analysis/analyzertest"
+	"github.com/mar-hbo/hbo/internal/analysis/detlint"
+)
+
+func TestDetlint(t *testing.T) {
+	analyzertest.Run(t, "testdata", detlint.Analyzer, "sim", "notcritical")
+}

@@ -1,0 +1,21 @@
+// Package notcritical is outside the determinism-critical set, so detlint
+// reports nothing here even for patterns it forbids elsewhere.
+package notcritical
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clockAndRand() (time.Time, int) {
+	time.Sleep(time.Microsecond)
+	return time.Now(), rand.Intn(3)
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

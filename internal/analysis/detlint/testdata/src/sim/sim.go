@@ -1,0 +1,120 @@
+// Package sim is a determinism-critical fixture: every rule of detlint has
+// a positive and a negative case here.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"obs"
+)
+
+// --- wall-clock rules ---
+
+func ungatedClock() float64 {
+	start := time.Now() // want `un-gated wall-clock read time\.Now`
+	busy()
+	return time.Since(start).Seconds() // want `un-gated wall-clock read time\.Since`
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in determinism-critical package`
+}
+
+type engine struct {
+	tickMS *obs.Histogram
+}
+
+// gatedClock follows the PR 3 idiom: the guard clause proves the registry
+// is live, so the clock read vanishes when observability is off.
+func (e *engine) gatedClock() {
+	if e.tickMS == nil {
+		busy()
+		return
+	}
+	start := time.Now()
+	busy()
+	e.tickMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+}
+
+func (e *engine) gatedPositive() {
+	if e.tickMS != nil {
+		start := time.Now()
+		busy()
+		e.tickMS.Observe(time.Since(start).Seconds())
+	}
+}
+
+func suppressedClock() time.Time {
+	//lint:allow detlint wall timing is reporting-only here
+	return time.Now()
+}
+
+// --- global rand rules ---
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn uses the global math/rand source`
+}
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// --- map iteration rules ---
+
+func unsortedKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice keys is appended to in map-iteration order and never sorted`
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writesInMapOrder(m map[string]float64) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%g\n", k, v) // want `map iteration writes output in map order`
+	}
+	return b.String()
+}
+
+func accumulatesFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation over map iteration order is non-deterministic`
+	}
+	return sum
+}
+
+// intAccumulation is order-insensitive, so it stays legal.
+func intAccumulation(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+func busy() {}

@@ -1,0 +1,139 @@
+// Package errlint closes two quiet data-loss holes:
+//
+//   - dropped errors from Close/Flush/Sync/Write/WriteString calls used as
+//     bare statements in non-test code — on a written file that error is the
+//     only notification the bytes never hit the disk. `_ = f.Close()` (an
+//     explicit discard on an error path) and `defer f.Close()` on read-side
+//     resources remain legal, matching the repo's established idiom of
+//     checking the final Close;
+//   - float ==/!= where both operands are non-constant floating-point
+//     expressions — the golden artifacts are compared bit-exactly via
+//     math.Float64bits (which compares integers and so never trips this),
+//     and everything else wants a tolerance.
+package errlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"github.com/mar-hbo/hbo/internal/analysis/lintutil"
+)
+
+const name = "errlint"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag silently dropped Close/Flush/Write errors and exact " +
+		"float equality outside bit-compare helpers",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var droppable = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true, "Write": true, "WriteString": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.ExprStmt)(nil), (*ast.BinaryExpr)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			checkDroppedError(pass, n)
+		case *ast.BinaryExpr:
+			checkFloatEquality(pass, n)
+		}
+	})
+	return nil, nil
+}
+
+func checkDroppedError(pass *analysis.Pass, stmt *ast.ExprStmt) {
+	if lintutil.IsTestFile(pass.Fset, stmt.Pos()) {
+		return
+	}
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil || !droppable[fn.Name()] {
+		return
+	}
+	if !returnsError(fn) || neverFails(fn) {
+		return
+	}
+	lintutil.Report(pass, stmt, name,
+		"%s's error is silently dropped: handle it, or discard explicitly with `_ = ...` "+
+			"when a prior error already wins", fn.Name())
+}
+
+// neverFails exempts receivers documented to always return a nil error:
+// strings.Builder and bytes.Buffer grow in memory and only signal length.
+func neverFails(fn types.Object) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+func returnsError(fn types.Object) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+func checkFloatEquality(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	// Golden tests legitimately assert exact float identity; the rule bites
+	// in production code only.
+	if lintutil.IsTestFile(pass.Fset, be.Pos()) {
+		return
+	}
+	if !isNonConstFloat(pass, be.X) || !isNonConstFloat(pass, be.Y) {
+		return
+	}
+	lintutil.Report(pass, be, name,
+		"exact float %s comparison: compare math.Float64bits for bit identity "+
+			"or use an explicit tolerance", be.Op)
+}
+
+// isNonConstFloat reports whether e is a floating-point expression that is
+// not a compile-time constant. Comparisons against constants (x == 0
+// sentinels) are exact by construction and stay legal.
+func isNonConstFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

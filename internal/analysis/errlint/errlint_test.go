@@ -1,0 +1,12 @@
+package errlint_test
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/analysis/analyzertest"
+	"github.com/mar-hbo/hbo/internal/analysis/errlint"
+)
+
+func TestErrlint(t *testing.T) {
+	analyzertest.Run(t, "testdata", errlint.Analyzer, "errs")
+}

@@ -1,0 +1,72 @@
+// Package errs exercises errlint: silently dropped Close/Flush/Write
+// errors and exact float equality.
+package errs
+
+import (
+	"bufio"
+	"math"
+	"os"
+	"strings"
+)
+
+// in-memory builders never fail, so their dropped "errors" are noise.
+func builderWrites(b *strings.Builder) {
+	b.WriteString("header\n")
+	b.Write([]byte("row\n"))
+}
+
+func droppedErrors(f *os.File, bw *bufio.Writer) {
+	f.Close()                  // want `Close's error is silently dropped`
+	bw.Flush()                 // want `Flush's error is silently dropped`
+	bw.WriteString("x")        // want `WriteString's error is silently dropped`
+	f.Write([]byte("payload")) // want `Write's error is silently dropped`
+}
+
+func handledErrors(f *os.File, bw *bufio.Writer) error {
+	if err := bw.Flush(); err != nil {
+		_ = f.Close() // explicit discard: the flush error wins
+		return err
+	}
+	defer f.Close() // read-side defer stays legal
+	return nil
+}
+
+func suppressedDrop(f *os.File) {
+	//lint:allow errlint close error is unreachable on the os.DevNull sink
+	f.Close()
+}
+
+type sink struct{}
+
+// Close returns nothing, so a bare call drops no error.
+func (sink) Close() {}
+
+func errorlessClose(s sink) {
+	s.Close()
+}
+
+func floatEquality(a, b float64, f32 float32) bool {
+	if a == b { // want `exact float == comparison`
+		return true
+	}
+	if f32 != f32 { // want `exact float != comparison`
+		return false
+	}
+	return a != b // want `exact float != comparison`
+}
+
+// bit-exact comparison goes through Float64bits, which compares integers
+// and is the designated helper idiom.
+func bitIdentical(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// comparisons against constants are exact by construction.
+func sentinels(a float64) bool {
+	return a == 0 || a != 1.5
+}
+
+func suppressedEquality(a, b float64) bool {
+	//lint:allow errlint quantized grid values are exactly representable
+	return a == b
+}

@@ -1,0 +1,237 @@
+// Package lintutil holds the helpers shared by the hbovet analyzers:
+// the //lint:allow suppression protocol, the determinism-critical package
+// list, obs-type recognition, and detection of the nil-receiver gate idiom
+// that licenses wall-clock reads on instrumented paths.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// AllowPrefix introduces a suppression comment. The full syntax is
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either on the flagged line or on its own line immediately above.
+// The reason is mandatory: a suppression without one is ignored, so every
+// silenced finding carries its justification in the source.
+const AllowPrefix = "lint:allow"
+
+// DeterminismCritical lists the package basenames whose outputs must be
+// bit-identical across replays (the Figure/Table artifacts flow through
+// them). detlint applies only to these.
+var DeterminismCritical = map[string]bool{
+	"sim":         true,
+	"bo":          true,
+	"alloc":       true,
+	"mesh":        true,
+	"soc":         true,
+	"core":        true,
+	"scenario":    true,
+	"experiments": true,
+}
+
+// IsDeterminismCritical reports whether the package at path is subject to
+// detlint. Matching is by final path element so the same analyzers work on
+// the real module tree and on single-element analysistest fixture paths.
+func IsDeterminismCritical(path string) bool {
+	return DeterminismCritical[pathBase(path)]
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. Some rules
+// (dropped errors, float equality) are scoped to non-test code where the
+// idioms they forbid are never legitimate.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// Suppressed reports whether a //lint:allow <analyzer> <reason> comment
+// covers the line holding pos: either trailing on the same line or alone on
+// the line immediately above.
+func Suppressed(pass *analysis.Pass, pos token.Pos, analyzer string) bool {
+	tf := pass.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	line := tf.Line(pos)
+	for _, f := range pass.Files {
+		if pass.Fset.File(f.Pos()) != tf {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				cline := tf.Line(c.Pos())
+				if cline != line && cline != line-1 {
+					continue
+				}
+				if allowsAnalyzer(c.Text, analyzer) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// allowsAnalyzer parses one raw comment ("//..." or "/*...*/") and reports
+// whether it is a well-formed suppression for the named analyzer (with a
+// non-empty reason).
+func allowsAnalyzer(comment, analyzer string) bool {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, AllowPrefix) {
+		return false
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, AllowPrefix))
+	return len(fields) >= 2 && fields[0] == analyzer
+}
+
+// Report emits the diagnostic unless a suppression comment covers node.
+func Report(pass *analysis.Pass, node ast.Node, analyzer, format string, args ...any) {
+	if Suppressed(pass, node.Pos(), analyzer) {
+		return
+	}
+	pass.Reportf(node.Pos(), format, args...)
+}
+
+// obsTypeNames are the instrument types of internal/obs whose methods are
+// nil-safe no-ops; *Registry is the lookup root.
+var obsTypeNames = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func namedFromObsPackage(t types.Type, names map[string]bool) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || pathBase(obj.Pkg().Path()) != "obs" {
+		return false
+	}
+	return names[obj.Name()]
+}
+
+// IsObsInstrument reports whether t is *obs.Counter, *obs.Gauge, or
+// *obs.Histogram (by package basename, so fixture stubs qualify too).
+func IsObsInstrument(t types.Type) bool {
+	return namedFromObsPackage(t, obsTypeNames)
+}
+
+// IsObsRegistry reports whether t is *obs.Registry.
+func IsObsRegistry(t types.Type) bool {
+	return namedFromObsPackage(t, map[string]bool{"Registry": true})
+}
+
+func isObsGateExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	return t != nil && (IsObsInstrument(t) || IsObsRegistry(t))
+}
+
+// condHasObsNilCheck reports whether cond contains a comparison of an
+// obs instrument/registry expression against nil with the given operator.
+func condHasObsNilCheck(pass *analysis.Pass, cond ast.Expr, op token.Token) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != op {
+			return true
+		}
+		x, y := be.X, be.Y
+		if isNilIdent(pass, y) && isObsGateExpr(pass, x) {
+			found = true
+		}
+		if isNilIdent(pass, x) && isObsGateExpr(pass, y) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	_, isNil := obj.(*types.Nil)
+	return isNil
+}
+
+// terminatesFlow reports whether the guard body unconditionally leaves the
+// enclosing flow (return, panic, continue, break, or os.Exit-style call is
+// approximated by return/panic here — the idiom in this repo is return).
+func terminatesFlow(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ObsGated reports whether the node at the top of stack is lexically
+// protected by the nil-receiver observability gate: either an enclosing if
+// whose condition checks an obs instrument/registry != nil, or an earlier
+// guard clause `if <obs expr> == nil { return ... }` in any enclosing block.
+// This is exactly the idiom PR 3 threads through the hot paths, so code that
+// follows it never trips detlint's wall-clock rule.
+func ObsGated(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			// Inside the body (not the init/cond themselves): a positive
+			// nil-check licenses the whole branch.
+			if i+1 < len(stack) && stack[i+1] == n.Body &&
+				condHasObsNilCheck(pass, n.Cond, token.NEQ) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if i+1 >= len(stack) {
+				continue
+			}
+			for _, st := range n.List {
+				if st == stack[i+1] {
+					break
+				}
+				ifSt, ok := st.(*ast.IfStmt)
+				if !ok {
+					continue
+				}
+				if condHasObsNilCheck(pass, ifSt.Cond, token.EQL) && terminatesFlow(ifSt.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+// Package obslint enforces the observability layer's zero-overhead
+// contract (DESIGN.md §10): instruments are resolved once into concrete
+// nil-safe pointers, and wall-clock reads exist only to feed instruments on
+// paths already gated by a live registry. Three rules:
+//
+//   - no chained lookup-and-use (reg.Counter("x").Inc()): that re-pays the
+//     registry map lookup and mutex on every hit instead of resolving once;
+//   - no construction of instruments outside package obs (obs.Counter{} /
+//     new(obs.Gauge)): the zero value is not registered anywhere, so its
+//     updates are invisible — instruments come from a Registry;
+//   - no time.Now/time.Since result feeding an instrument method unless the
+//     statement is obs-gated by the nil-receiver idiom, so disabling
+//     observability also removes the clock read.
+package obslint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"github.com/mar-hbo/hbo/internal/analysis/lintutil"
+)
+
+const name = "obslint"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "enforce the nil-safe resolved-pointer instrument pattern and " +
+		"registry-gated wall-clock reads of the obs layer",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var lookupMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if base := pass.Pkg.Name(); base == "obs" {
+		return nil, nil // the implementation itself is exempt
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil), (*ast.CompositeLit)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, stack)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, n)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	// new(obs.Counter) — same hole as a composite literal.
+	if isBuiltinNew(pass, call) && len(call.Args) == 1 {
+		if t := pass.TypesInfo.TypeOf(call.Args[0]); t != nil && lintutil.IsObsInstrument(types.NewPointer(t)) {
+			lintutil.Report(pass, call, name,
+				"instrument constructed with new(): obtain it from a Registry so it is registered and snapshot-visible")
+		}
+		return
+	}
+
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recvType := pass.TypesInfo.TypeOf(sel.X)
+	if recvType == nil {
+		return
+	}
+
+	if lintutil.IsObsInstrument(recvType) {
+		// Chained lookup-and-use: receiver is itself a registry lookup call.
+		if inner, ok := sel.X.(*ast.CallExpr); ok && isRegistryLookup(pass, inner) {
+			lintutil.Report(pass, call, name,
+				"chained registry lookup %s(...).%s(...): resolve the instrument once at setup "+
+					"(nil-safe pointer field), not per call site", lookupName(inner), sel.Sel.Name)
+		}
+		// Wall-clock feeding an instrument without a gate.
+		if (sel.Sel.Name == "Observe" || sel.Sel.Name == "Set" || sel.Sel.Name == "Add") &&
+			argsReadClock(pass, call) && !lintutil.ObsGated(pass, stack) {
+			lintutil.Report(pass, call, name,
+				"time.Now/time.Since feeds %s.%s without a nil guard on the instrument: "+
+					"gate the clock read behind the resolved pointer (if x == nil { ... })",
+				types.TypeString(recvType, types.RelativeTo(pass.Pkg)), sel.Sel.Name)
+		}
+	}
+}
+
+func isBuiltinNew(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "new"
+}
+
+func isRegistryLookup(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !lookupMethods[sel.Sel.Name] {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	return t != nil && lintutil.IsObsRegistry(t)
+}
+
+func lookupName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "lookup"
+}
+
+func argsReadClock(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := typeutil.Callee(pass.TypesInfo, inner)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+				(fn.Name() == "Now" || fn.Name() == "Since") {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if lintutil.IsObsInstrument(types.NewPointer(t)) {
+		lintutil.Report(pass, lit, name,
+			"instrument constructed as a composite literal: the zero value is unregistered "+
+				"and invisible to snapshots — obtain it from a Registry")
+	}
+}

@@ -1,0 +1,12 @@
+package obslint_test
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/analysis/analyzertest"
+	"github.com/mar-hbo/hbo/internal/analysis/obslint"
+)
+
+func TestObslint(t *testing.T) {
+	analyzertest.Run(t, "testdata", obslint.Analyzer, "obsuse")
+}

@@ -1,0 +1,70 @@
+// Package obsuse exercises every obslint rule: chained registry lookups,
+// zero-value instrument construction, and un-gated clock reads feeding
+// instruments.
+package obsuse
+
+import (
+	"time"
+
+	"obs"
+)
+
+type server struct {
+	reg      *obs.Registry
+	requests *obs.Counter
+	latency  *obs.Histogram
+}
+
+// resolveOnce is the sanctioned pattern: look up at setup, store the
+// nil-safe pointer, use the pointer on the hot path.
+func (s *server) resolveOnce() {
+	s.requests = s.reg.Counter("requests")
+	s.latency = s.reg.Histogram("latency_ms", nil)
+	s.requests.Inc()
+}
+
+func (s *server) chainedLookup() {
+	s.reg.Counter("requests").Inc() // want `chained registry lookup Counter\(\.\.\.\)\.Inc\(\.\.\.\)`
+	s.reg.Gauge("depth").Set(1)     // want `chained registry lookup Gauge\(\.\.\.\)\.Set\(\.\.\.\)`
+}
+
+func zeroValueInstruments() {
+	c := obs.Counter{} // want `instrument constructed as a composite literal`
+	c.Inc()
+	g := new(obs.Gauge) // want `instrument constructed with new\(\)`
+	g.Set(2)
+	p := &obs.Histogram{} // want `instrument constructed as a composite literal`
+	p.Observe(1)
+}
+
+func (s *server) ungatedClock() {
+	start := time.Now()
+	s.latency.Observe(time.Since(start).Seconds()) // want `time\.Now/time\.Since feeds .*Observe without a nil guard`
+}
+
+func (s *server) gatedClock() {
+	if s.latency == nil {
+		return
+	}
+	start := time.Now()
+	s.latency.Observe(time.Since(start).Seconds())
+}
+
+func (s *server) gatedInline() {
+	if s.latency != nil {
+		start := time.Now()
+		s.latency.Observe(time.Since(start).Seconds())
+	}
+}
+
+func (s *server) suppressedChain() {
+	//lint:allow obslint one-shot setup path, lookup cost is fine
+	s.reg.Counter("boot").Inc()
+}
+
+// plainObserve without a clock read needs no gate: instruments are nil-safe
+// and pure observers.
+func (s *server) plainObserve(v float64) {
+	s.latency.Observe(v)
+	s.requests.Inc()
+}

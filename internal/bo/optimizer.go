@@ -349,7 +349,7 @@ func (o *Optimizer) next() ([]float64, error) {
 // an O(n²) incremental extension otherwise. Targets are re-standardized
 // every call because the winsorization clip level moves with the database.
 func (o *Optimizer) ensureSurrogate(lengthScale float64, clipped []float64) error {
-	if o.gp == nil || lengthScale != o.gpScale {
+	if o.gp == nil || math.Float64bits(lengthScale) != math.Float64bits(o.gpScale) {
 		gp, err := NewGP(Matern52{LengthScale: lengthScale, SignalVar: 1}, o.cfg.NoiseVar)
 		if err != nil {
 			return err

@@ -239,6 +239,7 @@ func (c *Client) Available() bool { return c.breaker.ready() }
 // Decimate returns the object decimated to the given ratio (quadric edge
 // collapse), from cache when possible.
 func (c *Client) Decimate(object string, ratio float64) (*mesh.Mesh, error) {
+	//lint:allow ctxlint public convenience wrapper; DecimateContext is the threaded variant
 	return c.DecimateContext(context.Background(), object, ratio)
 }
 
@@ -251,6 +252,7 @@ func (c *Client) DecimateContext(ctx context.Context, object string, ratio float
 // server latency. Fast and precise results share the cache key space with a
 // flag so one never masquerades as the other.
 func (c *Client) DecimateFast(object string, ratio float64) (*mesh.Mesh, error) {
+	//lint:allow ctxlint public convenience wrapper; DecimateFastContext is the threaded variant
 	return c.DecimateFastContext(context.Background(), object, ratio)
 }
 
@@ -313,6 +315,7 @@ func (c *Client) insert(key cacheKey, m *mesh.Mesh) {
 
 // Train fits Eq. 1 parameters server-side from the given samples.
 func (c *Client) Train(object string, samples []quality.Sample) (quality.Params, error) {
+	//lint:allow ctxlint public convenience wrapper; TrainContext is the threaded variant
 	return c.TrainContext(context.Background(), object, samples)
 }
 
@@ -329,6 +332,7 @@ func (c *Client) TrainContext(ctx context.Context, object string, samples []qual
 // BONext uploads the observation database and returns the next
 // configuration to test (remote Bayesian optimization, §VI).
 func (c *Client) BONext(resources int, rmin float64, seed uint64, obs []Observation) ([]float64, error) {
+	//lint:allow ctxlint public convenience wrapper; BONextContext is the threaded variant
 	return c.BONextContext(context.Background(), resources, rmin, seed, obs)
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"github.com/mar-hbo/hbo/internal/alloc"
@@ -107,7 +108,9 @@ func RunAcquisitionStudyJobs(seed uint64, jobs int) (*AcquisitionStudyResult, er
 		traj := act.BestCostTrajectory()
 		outs[i].final = traj[len(traj)-1]
 		for j, v := range traj {
-			if v == outs[i].final {
+			// Identity search: the final value IS an element of traj, so
+			// bit comparison is exact, not approximate.
+			if math.Float64bits(v) == math.Float64bits(outs[i].final) {
 				outs[i].convergedAt = float64(j + 1)
 				break
 			}

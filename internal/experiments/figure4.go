@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"github.com/mar-hbo/hbo/internal/core"
@@ -71,7 +72,8 @@ func summarizeActivation(name string, act *core.Result) ScenarioOutcome {
 	}
 	best := out.BestCost[len(out.BestCost)-1]
 	for i, v := range out.BestCost {
-		if v == best {
+		// Identity search within the same slice: bit comparison is exact.
+		if math.Float64bits(v) == math.Float64bits(best) {
 			out.ConvergedAt = i + 1
 			break
 		}

@@ -73,6 +73,7 @@ func (h collapseHeap) Len() int { return len(h) }
 // Less orders by cost with a deterministic (u, v) tie-break so equal-cost
 // collapses pop in the same order every run.
 func (h collapseHeap) Less(i, j int) bool {
+	//lint:allow errlint exact equality is the tie-break trigger; a bits compare would split numerically equal costs
 	if h[i].cost != h[j].cost {
 		return h[i].cost < h[j].cost
 	}

@@ -40,6 +40,7 @@ type eventQueue []*Event
 func (q eventQueue) Len() int { return len(q) }
 
 func (q eventQueue) Less(i, j int) bool {
+	//lint:allow errlint exact equality is the tie-break trigger for the seq ordering; virtual times are finite
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}

@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"sort"
 	"testing"
 
 	"github.com/mar-hbo/hbo/internal/sim"
@@ -25,10 +26,18 @@ func runArrival(t *testing.T, arrival ArrivalProcess) (meanLat float64, count in
 	sys.RunFor(2000)
 	sys.ResetWindow()
 	sys.RunFor(30000)
+	// Sum in sorted-key order so the float accumulation replays
+	// bit-identically (map iteration order would not).
+	stats := sys.WindowStats()
+	ids := make([]string, 0, len(stats))
+	for id := range stats {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var sum float64
-	for _, st := range sys.WindowStats() {
-		sum += st.MeanLatencyMS
-		count += st.Count
+	for _, id := range ids {
+		sum += stats[id].MeanLatencyMS
+		count += stats[id].Count
 	}
 	return sum / 4, count
 }

@@ -2,6 +2,7 @@ package soc
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"github.com/mar-hbo/hbo/internal/sim"
@@ -150,10 +151,16 @@ func TestNNAPIColocationGrowsLatency(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		// Sorted-key accumulation keeps the mean bit-identical across runs.
 		lats := sys.MeanLatencies(5000)
+		ids := make([]string, 0, len(lats))
+		for id := range lats {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
 		sum := 0.0
-		for _, v := range lats {
-			sum += v
+		for _, id := range ids {
+			sum += lats[id]
 		}
 		mean := sum / float64(n)
 		if n > 1 && mean < prev {

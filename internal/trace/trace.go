@@ -154,11 +154,13 @@ func ASCIIChart(s *Series, width, height int) string {
 		minV = math.Min(minV, p.Value)
 		maxV = math.Max(maxV, p.Value)
 	}
+	//lint:allow errlint exact equality guards the zero-range division below
 	if maxV == minV {
 		maxV = minV + 1
 	}
 	t0 := s.Points[0].TimeMS
 	t1 := s.Points[len(s.Points)-1].TimeMS
+	//lint:allow errlint exact equality guards the zero-range division below
 	if t1 == t0 {
 		t1 = t0 + 1
 	}
