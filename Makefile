@@ -58,11 +58,20 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzEdgeRequestDecode -fuzztime=$(FUZZTIME) ./internal/edge/
 
 # cover runs the full suite with coverage and prints the per-function
-# summary; the HTML report lands in cover.html.
+# summary; the HTML report lands in cover.html. It then enforces a coverage
+# floor over the serving-critical packages (internal/edge/... including
+# sessiond, plus internal/core) so the multi-session test battery cannot
+# silently rot; raise the floor as coverage grows, never lower it casually.
+COVER_FLOOR ?= 72.0
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -5
 	$(GO) tool cover -html=cover.out -o cover.html
+	$(GO) test -coverprofile=cover.edge.out ./internal/edge/... ./internal/core
+	@total=$$($(GO) tool cover -func=cover.edge.out | tail -1 | awk '{sub(/%/,"",$$NF); print $$NF}'); \
+	echo "cover: internal/edge/... + internal/core at $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "cover: coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # check is the pre-commit gate: standard vet, the custom analyzer suite,
 # full build, and the test suite (race is the slower CI-side superset).

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"github.com/mar-hbo/hbo/internal/edge"
+	"github.com/mar-hbo/hbo/internal/edge/sessiond"
 	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/render"
 )
@@ -38,16 +39,23 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	shards := flag.Int("session-shards", 8, "session store lock stripes (and suggest workers)")
+	perShard := flag.Int("session-capacity", 64, "sessions per shard before LRU eviction")
+	queue := flag.Int("session-queue", 32, "pending suggests per shard before admission rejects")
 	flag.Parse()
+	sessCfg := sessiond.DefaultConfig()
+	sessCfg.Shards = *shards
+	sessCfg.SessionsPerShard = *perShard
+	sessCfg.QueueBound = *queue
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *drain); err != nil {
+	if err := run(ctx, *addr, *drain, sessCfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hboedge: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr string, drain time.Duration) error {
+func run(ctx context.Context, addr string, drain time.Duration, sessCfg sessiond.Config) error {
 	// The server's catalog covers every Table II asset.
 	catalog := append(render.SC1(), render.SC2()...)
 	specs := make([]render.ObjectSpec, 0, len(catalog))
@@ -61,8 +69,14 @@ func run(ctx context.Context, addr string, drain time.Duration) error {
 	reg := obs.New()
 	srv.SetObserver(reg)
 	obs.Publish("hbo", reg)
+	sess, err := sessiond.New(sessCfg, srv)
+	if err != nil {
+		return err
+	}
+	sess.SetObserver(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
+	sess.Register(mux)
 	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = reg.Snapshot().WriteJSON(w)
@@ -85,7 +99,7 @@ func run(ctx context.Context, addr string, drain time.Duration) error {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	fmt.Printf("hboedge: serving %d objects on %s (POST /decimate, /train, /bo/next; GET /healthz, /metricsz, /debug/vars, /debug/pprof)\n", len(specs), addr)
+	fmt.Printf("hboedge: serving %d objects on %s (POST /decimate, /train, /bo/next, /session/{open,suggest,observe,close,decimate}; GET /healthz, /metricsz, /session/statz, /debug/vars, /debug/pprof)\n", len(specs), addr)
 	select {
 	case err := <-serveErr:
 		return err
@@ -100,5 +114,8 @@ func run(ctx context.Context, addr string, drain time.Duration) error {
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	// All connections are drained; now it is safe to stop the suggest
+	// workers.
+	sess.Close()
 	return nil
 }

@@ -34,6 +34,8 @@ var DeterminismCritical = map[string]bool{
 	"core":        true,
 	"scenario":    true,
 	"experiments": true,
+	"sessiond":    true,
+	"loadgen":     true,
 }
 
 // IsDeterminismCritical reports whether the package at path is subject to

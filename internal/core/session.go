@@ -119,6 +119,20 @@ func (s *Session) Lookup() *LookupTable { return s.lookup }
 // degraded mode (runtime on local fallback because the edge was down).
 func (s *Session) DegradedWindows() int { return s.degradedWindows }
 
+// ProposalStats aggregates proposal provenance over every recorded
+// activation: how many post-init BO iterations used a remote backend's
+// suggestion versus the local optimizer after a remote failure. Both are
+// zero when no backend was attached.
+func (s *Session) ProposalStats() (remote, fallback int) {
+	for _, a := range s.activations {
+		if a.Result != nil {
+			remote += a.Result.RemoteProposals
+			fallback += a.Result.FallbackProposals
+		}
+	}
+	return remote, fallback
+}
+
 // record appends one reward sample and maintains the degraded-window count.
 func (s *Session) record(smp RewardSample) {
 	s.samples = append(s.samples, smp)

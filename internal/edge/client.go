@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -364,15 +365,32 @@ func (c *Client) BONextPoint(resources int, rmin float64, seed uint64, points []
 }
 
 // statusError is a non-2xx response, kept typed so the retry policy can
-// distinguish server-side bursts (5xx, retryable) from rejections (4xx).
+// distinguish server-side bursts (5xx, retryable) from rejections (4xx),
+// and so an admission controller's Retry-After hint survives into the
+// backoff computation.
 type statusError struct {
 	status string
 	code   int
 	msg    string
+	// retryAfter is the server's Retry-After hint (zero when absent).
+	retryAfter time.Duration
 }
 
 func (e *statusError) Error() string {
 	return fmt.Sprintf("returned %s: %s", e.status, e.msg)
+}
+
+// StatusCode extracts the HTTP status code buried in a client call error.
+// ok is false for transport-level failures (drops, timeouts, breaker short
+// circuits) that never produced a response. Callers use it to react to
+// typed rejections — e.g. a 404 from the session service means the session
+// was evicted and must be re-opened.
+func StatusCode(err error) (code int, ok bool) {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code, true
+	}
+	return 0, false
 }
 
 // retryable reports whether an attempt error is worth retrying: transport
@@ -384,6 +402,16 @@ func retryable(err error) bool {
 		return se.code >= 500
 	}
 	return true
+}
+
+// PostJSON sends one idempotent JSON POST through the client's full
+// fault-tolerance stack — per-attempt timeouts, retries with backoff and
+// Retry-After honoring, circuit breaker — decoding the response into resp.
+// It is the extension point the session service's client builds on, so
+// every session route inherits the same link-health view as the core
+// endpoints.
+func (c *Client) PostJSON(ctx context.Context, path string, req, resp any) error {
+	return c.post(ctx, path, req, resp)
 }
 
 // post sends one idempotent JSON POST with per-attempt timeouts, capped
@@ -407,6 +435,13 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 			c.retries++
 			delay := c.backoffLocked(attempt)
 			c.mu.Unlock()
+			// An explicit Retry-After from the previous rejection (the
+			// session service's admission controller) overrides a shorter
+			// computed backoff: the server told us when capacity frees up.
+			var se *statusError
+			if errors.As(lastErr, &se) && se.retryAfter > delay {
+				delay = se.retryAfter
+			}
 			c.metRetries.Inc()
 			if err := c.wait(ctx, delay); err != nil {
 				return fmt.Errorf("edge: %s: %w", path, err)
@@ -425,7 +460,20 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 			break
 		}
 	}
-	return fmt.Errorf("edge: %s %s", path, lastErr)
+	return fmt.Errorf("edge: %s %w", path, lastErr)
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After value (the only form
+// this repo's servers emit); anything else maps to zero.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // backoffLocked computes base·2^(attempt−1) capped at BackoffMax, minus up
@@ -476,7 +524,12 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, resp any
 	}()
 	if httpResp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
-		return &statusError{status: httpResp.Status, code: httpResp.StatusCode, msg: string(bytes.TrimSpace(msg))}
+		return &statusError{
+			status:     httpResp.Status,
+			code:       httpResp.StatusCode,
+			msg:        string(bytes.TrimSpace(msg)),
+			retryAfter: parseRetryAfter(httpResp.Header.Get("Retry-After")),
+		}
 	}
 	limited := &countingReader{r: io.LimitReader(httpResp.Body, c.cfg.MaxResponseBytes+1)}
 	dec := json.NewDecoder(limited)

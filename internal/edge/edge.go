@@ -262,6 +262,29 @@ func (s *Server) geometry(name string) (*mesh.Mesh, error) {
 	return m, nil
 }
 
+// Decimate runs the server's decimation pipeline directly: full-quality
+// geometry from the catalog cache, then quadric edge collapse (or vertex
+// clustering when fast). It is the computational core behind the /decimate
+// route, exported so the session service can serve per-session mesh caches
+// from the same catalog without a loopback HTTP hop.
+func (s *Server) Decimate(object string, ratio float64, fast bool) (*mesh.Mesh, error) {
+	if math.IsNaN(ratio) || ratio <= 0 || ratio > 1 {
+		return nil, fmt.Errorf("edge: ratio %v out of (0,1]", ratio)
+	}
+	full, err := s.geometry(object)
+	if err != nil {
+		return nil, err
+	}
+	if fast {
+		target := int(ratio * float64(full.TriangleCount()))
+		if target < 1 {
+			target = 1
+		}
+		return mesh.VertexClustering(full, target)
+	}
+	return mesh.DecimateToRatio(full, ratio)
+}
+
 func (s *Server) handleDecimate(w http.ResponseWriter, r *http.Request) {
 	var req DecimateRequest
 	if !decodeRequest(w, r, &req) {
@@ -271,21 +294,11 @@ func (s *Server) handleDecimate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("ratio %v out of (0,1]", req.Ratio), http.StatusBadRequest)
 		return
 	}
-	full, err := s.geometry(req.Object)
-	if err != nil {
+	if _, err := s.geometry(req.Object); err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	var dec *mesh.Mesh
-	if req.Fast {
-		target := int(req.Ratio * float64(full.TriangleCount()))
-		if target < 1 {
-			target = 1
-		}
-		dec, err = mesh.VertexClustering(full, target)
-	} else {
-		dec, err = mesh.DecimateToRatio(full, req.Ratio)
-	}
+	dec, err := s.Decimate(req.Object, req.Ratio, req.Fast)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

@@ -1,0 +1,236 @@
+package sessiond
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"github.com/mar-hbo/hbo/internal/edge"
+	"github.com/mar-hbo/hbo/internal/mesh"
+	"github.com/mar-hbo/hbo/internal/obs"
+)
+
+// Client drives one server-side session through an edge.Client, inheriting
+// its full fault-tolerance stack: per-attempt timeouts, retries that honor
+// the admission controller's Retry-After hint, and the shared circuit
+// breaker (sustained admission rejections open the circuit exactly like any
+// other server failure burst). Not safe for concurrent use — one client is
+// one MAR session, which issues its calls in order; that ordering is what
+// makes the session's suggestion stream deterministic.
+type Client struct {
+	ec *edge.Client
+	id string
+	p  params
+
+	reopens int
+
+	// Observability instruments; nil (no-op) unless SetObserver is called.
+	metSuggestMS *obs.Histogram
+	metReopens   *obs.Counter
+}
+
+// NewClient builds a session client. resources/rmin/seed/init fix the
+// server-side session's parameters; init <= 0 means the paper's 5.
+func NewClient(ec *edge.Client, id string, resources int, rmin float64, seed uint64, init int) (*Client, error) {
+	if ec == nil {
+		return nil, fmt.Errorf("sessiond: nil edge client")
+	}
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	if init <= 0 {
+		init = 5
+	}
+	p := params{resources: resources, rmin: rmin, seed: seed, init: init}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &Client{ec: ec, id: id, p: p}, nil
+}
+
+// SetObserver attaches a metrics registry: a suggest round-trip latency
+// histogram (the load generator's tail-latency source) and a re-admission
+// counter. Passing nil detaches.
+func (c *Client) SetObserver(reg *obs.Registry) {
+	c.metReopens = reg.Counter("load.session_reopens")
+	if reg != nil {
+		c.metSuggestMS = reg.Histogram("load.suggest_wall_ms", obs.LatencyBucketsMS)
+	} else {
+		c.metSuggestMS = nil
+	}
+}
+
+// ID returns the session identifier.
+func (c *Client) ID() string { return c.id }
+
+// Reopens counts the re-admissions this client performed after server-side
+// evictions.
+func (c *Client) Reopens() int { return c.reopens }
+
+// Available reports whether the underlying link would currently attempt
+// work (circuit not open).
+func (c *Client) Available() bool { return c.ec.Available() }
+
+// Open creates (or idempotently re-finds) the server-side session.
+func (c *Client) Open(ctx context.Context) (existing bool, err error) {
+	var resp OpenResponse
+	req := OpenRequest{ID: c.id, Resources: c.p.resources, RMin: c.p.rmin, Seed: c.p.seed, Init: c.p.init}
+	if err := c.ec.PostJSON(ctx, "/session/open", req, &resp); err != nil {
+		return false, err
+	}
+	return resp.Existing, nil
+}
+
+// Suggest returns the session's next configuration to evaluate.
+func (c *Client) Suggest(ctx context.Context) ([]float64, error) {
+	if c.metSuggestMS == nil {
+		return c.suggest(ctx)
+	}
+	start := time.Now()
+	p, err := c.suggest(ctx)
+	c.metSuggestMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	return p, err
+}
+
+func (c *Client) suggest(ctx context.Context) ([]float64, error) {
+	var resp SuggestResponse
+	if err := c.ec.PostJSON(ctx, "/session/suggest", SuggestRequest{ID: c.id}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Point) != c.p.resources+1 {
+		return nil, fmt.Errorf("sessiond: server returned %d-dim point, want %d", len(resp.Point), c.p.resources+1)
+	}
+	return resp.Point, nil
+}
+
+// Observe records one measured (point, cost) pair into the session's GP
+// history.
+func (c *Client) Observe(ctx context.Context, point []float64, cost float64) error {
+	var resp ObserveResponse
+	return c.ec.PostJSON(ctx, "/session/observe", ObserveRequest{ID: c.id, Point: point, Cost: cost}, &resp)
+}
+
+// CloseSession tears the server-side session down.
+func (c *Client) CloseSession(ctx context.Context) error {
+	var resp CloseResponse
+	return c.ec.PostJSON(ctx, "/session/close", CloseRequest{ID: c.id}, &resp)
+}
+
+// Decimate fetches a decimated mesh through the session's server-side mesh
+// cache. The returned mesh is the caller's to mutate.
+func (c *Client) Decimate(ctx context.Context, object string, ratio float64, fast bool) (*mesh.Mesh, error) {
+	var resp DecimateResponse
+	if err := c.ec.PostJSON(ctx, "/session/decimate", DecimateRequest{ID: c.id, Object: object, Ratio: ratio, Fast: fast}, &resp); err != nil {
+		return nil, err
+	}
+	m := resp.Mesh.ToMesh()
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("sessiond: server returned invalid mesh: %w", err)
+	}
+	return m, nil
+}
+
+// evicted reports whether err is the server telling us the session no
+// longer exists (LRU eviction, restart).
+func evicted(err error) bool {
+	code, ok := edge.StatusCode(err)
+	return ok && code == http.StatusNotFound
+}
+
+// Backend adapts the session client to core.BOBackend: the runtime hands it
+// the full observation history every call, and the backend ships only the
+// tail the server has not seen yet before asking for the next suggestion.
+// When the server evicted the session mid-run, the backend transparently
+// re-admits: re-open, replay the full history (the session seed makes the
+// rebuilt optimizer deterministic), and retry the suggestion once.
+type Backend struct {
+	c   *Client
+	ctx context.Context
+
+	opened bool
+	sent   int
+}
+
+// NewBackend wraps a session client for use as a core.BOBackend. The
+// context bounds every call the runtime makes through it.
+func NewBackend(ctx context.Context, c *Client) *Backend {
+	return &Backend{c: c, ctx: ctx}
+}
+
+// BONextPoint implements core.BOBackend.
+func (b *Backend) BONextPoint(resources int, rmin float64, seed uint64, points [][]float64, costs []float64) ([]float64, error) {
+	if len(points) != len(costs) {
+		return nil, fmt.Errorf("sessiond: %d points vs %d costs", len(points), len(costs))
+	}
+	if resources != b.c.p.resources || math.Float64bits(rmin) != math.Float64bits(b.c.p.rmin) {
+		return nil, fmt.Errorf("sessiond: backend opened for %d resources (rmin %v), asked for %d (rmin %v)",
+			b.c.p.resources, b.c.p.rmin, resources, rmin)
+	}
+	if !b.opened {
+		if _, err := b.c.Open(b.ctx); err != nil {
+			return nil, err
+		}
+		b.opened = true
+		b.sent = 0
+	}
+	for b.sent < len(points) {
+		if err := b.c.Observe(b.ctx, points[b.sent], costs[b.sent]); err != nil {
+			if evicted(err) {
+				return b.readmit(points, costs)
+			}
+			return nil, err
+		}
+		b.sent++
+	}
+	p, err := b.c.Suggest(b.ctx)
+	if err != nil {
+		if evicted(err) {
+			return b.readmit(points, costs)
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+// Available lets core's degradation probe skip remote proposals while the
+// link's circuit is open.
+func (b *Backend) Available() bool { return b.c.Available() }
+
+// readmit re-opens an evicted session and replays the full observation
+// history before retrying the suggestion. No second-chance recursion: a
+// re-eviction inside the replay fails the call, and core's local fallback
+// takes over for this iteration.
+func (b *Backend) readmit(points [][]float64, costs []float64) ([]float64, error) {
+	if _, err := b.c.Open(b.ctx); err != nil {
+		return nil, err
+	}
+	b.c.reopens++
+	b.c.metReopens.Inc()
+	for i := range points {
+		if err := b.c.Observe(b.ctx, points[i], costs[i]); err != nil {
+			return nil, fmt.Errorf("sessiond: replaying history after eviction: %w", err)
+		}
+	}
+	b.sent = len(points)
+	return b.c.Suggest(b.ctx)
+}
+
+// LOD adapts the session client to render.LODProvider, binding a context
+// and the precise (non-fast) decimation path the paper's TD step uses.
+type LOD struct {
+	c   *Client
+	ctx context.Context
+}
+
+// NewLOD wraps a session client as a level-of-detail provider.
+func NewLOD(ctx context.Context, c *Client) *LOD { return &LOD{c: c, ctx: ctx} }
+
+// Decimate implements render.LODProvider.
+func (l *LOD) Decimate(object string, ratio float64) (*mesh.Mesh, error) {
+	return l.c.Decimate(l.ctx, object, ratio, false)
+}
+
+// Available implements render.Availability.
+func (l *LOD) Available() bool { return l.c.Available() }

@@ -1,0 +1,264 @@
+// Package sessiond is the multi-tenant session layer of the edge service:
+// where package edge's /bo/next route re-derives a fresh optimizer from the
+// full uploaded database on every call, sessiond keeps one HBO session per
+// connected client alive server-side — its GP history (the BO database and
+// the incrementally extended Cholesky factorization), its activation window
+// of recent rewards, and a per-session mesh-cache handle over the shared
+// object catalog.
+//
+// The store is sharded and lock-striped: a session's ID hashes to one of
+// Config.Shards shards, each holding an independent mutex, session map, and
+// suggest queue, so unrelated sessions never contend. Within a shard,
+// capacity is bounded by LRU eviction over a logical touch tick (never the
+// wall clock — eviction order is a pure function of the request sequence);
+// sessions touched by the same batch drain share a tick, and ties evict the
+// lexicographically smallest ID. An admission controller bounds each
+// shard's suggest queue: when the queue is full the request is rejected
+// with 503 and a Retry-After hint instead of queueing unboundedly, and the
+// edge client's retry loop honors that hint.
+//
+// Suggest calls are batched per shard: one worker goroutine drains the
+// queue in FIFO passes of up to Config.MaxBatch jobs, so concurrent clients
+// amortize the per-pass overhead (one lock acquisition, one touch-tick
+// stamp) and at most Shards GP computations run at once regardless of how
+// many clients are connected. Because every session owns a persistent
+// optimizer, each suggestion is an O(n²) incremental Cholesky extension
+// rather than the stateless route's from-scratch O(n³) refit.
+//
+// Determinism contract: a session's suggestion stream is a pure function of
+// its (seed, init, observation sequence) — batching, shard placement, and
+// concurrent traffic from other sessions cannot perturb it, because every
+// session draws from its own RNG and GP state. The package is listed in
+// detlint's determinism-critical set and reads no wall clock outside
+// obs-gated instrumentation.
+package sessiond
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/mar-hbo/hbo/internal/bo"
+	"github.com/mar-hbo/hbo/internal/mesh"
+	"github.com/mar-hbo/hbo/internal/obs"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// Decimator produces a decimated mesh from the shared object catalog.
+// *edge.Server implements it; per-session mesh caches sit in front of it.
+type Decimator interface {
+	Decimate(object string, ratio float64, fast bool) (*mesh.Mesh, error)
+}
+
+// Server-side bounds, mirroring package edge's hardening constants.
+const (
+	// maxResources bounds the BO domain dimensionality per session.
+	maxResources = 64
+	// maxInitSamples bounds a session's init-phase budget.
+	maxInitSamples = 100
+	// maxSessionObservations bounds one session's GP database.
+	maxSessionObservations = 10000
+	// maxIDLen bounds session identifiers.
+	maxIDLen = 128
+	// windowCap bounds the per-session activation window of recent rewards.
+	windowCap = 32
+)
+
+// Config tunes the session store, the admission controller, and the
+// per-shard suggest batching.
+type Config struct {
+	// Shards is the number of lock stripes (and suggest workers).
+	Shards int
+	// SessionsPerShard caps each shard's session count; opening a session
+	// in a full shard evicts that shard's least-recently-used session.
+	SessionsPerShard int
+	// QueueBound caps each shard's pending suggest queue; beyond it the
+	// admission controller rejects with 503 + Retry-After.
+	QueueBound int
+	// RetryAfterSec is the Retry-After hint (whole seconds) sent with
+	// admission rejections.
+	RetryAfterSec int
+	// MaxBatch caps how many queued suggests one drain pass serves.
+	MaxBatch int
+	// MeshCacheCap caps each session's decimated-mesh cache (entries).
+	MeshCacheCap int
+}
+
+// DefaultConfig returns production-shaped defaults: 8 shards of up to 64
+// sessions, 32 queued suggests per shard, 1 s Retry-After, 16-job batches,
+// and 8 cached decimations per session.
+func DefaultConfig() Config {
+	return Config{
+		Shards:           8,
+		SessionsPerShard: 64,
+		QueueBound:       32,
+		RetryAfterSec:    1,
+		MaxBatch:         16,
+		MeshCacheCap:     8,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("sessiond: Shards %d must be >= 1", c.Shards)
+	}
+	if c.SessionsPerShard < 1 {
+		return fmt.Errorf("sessiond: SessionsPerShard %d must be >= 1", c.SessionsPerShard)
+	}
+	if c.QueueBound < 1 {
+		return fmt.Errorf("sessiond: QueueBound %d must be >= 1", c.QueueBound)
+	}
+	if c.RetryAfterSec < 1 {
+		return fmt.Errorf("sessiond: RetryAfterSec %d must be >= 1", c.RetryAfterSec)
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("sessiond: MaxBatch %d must be >= 1", c.MaxBatch)
+	}
+	if c.MeshCacheCap < 1 {
+		return fmt.Errorf("sessiond: MeshCacheCap %d must be >= 1", c.MeshCacheCap)
+	}
+	return nil
+}
+
+// params is the immutable per-session configuration fixed at open time.
+type params struct {
+	resources int
+	rmin      float64
+	seed      uint64
+	init      int
+}
+
+func (p params) validate() error {
+	if p.resources < 1 || p.resources > maxResources {
+		return fmt.Errorf("sessiond: resources %d out of [1,%d]", p.resources, maxResources)
+	}
+	if p.rmin < 0 || p.rmin >= 1 {
+		return fmt.Errorf("sessiond: rmin %v out of [0,1)", p.rmin)
+	}
+	if p.init < 1 || p.init > maxInitSamples {
+		return fmt.Errorf("sessiond: init %d out of [1,%d]", p.init, maxInitSamples)
+	}
+	return nil
+}
+
+// session is one client's server-side HBO state. The shard mutex guards its
+// membership and lastTouch; the session's own mutex serializes optimizer
+// and cache access, so a misbehaving client issuing concurrent calls for
+// one session cannot corrupt GP state.
+type session struct {
+	id string
+	p  params
+
+	// lastTouch is the logical LRU tick, written under the shard mutex.
+	lastTouch uint64
+
+	mu  sync.Mutex
+	opt *bo.Optimizer
+	// window is the activation window: the most recent rewards (−cost), a
+	// bounded ring surfaced through /session/statz.
+	window   []float64
+	suggests int
+	observes int
+	meshes   *meshCache
+}
+
+// Service is the session store plus its HTTP surface. Safe for concurrent
+// use once built; attach an observer before serving traffic.
+type Service struct {
+	cfg    Config
+	dec    Decimator
+	shards []*shard
+
+	closeOnce sync.Once
+
+	// Observability instruments; nil (no-op) unless SetObserver is called.
+	metOpens         *obs.Counter
+	metReopens       *obs.Counter
+	metCloses        *obs.Counter
+	metEvictions     *obs.Counter
+	metRejects       *obs.Counter
+	metUnknown       *obs.Counter
+	metSuggests      *obs.Counter
+	metObserves      *obs.Counter
+	metDecimates     *obs.Counter
+	metMeshHits      *obs.Counter
+	metMeshMisses    *obs.Counter
+	metBatches       *obs.Counter
+	metBatchSize     *obs.Histogram
+	metSessions      *obs.Gauge
+	metQueueHighTide *obs.Gauge
+}
+
+// batchSizeBuckets covers drain-pass sizes from singletons up to MaxBatch.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32}
+
+// New builds the service and starts one suggest worker per shard. dec may
+// be nil, which disables the /session/decimate route.
+func New(cfg Config, dec Decimator) (*Service, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Service{cfg: cfg, dec: dec, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		sh := &shard{
+			sessions: make(map[string]*session),
+			queue:    make(chan *suggestJob, cfg.QueueBound),
+		}
+		s.shards[i] = sh
+		go s.worker(sh)
+	}
+	return s, nil
+}
+
+// SetObserver attaches a metrics registry: open/close/eviction and
+// admission-rejection counters, suggest/observe/decimate traffic, batching
+// shape, and live session/queue gauges. Call before serving; passing nil
+// detaches.
+func (s *Service) SetObserver(reg *obs.Registry) {
+	s.metOpens = reg.Counter("sessiond.opens")
+	s.metReopens = reg.Counter("sessiond.reopens")
+	s.metCloses = reg.Counter("sessiond.closes")
+	s.metEvictions = reg.Counter("sessiond.evictions")
+	s.metRejects = reg.Counter("sessiond.admission_rejects")
+	s.metUnknown = reg.Counter("sessiond.unknown_session")
+	s.metSuggests = reg.Counter("sessiond.suggests")
+	s.metObserves = reg.Counter("sessiond.observes")
+	s.metDecimates = reg.Counter("sessiond.decimates")
+	s.metMeshHits = reg.Counter("sessiond.mesh_cache_hits")
+	s.metMeshMisses = reg.Counter("sessiond.mesh_cache_misses")
+	s.metBatches = reg.Counter("sessiond.batches")
+	s.metSessions = reg.Gauge("sessiond.sessions")
+	s.metQueueHighTide = reg.Gauge("sessiond.queue_high_tide")
+	if reg != nil {
+		s.metBatchSize = reg.Histogram("sessiond.batch_size", batchSizeBuckets)
+	} else {
+		s.metBatchSize = nil
+	}
+}
+
+// Close stops the shard workers. Call only after the HTTP server owning the
+// routes has fully shut down — a request arriving afterwards would enqueue
+// into a closed channel.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+	})
+}
+
+// newSession builds a fresh session for the given parameters.
+func (s *Service) newSession(id string, p params) (*session, error) {
+	dom := bo.Domain{N: p.resources, RMin: p.rmin}
+	boCfg := bo.DefaultConfig()
+	boCfg.InitSamples = p.init
+	opt, err := bo.NewOptimizer(dom, boCfg, sim.NewRNG(p.seed))
+	if err != nil {
+		return nil, err
+	}
+	return &session{
+		id:     id,
+		p:      p,
+		opt:    opt,
+		meshes: newMeshCache(s.cfg.MeshCacheCap),
+	}, nil
+}

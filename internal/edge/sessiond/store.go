@@ -1,0 +1,135 @@
+package sessiond
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// shard is one lock stripe of the session store: an independent mutex,
+// session map, logical touch clock, and suggest queue.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	// tick is the logical LRU clock: monotonically increasing per touching
+	// operation, with one shared tick per batch drain pass (so batch
+	// members tie and the ID rule below decides).
+	tick  uint64
+	queue chan *suggestJob
+}
+
+// shardFor maps a session ID onto its stripe (FNV-1a).
+func (s *Service) shardFor(id string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// open creates (or re-finds) a session. An existing session with identical
+// parameters is returned as-is — an idempotent open, so a client retrying a
+// lost open response cannot destroy its own GP history; changed parameters
+// rebuild the session from scratch. A full shard evicts its LRU victim
+// first. Returns whether the session already existed and the evicted
+// victim's ID ("" when none).
+func (s *Service) open(id string, p params) (sess *session, existing bool, evicted string, err error) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.sessions[id]; ok {
+		sh.tick++
+		cur.lastTouch = sh.tick
+		if cur.p == p {
+			return cur, true, "", nil
+		}
+		// Parameter change: replace in place (does not count against
+		// capacity, no eviction needed).
+		fresh, err := s.newSession(id, p)
+		if err != nil {
+			return nil, false, "", err
+		}
+		fresh.lastTouch = sh.tick
+		sh.sessions[id] = fresh
+		return fresh, false, "", nil
+	}
+	sess, err = s.newSession(id, p)
+	if err != nil {
+		return nil, false, "", err
+	}
+	if len(sh.sessions) >= s.cfg.SessionsPerShard {
+		evicted = sh.evictLRULocked()
+	}
+	sh.tick++
+	sess.lastTouch = sh.tick
+	sh.sessions[id] = sess
+	return sess, false, evicted, nil
+}
+
+// evictLRULocked removes and returns the shard's least-recently-used
+// session: the smallest lastTouch tick, ties broken by the
+// lexicographically smallest ID. Ties are real — every job served by one
+// batch drain pass shares a tick — and the ID rule keeps eviction a
+// deterministic function of the request sequence. Callers hold sh.mu.
+func (sh *shard) evictLRULocked() string {
+	var victim *session
+	for _, cand := range sh.sessions {
+		if victim == nil {
+			victim = cand
+			continue
+		}
+		if cand.lastTouch < victim.lastTouch ||
+			(cand.lastTouch == victim.lastTouch && cand.id < victim.id) {
+			victim = cand
+		}
+	}
+	if victim == nil {
+		return ""
+	}
+	delete(sh.sessions, victim.id)
+	return victim.id
+}
+
+// lookup finds a session and touches it (one fresh tick).
+func (s *Service) lookup(id string) (*session, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sess, ok := sh.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	sh.tick++
+	sess.lastTouch = sh.tick
+	return sess, true
+}
+
+// peek finds a session without touching it — enqueueing a suggest does not
+// count as use until the batch drain actually serves it.
+func (s *Service) peek(id string) (*session, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sess, ok := sh.sessions[id]
+	return sess, ok
+}
+
+// remove deletes a session; reports whether it existed.
+func (s *Service) remove(id string) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.sessions[id]; !ok {
+		return false
+	}
+	delete(sh.sessions, id)
+	return true
+}
+
+// sessionCount sums live sessions across shards.
+func (s *Service) sessionCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/mar-hbo/hbo/internal/obs"
+)
+
+// trajectoryFormat tags the golden-file layout so a future format change
+// fails the regression test loudly instead of diffing confusingly.
+const trajectoryFormat = "loadgen-trajectories-v1"
+
+// WriteTrajectories emits every per-session reward trajectory in a
+// byte-exact text format: sessions sorted by ID (the Report order), one
+// header line per session, then one line per sample carrying the IEEE-754
+// bits of time and reward in hex plus the in-activation/degraded flags.
+// Hex bits — not decimal formatting — make the golden regression test
+// sensitive to any drift in the float pipeline, down to the last ulp.
+func (r *Report) WriteTrajectories(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s scenario=%s seed=%016x sessions=%d\n",
+		trajectoryFormat, r.Scenario, r.Seed, len(r.Sessions))
+	for i := range r.Sessions {
+		s := &r.Sessions[i]
+		fmt.Fprintf(bw, "session %s seed=%016x samples=%d activations=%d err=%q\n",
+			s.ID, s.Seed, len(s.Samples), s.Activations, s.Err)
+		for _, smp := range s.Samples {
+			fmt.Fprintf(bw, "%016x %016x %d %d\n",
+				math.Float64bits(smp.TimeMS), math.Float64bits(smp.Reward),
+				boolBit(smp.InActivation), boolBit(smp.Degraded))
+		}
+	}
+	return bw.Flush()
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Summary renders the human-readable run digest the hboload CLI prints,
+// optionally folding in client-side latency quantiles from the observer
+// registry's suggest histogram.
+func (r *Report) Summary(reg *obs.Registry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d sessions, scenario %s, seed %d\n", len(r.Sessions), r.Scenario, r.Seed)
+	fmt.Fprintf(&b, "  failures:            %d\n", r.Failures)
+	fmt.Fprintf(&b, "  activations:         %d\n", r.TotalActivations)
+	fmt.Fprintf(&b, "  remote proposals:    %d\n", r.TotalRemote)
+	fmt.Fprintf(&b, "  fallback proposals:  %d\n", r.TotalFallback)
+	fmt.Fprintf(&b, "  degraded windows:    %d\n", r.TotalDegraded)
+	fmt.Fprintf(&b, "  session reopens:     %d\n", r.TotalReopens)
+	mean, worst := r.rewardSpread()
+	fmt.Fprintf(&b, "  mean reward B_t:     %.4f (worst session %.4f)\n", mean, worst)
+	if reg != nil {
+		snap := reg.Snapshot()
+		if h, ok := snap.Histograms["load.suggest_wall_ms"]; ok && h.Count > 0 {
+			fmt.Fprintf(&b, "  suggest latency ms:  p50<=%g p95<=%g p99<=%g (n=%d, mean %.2f)\n",
+				h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Count, h.Mean())
+		}
+	}
+	return b.String()
+}
+
+// rewardSpread returns the fleet-wide mean of per-session mean rewards and
+// the worst session's mean (0, 0 with no successful sessions).
+func (r *Report) rewardSpread() (mean, worst float64) {
+	n := 0
+	worst = math.Inf(1)
+	for i := range r.Sessions {
+		s := &r.Sessions[i]
+		if len(s.Samples) == 0 {
+			continue
+		}
+		mean += s.MeanReward
+		if s.MeanReward < worst {
+			worst = s.MeanReward
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return mean / float64(n), worst
+}
