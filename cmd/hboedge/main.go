@@ -12,9 +12,15 @@
 //	GET /debug/vars   expvar (includes the registry under "hbo")
 //	GET /debug/pprof  runtime profiles
 //
+// With -store-dir the session tier becomes durable: every session snapshot
+// lands in a checksummed append-only log, a SIGTERM drain flushes dirty
+// sessions, and a restart (even after SIGKILL) warm-restarts the sessions
+// the log committed.
+//
 // Usage:
 //
 //	hboedge -addr :8080
+//	hboedge -addr :8080 -store-dir /var/lib/hbo/sessions -fsync
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 
 	"github.com/mar-hbo/hbo/internal/edge"
 	"github.com/mar-hbo/hbo/internal/edge/sessiond"
+	"github.com/mar-hbo/hbo/internal/edge/sessiond/snapstore"
 	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/render"
 )
@@ -42,6 +49,9 @@ func main() {
 	shards := flag.Int("session-shards", 8, "session store lock stripes (and suggest workers)")
 	perShard := flag.Int("session-capacity", 64, "sessions per shard before LRU eviction")
 	queue := flag.Int("session-queue", 32, "pending suggests per shard before admission rejects")
+	storeDir := flag.String("store-dir", "", "durable session-store directory (empty disables durability)")
+	fsync := flag.Bool("fsync", false, "fsync the session store after every append (with -store-dir)")
+	snapEvery := flag.Int("snapshot-every", 1, "snapshot a session after this many mutations; 0 saves only on eviction and drain (with -store-dir)")
 	flag.Parse()
 	sessCfg := sessiond.DefaultConfig()
 	sessCfg.Shards = *shards
@@ -49,6 +59,20 @@ func main() {
 	sessCfg.QueueBound = *queue
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *storeDir != "" {
+		store, err := snapstore.Open(nil, *storeDir, snapstore.Options{Fsync: *fsync})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hboedge: opening session store: %v\n", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		sessCfg.Store = store
+		sessCfg.SnapshotEvery = *snapEvery
+		if rec := store.Recovery(); rec.Records > 0 || rec.CorruptSegments > 0 {
+			fmt.Printf("hboedge: session store recovered %d records from %d segments (%d corrupt, %d torn-tail bytes truncated)\n",
+				rec.Records, rec.Segments, rec.CorruptSegments, rec.TornTailBytes)
+		}
+	}
 	if err := run(ctx, *addr, *drain, sessCfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hboedge: %v\n", err)
 		os.Exit(1)
@@ -115,7 +139,9 @@ func run(ctx context.Context, addr string, drain time.Duration, sessCfg sessiond
 		return err
 	}
 	// All connections are drained; now it is safe to stop the suggest
-	// workers.
+	// workers and flush every dirty session to the store (a no-op without
+	// one) so the next start warm-restarts from exactly this state.
 	sess.Close()
+	sess.Flush()
 	return nil
 }

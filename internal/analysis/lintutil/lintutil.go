@@ -35,6 +35,7 @@ var DeterminismCritical = map[string]bool{
 	"scenario":    true,
 	"experiments": true,
 	"sessiond":    true,
+	"snapstore":   true,
 	"loadgen":     true,
 }
 

@@ -1,0 +1,170 @@
+package bo
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// stateTestCost is an arbitrary smooth deterministic objective.
+func stateTestCost(p []float64) float64 {
+	c := 0.0
+	for i, v := range p {
+		c += v * float64(i+1) * 0.1
+	}
+	return math.Sin(c*7) + c
+}
+
+// drive advances an optimizer through k suggest+observe rounds.
+func drive(t *testing.T, o *Optimizer, k int) {
+	t.Helper()
+	for i := 0; i < k; i++ {
+		p, err := o.Next()
+		if err != nil {
+			t.Fatalf("next %d: %v", i, err)
+		}
+		if err := o.Observe(p, stateTestCost(p)); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+}
+
+// samePoints compares two suggestions bit for bit.
+func samePoints(t *testing.T, tag string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: dim %d vs %d", tag, len(got), len(want))
+	}
+	for d := range want {
+		if math.Float64bits(got[d]) != math.Float64bits(want[d]) {
+			t.Fatalf("%s: dim %d got %x want %x",
+				tag, d, math.Float64bits(got[d]), math.Float64bits(want[d]))
+		}
+	}
+}
+
+// TestExportImportBitIdentity is the core durability contract: exporting an
+// optimizer at any point of its life and rebuilding it from the state must
+// continue the exact suggestion stream the original would have produced —
+// through the init phase, right after init, and deep into GP-driven search.
+func TestExportImportBitIdentity(t *testing.T) {
+	dom := Domain{N: 3, RMin: 0.1}
+	cfg := DefaultConfig()
+	cfg.Candidates = 128
+	cfg.RefineSteps = 10
+	for _, rounds := range []int{0, 2, 5, 9, 17} {
+		live, err := NewOptimizer(dom, cfg, sim.NewRNG(42))
+		if err != nil {
+			t.Fatalf("optimizer: %v", err)
+		}
+		drive(t, live, rounds)
+		st := live.ExportState()
+
+		restored, err := NewOptimizerFromState(dom, cfg, st)
+		if err != nil {
+			t.Fatalf("rounds=%d: restore: %v", rounds, err)
+		}
+		// Continue both for several more rounds; every suggestion must agree
+		// bit for bit (the restored factor extends incrementally exactly as
+		// the live one does).
+		for k := 0; k < 4; k++ {
+			wp, err := live.Next()
+			if err != nil {
+				t.Fatalf("live next: %v", err)
+			}
+			gp, err := restored.Next()
+			if err != nil {
+				t.Fatalf("restored next: %v", err)
+			}
+			samePoints(t, "after restore", gp, wp)
+			c := stateTestCost(wp)
+			if err := live.Observe(wp, c); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Observe(gp, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestExportAfterSuggestBeforeObserve pins the mid-cycle case the session
+// tier hits constantly: state exported between a suggest and its observe
+// (RNG already advanced) must resume bit-identically.
+func TestExportAfterSuggestBeforeObserve(t *testing.T) {
+	dom := Domain{N: 2, RMin: 0.2}
+	cfg := DefaultConfig()
+	cfg.Candidates = 64
+	cfg.RefineSteps = 5
+	live, err := NewOptimizer(dom, cfg, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, live, 7)
+	if _, err := live.Next(); err != nil { // dangling suggest: RNG moved, no observe yet
+		t.Fatal(err)
+	}
+	restored, err := NewOptimizerFromState(dom, cfg, live.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := live.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := restored.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePoints(t, "dangling suggest", gp, wp)
+}
+
+// TestImportValidation exercises the defensive checks against states that
+// crossed a disk boundary and rotted.
+func TestImportValidation(t *testing.T) {
+	dom := Domain{N: 2, RMin: 0.1}
+	cfg := DefaultConfig()
+	cfg.Candidates = 32
+	cfg.RefineSteps = 2
+	base, err := NewOptimizer(dom, cfg, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, base, 8)
+	good := base.ExportState()
+	if good.GPRows == 0 {
+		t.Fatal("expected an exported factor after 8 rounds")
+	}
+
+	mutations := []struct {
+		name string
+		mut  func(st *OptimizerState)
+	}{
+		{"nil state is rejected via nil pointer", nil},
+		{"length mismatch", func(st *OptimizerState) { st.Y = st.Y[:len(st.Y)-1] }},
+		{"point outside domain", func(st *OptimizerState) { st.X[0][0] = 9 }},
+		{"non-finite cost", func(st *OptimizerState) { st.Y[0] = math.NaN() }},
+		{"factor rows beyond database", func(st *OptimizerState) { st.GPRows = len(st.X) + 1 }},
+		{"factor length mismatch", func(st *OptimizerState) { st.GPFactor = st.GPFactor[:len(st.GPFactor)-1] }},
+		{"non-positive diagonal", func(st *OptimizerState) { st.GPFactor[0] = 0 }},
+		{"NaN diagonal", func(st *OptimizerState) { st.GPFactor[0] = math.NaN() }},
+		{"bad length scale", func(st *OptimizerState) { st.GPLengthScale = -1 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			if m.mut == nil {
+				if _, err := NewOptimizerFromState(dom, cfg, nil); err == nil {
+					t.Fatal("nil state accepted")
+				}
+				return
+			}
+			// Re-export so each mutation starts from a pristine deep copy.
+			st := base.ExportState()
+			m.mut(st)
+			if _, err := NewOptimizerFromState(dom, cfg, st); err == nil {
+				t.Fatal("corrupt state accepted")
+			}
+		})
+	}
+}

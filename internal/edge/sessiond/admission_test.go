@@ -45,7 +45,7 @@ func TestAdmissionQueueBound(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			svc := stalledService(t, tc.bound, 1)
-			sess, _, _, err := svc.open("a", testParams(1))
+			sess, _, err := svc.open("a", testParams(1))
 			if err != nil {
 				t.Fatalf("open: %v", err)
 			}
@@ -78,7 +78,7 @@ func fillQueue(t *testing.T, svc *Service, sess *session) {
 func TestAdmissionRejectHTTP(t *testing.T) {
 	const retryAfterSec = 3
 	svc := stalledService(t, 2, retryAfterSec)
-	sess, _, _, err := svc.open("a", testParams(1))
+	sess, _, err := svc.open("a", testParams(1))
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
@@ -110,7 +110,7 @@ func TestAdmissionRejectHTTP(t *testing.T) {
 func TestClientHonorsRetryAfter(t *testing.T) {
 	const retryAfterSec = 2
 	svc := stalledService(t, 1, retryAfterSec)
-	sess, _, _, err := svc.open("a", testParams(1))
+	sess, _, err := svc.open("a", testParams(1))
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
@@ -151,7 +151,7 @@ func TestClientHonorsRetryAfter(t *testing.T) {
 // ErrUnavailable without reaching the server.
 func TestBreakerOpensOnSustainedRejects(t *testing.T) {
 	svc := stalledService(t, 1, 1)
-	sess, _, _, err := svc.open("a", testParams(1))
+	sess, _, err := svc.open("a", testParams(1))
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}

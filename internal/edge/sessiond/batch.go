@@ -79,26 +79,36 @@ func suggestOne(sess *session) suggestResult {
 		return suggestResult{err: fmt.Errorf("sessiond: suggest for %s: %w", sess.id, err)}
 	}
 	sess.suggests++
+	sess.dirty++ // the suggest advanced the RNG: the stored snapshot is stale
 	return suggestResult{point: point, observations: sess.opt.Observations()}
 }
 
 // observe records one (point, cost) pair into the session's GP history and
-// activation window.
-func (sess *session) observe(point []float64, cost float64) (int, error) {
+// activation window, returning the database size and the session's mutation
+// count since its last snapshot (the periodic-snapshot trigger input).
+func (sess *session) observe(point []float64, cost float64) (int, int, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.opt.Observations() >= maxSessionObservations {
-		return 0, fmt.Errorf("sessiond: session %s at the %d-observation limit", sess.id, maxSessionObservations)
+		return 0, 0, fmt.Errorf("sessiond: session %s at the %d-observation limit", sess.id, maxSessionObservations)
 	}
 	if err := sess.opt.Observe(point, cost); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	sess.observes++
+	sess.dirty++
 	sess.window = append(sess.window, -cost)
 	if len(sess.window) > windowCap {
 		sess.window = sess.window[len(sess.window)-windowCap:]
 	}
-	return sess.opt.Observations(), nil
+	return sess.opt.Observations(), sess.dirty, nil
+}
+
+// observations reads the session's current database size.
+func (sess *session) observations() int {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.opt.Observations()
 }
 
 // windowStats summarizes the activation window: sample count and the mean

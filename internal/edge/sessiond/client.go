@@ -24,7 +24,8 @@ type Client struct {
 	id string
 	p  params
 
-	reopens int
+	reopens  int
+	restores int
 
 	// Observability instruments; nil (no-op) unless SetObserver is called.
 	metSuggestMS *obs.Histogram
@@ -69,18 +70,26 @@ func (c *Client) ID() string { return c.id }
 // evictions.
 func (c *Client) Reopens() int { return c.reopens }
 
+// Restores counts how many of this client's opens the server satisfied from
+// a durable snapshot (O(m) restore) instead of a fresh session (full
+// replay). Always zero against a server without a session store.
+func (c *Client) Restores() int { return c.restores }
+
 // Available reports whether the underlying link would currently attempt
 // work (circuit not open).
 func (c *Client) Available() bool { return c.ec.Available() }
 
-// Open creates (or idempotently re-finds) the server-side session.
-func (c *Client) Open(ctx context.Context) (existing bool, err error) {
+// Open creates (or idempotently re-finds) the server-side session. The
+// response says whether the session was already live, was restored from a
+// durable snapshot, and how many observations the server already holds —
+// the caller's cue to replay only the unseen tail of its history.
+func (c *Client) Open(ctx context.Context) (OpenResponse, error) {
 	var resp OpenResponse
 	req := OpenRequest{ID: c.id, Resources: c.p.resources, RMin: c.p.rmin, Seed: c.p.seed, Init: c.p.init}
 	if err := c.ec.PostJSON(ctx, "/session/open", req, &resp); err != nil {
-		return false, err
+		return OpenResponse{}, err
 	}
-	return resp.Existing, nil
+	return resp, nil
 }
 
 // Suggest returns the session's next configuration to evaluate.
@@ -143,8 +152,11 @@ func evicted(err error) bool {
 // the full observation history every call, and the backend ships only the
 // tail the server has not seen yet before asking for the next suggestion.
 // When the server evicted the session mid-run, the backend transparently
-// re-admits: re-open, replay the full history (the session seed makes the
-// rebuilt optimizer deterministic), and retry the suggestion once.
+// re-admits: re-open, sync histories, and retry the suggestion once. With a
+// durable store behind the server the re-open restores from snapshot, so
+// the sync ships only the observations the snapshot missed — O(m) instead
+// of the full O(n) replay, which remains the corrupt/missing-snapshot
+// fallback (the session seed makes the rebuilt optimizer deterministic).
 type Backend struct {
 	c   *Client
 	ctx context.Context
@@ -169,11 +181,20 @@ func (b *Backend) BONextPoint(resources int, rmin float64, seed uint64, points [
 			b.c.p.resources, b.c.p.rmin, resources, rmin)
 	}
 	if !b.opened {
-		if _, err := b.c.Open(b.ctx); err != nil {
+		resp, err := b.c.Open(b.ctx)
+		if err != nil {
 			return nil, err
 		}
+		if resp.Observations > len(points) {
+			return nil, fmt.Errorf("sessiond: server session holds %d observations, client only %d", resp.Observations, len(points))
+		}
+		if resp.Restored {
+			b.c.restores++
+		}
 		b.opened = true
-		b.sent = 0
+		// A warm-restarted (or still-live) server session already holds a
+		// prefix of our history; only the tail needs shipping.
+		b.sent = resp.Observations
 	}
 	for b.sent < len(points) {
 		if err := b.c.Observe(b.ctx, points[b.sent], costs[b.sent]); err != nil {
@@ -198,17 +219,27 @@ func (b *Backend) BONextPoint(resources int, rmin float64, seed uint64, points [
 // link's circuit is open.
 func (b *Backend) Available() bool { return b.c.Available() }
 
-// readmit re-opens an evicted session and replays the full observation
-// history before retrying the suggestion. No second-chance recursion: a
-// re-eviction inside the replay fails the call, and core's local fallback
-// takes over for this iteration.
+// readmit re-opens an evicted session and syncs the observation history
+// before retrying the suggestion. When the re-open restored a snapshot the
+// server already holds the first resp.Observations points, so only the tail
+// is shipped; a missing or corrupt snapshot reports zero observations and
+// degrades to the full-history replay this method has always been. No
+// second-chance recursion: a re-eviction inside the sync fails the call,
+// and core's local fallback takes over for this iteration.
 func (b *Backend) readmit(points [][]float64, costs []float64) ([]float64, error) {
-	if _, err := b.c.Open(b.ctx); err != nil {
+	resp, err := b.c.Open(b.ctx)
+	if err != nil {
 		return nil, err
+	}
+	if resp.Observations > len(points) {
+		return nil, fmt.Errorf("sessiond: restored session holds %d observations, client only %d", resp.Observations, len(points))
+	}
+	if resp.Restored {
+		b.c.restores++
 	}
 	b.c.reopens++
 	b.c.metReopens.Inc()
-	for i := range points {
+	for i := resp.Observations; i < len(points); i++ {
 		if err := b.c.Observe(b.ctx, points[i], costs[i]); err != nil {
 			return nil, fmt.Errorf("sessiond: replaying history after eviction: %w", err)
 		}

@@ -29,12 +29,17 @@ type OpenRequest struct {
 }
 
 // OpenResponse reports the open outcome. Existing means the session was
-// already live with identical parameters and was kept as-is; Evicted names
-// the LRU victim this open displaced ("" when the shard had room).
+// already live with identical parameters and was kept as-is; Restored means
+// it was re-hydrated from a durable snapshot; Evicted names the LRU victim
+// this open displaced ("" when the shard had room). Observations is the
+// session's current database size — after a restore, the client replays
+// only the history past this point instead of all of it.
 type OpenResponse struct {
-	ID       string `json:"id"`
-	Existing bool   `json:"existing,omitempty"`
-	Evicted  string `json:"evicted,omitempty"`
+	ID           string `json:"id"`
+	Existing     bool   `json:"existing,omitempty"`
+	Restored     bool   `json:"restored,omitempty"`
+	Evicted      string `json:"evicted,omitempty"`
+	Observations int    `json:"observations"`
 }
 
 // SuggestRequest asks for the session's next configuration.
@@ -95,10 +100,12 @@ type ShardStats struct {
 	QueueDepth int `json:"queue_depth"`
 }
 
-// StatsResponse is the /session/statz payload.
+// StatsResponse is the /session/statz payload. Durability is present only
+// when a session store is configured.
 type StatsResponse struct {
-	Sessions int          `json:"sessions"`
-	Shards   []ShardStats `json:"shards"`
+	Sessions   int              `json:"sessions"`
+	Shards     []ShardStats     `json:"shards"`
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // Register mounts the session routes on mux. Every POST handler runs behind
@@ -171,21 +178,27 @@ func (s *Service) handleOpen(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	_, existing, evicted, err := s.open(req.ID, p)
+	sess, res, err := s.open(req.ID, p)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if existing {
+	if res.existing {
 		s.metReopens.Inc()
 	} else {
 		s.metOpens.Inc()
 	}
-	if evicted != "" {
+	if res.evicted != "" {
 		s.metEvictions.Inc()
 	}
 	s.metSessions.Set(float64(s.sessionCount()))
-	writeJSON(w, OpenResponse{ID: req.ID, Existing: existing, Evicted: evicted})
+	writeJSON(w, OpenResponse{
+		ID:           req.ID,
+		Existing:     res.existing,
+		Restored:     res.restored,
+		Evicted:      res.evicted,
+		Observations: sess.observations(),
+	})
 }
 
 func (s *Service) handleSuggest(w http.ResponseWriter, r *http.Request) {
@@ -236,12 +249,15 @@ func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("sessiond: non-finite cost %v", req.Cost), http.StatusUnprocessableEntity)
 		return
 	}
-	n, err := sess.observe(req.Point, req.Cost)
+	n, dirty, err := sess.observe(req.Point, req.Cost)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	s.metObserves.Inc()
+	if s.cfg.SnapshotEvery > 0 && dirty >= s.cfg.SnapshotEvery {
+		s.saveSession(sess)
+	}
 	writeJSON(w, ObserveResponse{Observations: n})
 }
 
@@ -305,6 +321,10 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		sh.mu.Unlock()
 		resp.Shards[i] = ShardStats{Sessions: n, QueueDepth: len(sh.queue)}
 		resp.Sessions += n
+	}
+	if s.cfg.Store != nil {
+		d := s.Durability()
+		resp.Durability = &d
 	}
 	writeJSON(w, resp)
 }

@@ -40,12 +40,16 @@ func newMeshCache(capacity int) *meshCache {
 	return &meshCache{cap: capacity, entries: make(map[meshKey]*list.Element), lru: list.New()}
 }
 
-// get returns the cached mesh for key, or nil.
+// get returns the cached mesh for key, or nil. A manifest placeholder
+// (entry present, mesh nil) counts as a miss: the variant's identity
+// survived a snapshot but its geometry did not, so it must be re-decimated.
 func (c *meshCache) get(key meshKey) *mesh.Mesh {
 	if el, ok := c.entries[key]; ok {
-		c.hits++
-		c.lru.MoveToFront(el)
-		return el.Value.(*meshEntry).m
+		if m := el.Value.(*meshEntry).m; m != nil {
+			c.hits++
+			c.lru.MoveToFront(el)
+			return m
+		}
 	}
 	c.misses++
 	return nil
@@ -63,6 +67,35 @@ func (c *meshCache) put(key meshKey, m *mesh.Mesh) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*meshEntry).key)
+	}
+}
+
+// manifest lists the cached variant identities oldest-first — the order
+// restoreManifest replays them to reproduce the LRU ordering exactly.
+func (c *meshCache) manifest() []meshKey {
+	keys := make([]meshKey, 0, c.lru.Len())
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		keys = append(keys, el.Value.(*meshEntry).key)
+	}
+	return keys
+}
+
+// restoreManifest installs placeholder entries (identity without geometry)
+// for a snapshot's manifest, preserving LRU order. Meshes are deliberately
+// not persisted — they are pure functions of (object, ratio, fast) and far
+// larger than the rest of the snapshot — so a restored session re-decimates
+// on first touch and the placeholder keeps its LRU slot honest meanwhile.
+func (c *meshCache) restoreManifest(keys []meshKey) {
+	for _, k := range keys {
+		if _, ok := c.entries[k]; ok {
+			continue
+		}
+		c.entries[k] = c.lru.PushFront(&meshEntry{key: k})
+		for c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*meshEntry).key)
+		}
 	}
 }
 

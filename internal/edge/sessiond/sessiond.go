@@ -36,6 +36,7 @@ package sessiond
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/mar-hbo/hbo/internal/bo"
 	"github.com/mar-hbo/hbo/internal/mesh"
@@ -81,6 +82,18 @@ type Config struct {
 	MaxBatch int
 	// MeshCacheCap caps each session's decimated-mesh cache (entries).
 	MeshCacheCap int
+	// Store, when non-nil, persists session snapshots: eviction saves
+	// instead of dropping state, open restores from snapshot in O(m) (full
+	// replay remains the corrupt/missing fallback), and New performs a warm
+	// restart from whatever the store holds. The caller owns the store's
+	// lifecycle (Close); a nil Store reproduces the pre-durability behavior
+	// exactly.
+	Store SessionStore
+	// SnapshotEvery additionally snapshots a session after this many
+	// mutations since its last save (observations and served suggests both
+	// count). Zero snapshots only on eviction and drain — cheapest, but a
+	// crash loses everything since the last eviction.
+	SnapshotEvery int
 }
 
 // DefaultConfig returns production-shaped defaults: 8 shards of up to 64
@@ -115,6 +128,12 @@ func (c Config) validate() error {
 	}
 	if c.MeshCacheCap < 1 {
 		return fmt.Errorf("sessiond: MeshCacheCap %d must be >= 1", c.MeshCacheCap)
+	}
+	if c.SnapshotEvery < 0 {
+		return fmt.Errorf("sessiond: SnapshotEvery %d must be >= 0", c.SnapshotEvery)
+	}
+	if c.SnapshotEvery > 0 && c.Store == nil {
+		return fmt.Errorf("sessiond: SnapshotEvery set without a Store")
 	}
 	return nil
 }
@@ -159,6 +178,10 @@ type session struct {
 	suggests int
 	observes int
 	meshes   *meshCache
+	// dirty counts mutations (observations and served suggests — both move
+	// optimizer state) since the last snapshot save; zero means the store
+	// already holds this session's exact state.
+	dirty int
 }
 
 // Service is the session store plus its HTTP surface. Safe for concurrent
@@ -186,24 +209,47 @@ type Service struct {
 	metBatchSize     *obs.Histogram
 	metSessions      *obs.Gauge
 	metQueueHighTide *obs.Gauge
+	metSnapSaves     *obs.Counter
+	metSnapSaveErrs  *obs.Counter
+	metSnapRestores  *obs.Counter
+	metSnapCorrupt   *obs.Counter
+	metSnapSaveMS    *obs.Histogram
+	metSnapRestoreMS *obs.Histogram
+	metStoreBytes    *obs.Gauge
+
+	// Durability counters kept as plain atomics so /session/statz is
+	// correct without any registry attached.
+	durSaves    atomic.Uint64
+	durSaveErrs atomic.Uint64
+	durRestores atomic.Uint64
+	durCorrupt  atomic.Uint64
 }
 
 // batchSizeBuckets covers drain-pass sizes from singletons up to MaxBatch.
 var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32}
 
 // New builds the service and starts one suggest worker per shard. dec may
-// be nil, which disables the /session/decimate route.
+// be nil, which disables the /session/decimate route. With a Store
+// configured, New performs a warm restart first: every stored snapshot is
+// re-hydrated into its shard (up to capacity; the rest restore lazily on
+// open), so a restarted process serves its old sessions bit-identically.
 func New(cfg Config, dec Decimator) (*Service, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	s := &Service{cfg: cfg, dec: dec, shards: make([]*shard, cfg.Shards)}
 	for i := range s.shards {
-		sh := &shard{
+		s.shards[i] = &shard{
 			sessions: make(map[string]*session),
 			queue:    make(chan *suggestJob, cfg.QueueBound),
 		}
-		s.shards[i] = sh
+	}
+	if cfg.Store != nil {
+		if err := s.warmRestart(); err != nil {
+			return nil, err
+		}
+	}
+	for _, sh := range s.shards {
 		go s.worker(sh)
 	}
 	return s, nil
@@ -228,10 +274,19 @@ func (s *Service) SetObserver(reg *obs.Registry) {
 	s.metBatches = reg.Counter("sessiond.batches")
 	s.metSessions = reg.Gauge("sessiond.sessions")
 	s.metQueueHighTide = reg.Gauge("sessiond.queue_high_tide")
+	s.metSnapSaves = reg.Counter("sessiond.snapshot_saves")
+	s.metSnapSaveErrs = reg.Counter("sessiond.snapshot_save_errors")
+	s.metSnapRestores = reg.Counter("sessiond.snapshot_restores")
+	s.metSnapCorrupt = reg.Counter("sessiond.snapshot_corrupt")
+	s.metStoreBytes = reg.Gauge("sessiond.store_bytes")
 	if reg != nil {
 		s.metBatchSize = reg.Histogram("sessiond.batch_size", batchSizeBuckets)
+		s.metSnapSaveMS = reg.Histogram("sessiond.snapshot_save_ms", obs.LatencyBucketsMS)
+		s.metSnapRestoreMS = reg.Histogram("sessiond.snapshot_restore_ms", obs.LatencyBucketsMS)
 	} else {
 		s.metBatchSize = nil
+		s.metSnapSaveMS = nil
+		s.metSnapRestoreMS = nil
 	}
 }
 
@@ -246,12 +301,20 @@ func (s *Service) Close() {
 	})
 }
 
+// boConfig is the single source of truth for how a session's parameters map
+// onto an optimizer configuration. Live creation (newSession) and snapshot
+// restore must agree exactly, or a restored optimizer would diverge from the
+// one that was exported.
+func boConfig(p params) bo.Config {
+	cfg := bo.DefaultConfig()
+	cfg.InitSamples = p.init
+	return cfg
+}
+
 // newSession builds a fresh session for the given parameters.
 func (s *Service) newSession(id string, p params) (*session, error) {
 	dom := bo.Domain{N: p.resources, RMin: p.rmin}
-	boCfg := bo.DefaultConfig()
-	boCfg.InitSamples = p.init
-	opt, err := bo.NewOptimizer(dom, boCfg, sim.NewRNG(p.seed))
+	opt, err := bo.NewOptimizer(dom, boConfig(p), sim.NewRNG(p.seed))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,62 @@
+// Package snapstore provides durable storage for sessiond's checksummed
+// session snapshots: a trivial in-memory store and an append-only segmented
+// file store with write-ahead appends, a configurable fsync policy, segment
+// rotation, background compaction, and a recovery scan that tolerates torn
+// or corrupt tails instead of failing the boot.
+//
+// The package speaks opaque blobs — the snapshot codec lives in sessiond —
+// so the store's own framing (per-record CRC, length caps) is the only
+// integrity layer that matters here; snapshot-level checksums are defense
+// in depth on top.
+package snapstore
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the small filesystem surface the file store needs. Production uses
+// OSFS; tests substitute a fault-injecting implementation (internal/faults)
+// to rehearse torn writes, short reads, bit rot, and fsync failures on a
+// deterministic schedule.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory (sorted by filename, like os.ReadDir).
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// MkdirAll creates a directory tree.
+	MkdirAll(name string, perm fs.FileMode) error
+	// Truncate cuts the named file to size bytes (tail repair on recovery).
+	Truncate(name string, size int64) error
+}
+
+// File is the per-file surface: append writes, random reads, durability.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+}
+
+// OSFS is the production FS backed by the real filesystem.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		// Return an untyped nil so callers can test `file == nil` without
+		// the classic non-nil-interface-around-nil-pointer trap.
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Remove(name string) error                   { return os.Remove(name) }
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (OSFS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+func (OSFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }

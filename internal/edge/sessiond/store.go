@@ -24,13 +24,23 @@ func (s *Service) shardFor(id string) *shard {
 	return s.shards[int(h.Sum32())%len(s.shards)]
 }
 
+// openResult reports what the open-path state machine did.
+type openResult struct {
+	existing bool   // session was live with identical parameters, kept as-is
+	restored bool   // session was re-hydrated from a snapshot
+	evicted  string // LRU victim this open displaced ("" when none)
+}
+
 // open creates (or re-finds) a session. An existing session with identical
 // parameters is returned as-is — an idempotent open, so a client retrying a
 // lost open response cannot destroy its own GP history; changed parameters
-// rebuild the session from scratch. A full shard evicts its LRU victim
-// first. Returns whether the session already existed and the evicted
-// victim's ID ("" when none).
-func (s *Service) open(id string, p params) (sess *session, existing bool, evicted string, err error) {
+// rebuild the session from scratch. A session absent from memory but
+// present in the store is restored from its snapshot in O(m) — the replay
+// path is needed only when the snapshot is missing or corrupt. A full shard
+// evicts its LRU victim first; with a store configured the victim's state
+// is snapshotted instead of dropped, so eviction demotes a session to disk
+// rather than destroying it.
+func (s *Service) open(id string, p params) (sess *session, res openResult, err error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -38,29 +48,47 @@ func (s *Service) open(id string, p params) (sess *session, existing bool, evict
 		sh.tick++
 		cur.lastTouch = sh.tick
 		if cur.p == p {
-			return cur, true, "", nil
+			return cur, openResult{existing: true}, nil
 		}
 		// Parameter change: replace in place (does not count against
-		// capacity, no eviction needed).
+		// capacity, no eviction needed). Any stored snapshot describes the
+		// old parameters and will never be wanted again.
+		if s.cfg.Store != nil {
+			_ = s.cfg.Store.Delete(id)
+		}
 		fresh, err := s.newSession(id, p)
 		if err != nil {
-			return nil, false, "", err
+			return nil, openResult{}, err
 		}
 		fresh.lastTouch = sh.tick
 		sh.sessions[id] = fresh
-		return fresh, false, "", nil
+		return fresh, openResult{}, nil
 	}
-	sess, err = s.newSession(id, p)
-	if err != nil {
-		return nil, false, "", err
+	if restored, ok := s.loadSession(id); ok {
+		if restored.p == p {
+			sess, res.restored = restored, true
+		} else {
+			// Stale snapshot for different parameters: discard it.
+			_ = s.cfg.Store.Delete(id)
+		}
+	}
+	if sess == nil {
+		sess, err = s.newSession(id, p)
+		if err != nil {
+			return nil, openResult{}, err
+		}
 	}
 	if len(sh.sessions) >= s.cfg.SessionsPerShard {
-		evicted = sh.evictLRULocked()
+		if victim := sh.evictLRULocked(); victim != nil {
+			res.evicted = victim.id
+			// Demote, don't destroy: the victim's next open restores it.
+			s.saveSession(victim)
+		}
 	}
 	sh.tick++
 	sess.lastTouch = sh.tick
 	sh.sessions[id] = sess
-	return sess, false, evicted, nil
+	return sess, res, nil
 }
 
 // evictLRULocked removes and returns the shard's least-recently-used
@@ -68,7 +96,7 @@ func (s *Service) open(id string, p params) (sess *session, existing bool, evict
 // lexicographically smallest ID. Ties are real — every job served by one
 // batch drain pass shares a tick — and the ID rule keeps eviction a
 // deterministic function of the request sequence. Callers hold sh.mu.
-func (sh *shard) evictLRULocked() string {
+func (sh *shard) evictLRULocked() *session {
 	var victim *session
 	for _, cand := range sh.sessions {
 		if victim == nil {
@@ -81,10 +109,10 @@ func (sh *shard) evictLRULocked() string {
 		}
 	}
 	if victim == nil {
-		return ""
+		return nil
 	}
 	delete(sh.sessions, victim.id)
-	return victim.id
+	return victim
 }
 
 // lookup finds a session and touches it (one fresh tick).
@@ -111,16 +139,22 @@ func (s *Service) peek(id string) (*session, bool) {
 	return sess, ok
 }
 
-// remove deletes a session; reports whether it existed.
+// remove deletes a session; reports whether it existed in memory or in the
+// store. An explicit close is the one path that destroys durable state —
+// the client said it is done, so the snapshot goes too.
 func (s *Service) remove(id string) bool {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, ok := sh.sessions[id]; !ok {
-		return false
-	}
+	_, ok := sh.sessions[id]
 	delete(sh.sessions, id)
-	return true
+	if s.cfg.Store != nil {
+		if _, stored, _ := s.cfg.Store.Get(id); stored {
+			ok = true
+			_ = s.cfg.Store.Delete(id)
+		}
+	}
+	return ok
 }
 
 // sessionCount sums live sessions across shards.

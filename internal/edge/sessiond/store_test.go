@@ -32,7 +32,11 @@ func TestEvictLRUOrdering(t *testing.T) {
 			for id, tick := range tc.touches {
 				sh.sessions[id] = &session{id: id, lastTouch: tick}
 			}
-			got := sh.evictLRULocked()
+			victim := sh.evictLRULocked()
+			got := ""
+			if victim != nil {
+				got = victim.id
+			}
 			if got != tc.want {
 				t.Fatalf("evictLRULocked() = %q, want %q", got, tc.want)
 			}
@@ -62,22 +66,22 @@ func TestOpenSemantics(t *testing.T) {
 	}
 	defer svc.Close()
 
-	a1, existing, evicted, err := svc.open("a", testParams(1))
-	if err != nil || existing || evicted != "" {
-		t.Fatalf("first open = (existing=%v evicted=%q err=%v), want fresh", existing, evicted, err)
+	a1, res, err := svc.open("a", testParams(1))
+	if err != nil || res.existing || res.evicted != "" {
+		t.Fatalf("first open = (%+v err=%v), want fresh", res, err)
 	}
 	// Identical parameters: idempotent, same session object.
-	a2, existing, _, err := svc.open("a", testParams(1))
-	if err != nil || !existing {
-		t.Fatalf("idempotent open = (existing=%v err=%v), want existing", existing, err)
+	a2, res, err := svc.open("a", testParams(1))
+	if err != nil || !res.existing {
+		t.Fatalf("idempotent open = (%+v err=%v), want existing", res, err)
 	}
 	if a1 != a2 {
 		t.Fatal("idempotent open returned a different session object")
 	}
 	// Changed parameters: rebuilt in place, still one session.
-	a3, existing, evicted, err := svc.open("a", testParams(99))
-	if err != nil || existing || evicted != "" {
-		t.Fatalf("rebuild open = (existing=%v evicted=%q err=%v), want fresh rebuild", existing, evicted, err)
+	a3, res, err := svc.open("a", testParams(99))
+	if err != nil || res.existing || res.evicted != "" {
+		t.Fatalf("rebuild open = (%+v err=%v), want fresh rebuild", res, err)
 	}
 	if a3 == a1 {
 		t.Fatal("parameter change did not rebuild the session")
@@ -87,15 +91,15 @@ func TestOpenSemantics(t *testing.T) {
 	}
 	// Fill to capacity, then overflow: the LRU victim is a (touched at tick
 	// 3 by the rebuild) versus b (tick 4).
-	if _, _, _, err := svc.open("b", testParams(2)); err != nil {
+	if _, _, err := svc.open("b", testParams(2)); err != nil {
 		t.Fatalf("open b: %v", err)
 	}
-	_, _, evicted, err = svc.open("c", testParams(3))
+	_, res, err = svc.open("c", testParams(3))
 	if err != nil {
 		t.Fatalf("open c: %v", err)
 	}
-	if evicted != "a" {
-		t.Fatalf("overflow evicted %q, want %q", evicted, "a")
+	if res.evicted != "a" {
+		t.Fatalf("overflow evicted %q, want %q", res.evicted, "a")
 	}
 	if svc.sessionCount() != 2 {
 		t.Fatalf("sessionCount = %d after eviction, want 2", svc.sessionCount())

@@ -145,8 +145,11 @@ type SessionResult struct {
 	// recovered locally after a remote failure.
 	Remote   int `json:"remote_proposals"`
 	Fallback int `json:"fallback_proposals"`
-	// Reopens counts transparent re-admissions after server-side evictions.
-	Reopens int `json:"reopens"`
+	// Reopens counts transparent re-admissions after server-side evictions;
+	// Restores counts the opens the server satisfied from a durable snapshot
+	// (always zero against a server without a session store).
+	Reopens  int `json:"reopens"`
+	Restores int `json:"restores"`
 	// MeanReward and FinalReward summarize the trajectory.
 	MeanReward  float64 `json:"mean_reward"`
 	FinalReward float64 `json:"final_reward"`
@@ -161,6 +164,7 @@ type Report struct {
 	Failures         int             `json:"failures"`
 	TotalActivations int             `json:"total_activations"`
 	TotalReopens     int             `json:"total_reopens"`
+	TotalRestores    int             `json:"total_restores"`
 	TotalDegraded    int             `json:"total_degraded_windows"`
 	TotalRemote      int             `json:"total_remote_proposals"`
 	TotalFallback    int             `json:"total_fallback_proposals"`
@@ -212,6 +216,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		rep.TotalActivations += r.Activations
 		rep.TotalReopens += r.Reopens
+		rep.TotalRestores += r.Restores
 		rep.TotalDegraded += r.DegradedWindows
 		rep.TotalRemote += r.Remote
 		rep.TotalFallback += r.Fallback
@@ -311,6 +316,7 @@ func runOne(ctx context.Context, cfg Config, idx int, seed uint64) SessionResult
 	res.DegradedWindows = session.DegradedWindows()
 	res.Remote, res.Fallback = session.ProposalStats()
 	res.Reopens = sc.Reopens()
+	res.Restores = sc.Restores()
 	if n := len(res.Samples); n > 0 {
 		sum := 0.0
 		for _, s := range res.Samples {

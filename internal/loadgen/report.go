@@ -12,7 +12,7 @@ import (
 
 // trajectoryFormat tags the golden-file layout so a future format change
 // fails the regression test loudly instead of diffing confusingly.
-const trajectoryFormat = "loadgen-trajectories-v1"
+const trajectoryFormat = "loadgen-trajectories-v2"
 
 // WriteTrajectories emits every per-session reward trajectory in a
 // byte-exact text format: sessions sorted by ID (the Report order), one
@@ -26,8 +26,8 @@ func (r *Report) WriteTrajectories(w io.Writer) error {
 		trajectoryFormat, r.Scenario, r.Seed, len(r.Sessions))
 	for i := range r.Sessions {
 		s := &r.Sessions[i]
-		fmt.Fprintf(bw, "session %s seed=%016x samples=%d activations=%d err=%q\n",
-			s.ID, s.Seed, len(s.Samples), s.Activations, s.Err)
+		fmt.Fprintf(bw, "session %s seed=%016x samples=%d activations=%d reopens=%d restores=%d err=%q\n",
+			s.ID, s.Seed, len(s.Samples), s.Activations, s.Reopens, s.Restores, s.Err)
 		for _, smp := range s.Samples {
 			fmt.Fprintf(bw, "%016x %016x %d %d\n",
 				math.Float64bits(smp.TimeMS), math.Float64bits(smp.Reward),
@@ -56,6 +56,7 @@ func (r *Report) Summary(reg *obs.Registry) string {
 	fmt.Fprintf(&b, "  fallback proposals:  %d\n", r.TotalFallback)
 	fmt.Fprintf(&b, "  degraded windows:    %d\n", r.TotalDegraded)
 	fmt.Fprintf(&b, "  session reopens:     %d\n", r.TotalReopens)
+	fmt.Fprintf(&b, "  snapshot restores:   %d\n", r.TotalRestores)
 	mean, worst := r.rewardSpread()
 	fmt.Fprintf(&b, "  mean reward B_t:     %.4f (worst session %.4f)\n", mean, worst)
 	if reg != nil {

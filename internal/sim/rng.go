@@ -21,6 +21,14 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the generator's current internal state. Passing it to NewRNG
+// reconstructs a generator that continues the exact same draw stream — the
+// hook session snapshots use to freeze and resume an optimizer's RNG
+// bit-identically across process restarts.
+func (r *RNG) State() uint64 {
+	return r.state
+}
+
 // Split derives an independent child stream from the current generator state.
 // The parent advances by one draw, so repeated Split calls yield distinct
 // children.
