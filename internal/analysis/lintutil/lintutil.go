@@ -37,6 +37,9 @@ var DeterminismCritical = map[string]bool{
 	"sessiond":    true,
 	"snapstore":   true,
 	"loadgen":     true,
+	// The wire codec must re-encode every accepted frame byte-identically;
+	// any nondeterminism there breaks the canonical-encoding invariant.
+	"wire": true,
 }
 
 // IsDeterminismCritical reports whether the package at path is subject to

@@ -42,6 +42,12 @@ type ClientConfig struct {
 	// MaxResponseBytes bounds how much of a response body is read; larger
 	// responses are rejected (a mesh at Table II sizes is well under 8 MiB).
 	MaxResponseBytes int64
+	// MaxIdleConnsPerHost sizes the keep-alive pool of the client's default
+	// transport. The stdlib default of 2 throttles a multi-session load
+	// generator into redialing almost every request; DefaultClientConfig
+	// sets a pool wide enough for a full 256-session fleet. Ignored when
+	// Transport is set — an explicit transport owns its own pooling.
+	MaxIdleConnsPerHost int
 	// BreakerFailureThreshold consecutive failed attempts open the circuit;
 	// after BreakerOpenFor it half-opens, and BreakerSuccessThreshold
 	// consecutive successful probes close it again.
@@ -67,10 +73,27 @@ func DefaultClientConfig() ClientConfig {
 		BackoffMax:              2 * time.Second,
 		JitterSeed:              1,
 		MaxResponseBytes:        8 << 20,
+		MaxIdleConnsPerHost:     256,
 		BreakerFailureThreshold: 5,
 		BreakerSuccessThreshold: 2,
 		BreakerOpenFor:          2 * time.Second,
 	}
+}
+
+// NewPooledTransport builds the client's default HTTP transport: the
+// stdlib defaults with a keep-alive pool actually sized for concurrent
+// sessions (MaxIdleConnsPerHost idle conns per host instead of the stdlib
+// 2, no global idle cap). Exposed so tests and sibling transports can
+// instrument the dialer while keeping identical pooling behaviour.
+func NewPooledTransport(maxIdlePerHost int) *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	if maxIdlePerHost < 1 {
+		maxIdlePerHost = 256
+	}
+	t.MaxIdleConns = 0 // no global cap; the per-host cap governs
+	t.MaxIdleConnsPerHost = maxIdlePerHost
+	t.IdleConnTimeout = 90 * time.Second
+	return t
 }
 
 func (cfg ClientConfig) validate() error {
@@ -200,9 +223,13 @@ func NewClientWithConfig(base string, cacheCap int, cfg ClientConfig) (*Client, 
 	if sleep == nil {
 		sleep = time.Sleep
 	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = NewPooledTransport(cfg.MaxIdleConnsPerHost)
+	}
 	return &Client{
 		base:     base,
-		http:     &http.Client{Transport: cfg.Transport},
+		http:     &http.Client{Transport: transport},
 		cfg:      cfg,
 		breaker:  newBreaker(cfg.BreakerFailureThreshold, cfg.BreakerSuccessThreshold, cfg.BreakerOpenFor, cfg.Clock),
 		sleep:    sleep,
@@ -380,6 +407,32 @@ func (e *statusError) Error() string {
 	return fmt.Sprintf("returned %s: %s", e.status, e.msg)
 }
 
+// NewStatusError builds the same typed error the JSON transport produces
+// for a non-2xx response. The stream path maps its Error frames through
+// this, so server rejections carry one error taxonomy whatever the
+// transport: StatusCode extracts the code, the retry policy treats 5xx as
+// transient, and a Retry-After hint survives into the backoff computation.
+func NewStatusError(code int, msg string, retryAfter time.Duration) error {
+	return &statusError{
+		status:     fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		code:       code,
+		msg:        msg,
+		retryAfter: retryAfter,
+	}
+}
+
+// PermanentError marks an error as categorically non-retryable, whatever
+// its underlying cause. The stream client uses it when a server simply has
+// no /session/stream route: retrying cannot help, and the caller falls back
+// to the JSON path instead.
+type PermanentError struct{ Err error }
+
+func (e *PermanentError) Error() string { return e.Err.Error() }
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent wraps err so the retry policy fails fast on it.
+func Permanent(err error) error { return &PermanentError{Err: err} }
+
 // StatusCode extracts the HTTP status code buried in a client call error.
 // ok is false for transport-level failures (drops, timeouts, breaker short
 // circuits) that never produced a response. Callers use it to react to
@@ -395,8 +448,13 @@ func StatusCode(err error) (code int, ok bool) {
 
 // retryable reports whether an attempt error is worth retrying: transport
 // errors, timeouts, 5xx responses, and mangled response bodies are
-// transient link faults; 4xx rejections are not.
+// transient link faults; 4xx rejections and explicitly Permanent errors are
+// not.
 func retryable(err error) bool {
+	var pe *PermanentError
+	if errors.As(err, &pe) {
+		return false
+	}
 	var se *statusError
 	if errors.As(err, &se) {
 		return se.code >= 500
@@ -414,19 +472,19 @@ func (c *Client) PostJSON(ctx context.Context, path string, req, resp any) error
 	return c.post(ctx, path, req, resp)
 }
 
-// post sends one idempotent JSON POST with per-attempt timeouts, capped
-// exponential backoff with deterministic jitter, and circuit-breaker
-// accounting. When the breaker is open the call fails fast with
-// ErrUnavailable, and the caller's local fallback takes over.
-func (c *Client) post(ctx context.Context, path string, req, resp any) error {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return fmt.Errorf("edge: encoding %s request: %w", path, err)
-	}
+// Execute runs one idempotent operation under the client's full
+// fault-tolerance stack: circuit-breaker admission, capped exponential
+// backoff with deterministic jitter between attempts, Retry-After honoring,
+// and breaker accounting of every outcome. It is the transport-agnostic
+// core of PostJSON, exposed so the session stream path shares the same
+// link-health view — a stream reconnect and a JSON retry are the same event
+// to the breaker. op must be safe to call again after a failure. label
+// names the operation in errors (the JSON path passes its route).
+func (c *Client) Execute(ctx context.Context, label string, op func(ctx context.Context) error) error {
 	c.metCalls.Inc()
 	if !c.breaker.allow() {
 		c.metShortCircuits.Inc()
-		return fmt.Errorf("edge: %s: %w", path, ErrUnavailable)
+		return fmt.Errorf("edge: %s: %w", label, ErrUnavailable)
 	}
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
@@ -444,24 +502,56 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 			}
 			c.metRetries.Inc()
 			if err := c.wait(ctx, delay); err != nil {
-				return fmt.Errorf("edge: %s: %w", path, err)
+				return fmt.Errorf("edge: %s: %w", label, err)
 			}
 		}
-		err := c.attempt(ctx, path, body, resp)
+		err := op(ctx)
 		c.metAttempts.Inc()
 		if err == nil {
 			c.breaker.recordSuccess()
 			return nil
 		}
 		c.metAttemptFailures.Inc()
-		c.breaker.recordFailure()
+		// A Permanent error is a condition of the call, not of the link
+		// (e.g. "this server has no stream route") — failing fast is right,
+		// but counting it toward opening the breaker would punish a healthy
+		// link for something no retry or cooldown can change.
+		var pe *PermanentError
+		if !errors.As(err, &pe) {
+			c.breaker.recordFailure()
+		}
 		lastErr = err
 		if !retryable(err) || ctx.Err() != nil {
 			break
 		}
 	}
-	return fmt.Errorf("edge: %s %w", path, lastErr)
+	return fmt.Errorf("edge: %s %w", label, lastErr)
 }
+
+// post sends one idempotent JSON POST through Execute. When the breaker is
+// open the call fails fast with ErrUnavailable, and the caller's local
+// fallback takes over.
+func (c *Client) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("edge: encoding %s request: %w", path, err)
+	}
+	return c.Execute(ctx, path, func(ctx context.Context) error {
+		return c.attempt(ctx, path, body, resp)
+	})
+}
+
+// HTTPClient exposes the underlying HTTP client, so sibling transports (the
+// session stream) ride the same connection pool, fault-injection transport,
+// and dialer as the JSON path.
+func (c *Client) HTTPClient() *http.Client { return c.http }
+
+// BaseURL returns the server base URL this client was built for.
+func (c *Client) BaseURL() string { return c.base }
+
+// AttemptTimeout returns the per-attempt timeout, so sibling transports can
+// bound their own attempts identically to the JSON path.
+func (c *Client) AttemptTimeout() time.Duration { return c.cfg.Timeout }
 
 // parseRetryAfter reads an integer-seconds Retry-After value (the only form
 // this repo's servers emit); anything else maps to zero.

@@ -1,0 +1,92 @@
+package edge
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countDials wraps a transport's dialer with an atomic counter, keeping
+// everything else about the transport identical.
+func countDials(t *http.Transport, n *atomic.Int64) {
+	base := t.DialContext
+	t.DialContext = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		n.Add(1)
+		return base(ctx, network, addr)
+	}
+}
+
+// runDialLoad drives sessions×calls concurrent POSTs through a client built
+// on the given transport and returns how many TCP dials that cost.
+func runDialLoad(t *testing.T, transport *http.Transport, sessions, calls int) int64 {
+	t.Helper()
+	var dials atomic.Int64
+	countDials(transport, &dials)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+	cfg := DefaultClientConfig()
+	cfg.Transport = transport
+	c, err := NewClientWithConfig(ts.URL, 4, cfg)
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	ctx := context.Background()
+	// Waves, not free-running loops: all sessions fire one call, then the
+	// connections sit idle until the next wave — the load generator's real
+	// cadence (every client computes between suggests). An undersized idle
+	// pool evicts most connections at each barrier and redials next wave.
+	for k := 0; k < calls; k++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var resp struct{}
+				if err := c.PostJSON(ctx, "/echo", struct{}{}, &resp); err != nil {
+					errs <- err
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("post (wave %d): %v", k, err)
+		}
+	}
+	transport.CloseIdleConnections()
+	return dials.Load()
+}
+
+// TestPooledTransportDialCount is the regression test for the keep-alive
+// pool: 32 concurrent sessions issuing 20 requests each must be served from
+// at most one connection per session. The stdlib default transport
+// (MaxIdleConnsPerHost=2) drops all but two idle conns after every burst
+// and redials most requests — the bug this pins down is the client
+// accidentally riding that default again.
+func TestPooledTransportDialCount(t *testing.T) {
+	const sessions, calls = 32, 20
+	pooled := runDialLoad(t, NewPooledTransport(DefaultClientConfig().MaxIdleConnsPerHost), sessions, calls)
+	if pooled > sessions {
+		t.Errorf("pooled transport dialed %d times for %d concurrent sessions, want <= %d",
+			pooled, sessions, sessions)
+	}
+	stdlib := http.DefaultTransport.(*http.Transport).Clone() // MaxIdleConnsPerHost 0 -> stdlib default 2
+	unpooled := runDialLoad(t, stdlib, sessions, calls)
+	// Not asserting an exact count — scheduling decides how badly the default
+	// pool thrashes — but it must be visibly worse than one dial per session,
+	// or this test would pass vacuously on a server that kept nothing alive.
+	if unpooled <= pooled {
+		t.Errorf("stdlib-default transport dialed %d times vs pooled %d; expected the default pool to thrash",
+			unpooled, pooled)
+	}
+	t.Logf("dials: pooled=%d stdlib-default=%d (%d sessions x %d calls)", pooled, unpooled, sessions, calls)
+}

@@ -89,6 +89,13 @@ func suggestOne(sess *session) suggestResult {
 func (sess *session) observe(point []float64, cost float64) (int, int, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	return sess.observeLocked(point, cost)
+}
+
+// observeLocked is observe's body for callers already holding sess.mu (the
+// stream path's indexed observe checks the database size under the same
+// lock acquisition as the append).
+func (sess *session) observeLocked(point []float64, cost float64) (int, int, error) {
 	if sess.opt.Observations() >= maxSessionObservations {
 		return 0, 0, fmt.Errorf("sessiond: session %s at the %d-observation limit", sess.id, maxSessionObservations)
 	}

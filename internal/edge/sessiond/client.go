@@ -2,6 +2,7 @@ package sessiond
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -23,6 +24,11 @@ type Client struct {
 	ec *edge.Client
 	id string
 	p  params
+
+	// stream, when set, carries open/suggest/observe/close as binary frames
+	// over one multiplexed connection; nil (and any server that turns out
+	// not to speak the protocol) means the JSON POST routes.
+	stream *StreamClient
 
 	reopens  int
 	restores int
@@ -63,6 +69,18 @@ func (c *Client) SetObserver(reg *obs.Registry) {
 	}
 }
 
+// SetStream attaches a stream transport for the session calls
+// (open/suggest/observe/close — decimate stays on JSON, mesh payloads are
+// not frame traffic). The StreamClient may be shared across many session
+// clients; it multiplexes them over one connection. Against a server
+// without the stream route, every call transparently falls back to the
+// JSON path after one cheap probe. Passing nil detaches.
+func (c *Client) SetStream(sc *StreamClient) { c.stream = sc }
+
+// useJSON reports whether err is the stream transport saying "this server
+// does not speak the protocol" — the cue to serve the call over JSON.
+func useJSON(err error) bool { return errors.Is(err, ErrStreamUnsupported) }
+
 // ID returns the session identifier.
 func (c *Client) ID() string { return c.id }
 
@@ -84,8 +102,14 @@ func (c *Client) Available() bool { return c.ec.Available() }
 // durable snapshot, and how many observations the server already holds —
 // the caller's cue to replay only the unseen tail of its history.
 func (c *Client) Open(ctx context.Context) (OpenResponse, error) {
-	var resp OpenResponse
 	req := OpenRequest{ID: c.id, Resources: c.p.resources, RMin: c.p.rmin, Seed: c.p.seed, Init: c.p.init}
+	if c.stream != nil {
+		resp, err := c.stream.Open(ctx, req)
+		if err == nil || !useJSON(err) {
+			return resp, err
+		}
+	}
+	var resp OpenResponse
 	if err := c.ec.PostJSON(ctx, "/session/open", req, &resp); err != nil {
 		return OpenResponse{}, err
 	}
@@ -105,8 +129,18 @@ func (c *Client) Suggest(ctx context.Context) ([]float64, error) {
 
 func (c *Client) suggest(ctx context.Context) ([]float64, error) {
 	var resp SuggestResponse
-	if err := c.ec.PostJSON(ctx, "/session/suggest", SuggestRequest{ID: c.id}, &resp); err != nil {
-		return nil, err
+	if c.stream != nil {
+		sresp, err := c.stream.Suggest(ctx, c.id)
+		if err == nil {
+			resp = sresp
+		} else if !useJSON(err) {
+			return nil, err
+		}
+	}
+	if resp.Point == nil {
+		if err := c.ec.PostJSON(ctx, "/session/suggest", SuggestRequest{ID: c.id}, &resp); err != nil {
+			return nil, err
+		}
 	}
 	if len(resp.Point) != c.p.resources+1 {
 		return nil, fmt.Errorf("sessiond: server returned %d-dim point, want %d", len(resp.Point), c.p.resources+1)
@@ -115,14 +149,36 @@ func (c *Client) suggest(ctx context.Context) ([]float64, error) {
 }
 
 // Observe records one measured (point, cost) pair into the session's GP
-// history.
+// history, appending unconditionally (no idempotency index).
 func (c *Client) Observe(ctx context.Context, point []float64, cost float64) error {
+	return c.ObserveAt(ctx, -1, point, cost)
+}
+
+// ObserveAt is Observe with an idempotency index: the 0-based database slot
+// this observation belongs in (how many observations the server held when
+// it was measured). Over the stream transport a retried observe whose
+// first send actually landed is acknowledged rather than double-applied;
+// the JSON path has no index field and appends unconditionally, as it
+// always has. index < 0 means "always append" on both transports.
+func (c *Client) ObserveAt(ctx context.Context, index int, point []float64, cost float64) error {
+	if c.stream != nil {
+		_, err := c.stream.Observe(ctx, c.id, index, point, cost)
+		if err == nil || !useJSON(err) {
+			return err
+		}
+	}
 	var resp ObserveResponse
 	return c.ec.PostJSON(ctx, "/session/observe", ObserveRequest{ID: c.id, Point: point, Cost: cost}, &resp)
 }
 
 // CloseSession tears the server-side session down.
 func (c *Client) CloseSession(ctx context.Context) error {
+	if c.stream != nil {
+		_, err := c.stream.CloseSession(ctx, c.id)
+		if err == nil || !useJSON(err) {
+			return err
+		}
+	}
 	var resp CloseResponse
 	return c.ec.PostJSON(ctx, "/session/close", CloseRequest{ID: c.id}, &resp)
 }
@@ -197,7 +253,9 @@ func (b *Backend) BONextPoint(resources int, rmin float64, seed uint64, points [
 		b.sent = resp.Observations
 	}
 	for b.sent < len(points) {
-		if err := b.c.Observe(b.ctx, points[b.sent], costs[b.sent]); err != nil {
+		// The slot index doubles as the idempotency index: over the stream
+		// transport a retry after a lost response cannot double-apply.
+		if err := b.c.ObserveAt(b.ctx, b.sent, points[b.sent], costs[b.sent]); err != nil {
 			if evicted(err) {
 				return b.readmit(points, costs)
 			}
@@ -240,7 +298,7 @@ func (b *Backend) readmit(points [][]float64, costs []float64) ([]float64, error
 	b.c.reopens++
 	b.c.metReopens.Inc()
 	for i := resp.Observations; i < len(points); i++ {
-		if err := b.c.Observe(b.ctx, points[i], costs[i]); err != nil {
+		if err := b.c.ObserveAt(b.ctx, i, points[i], costs[i]); err != nil {
 			return nil, fmt.Errorf("sessiond: replaying history after eviction: %w", err)
 		}
 	}

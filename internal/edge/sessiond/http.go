@@ -100,11 +100,33 @@ type ShardStats struct {
 	QueueDepth int `json:"queue_depth"`
 }
 
+// StreamStats reports the binary stream surface's live and lifetime
+// traffic: currently open streams, frames decoded and written, and frames
+// the decoder refused (each of which terminated its stream).
+type StreamStats struct {
+	Open         int64  `json:"open"`
+	FramesIn     uint64 `json:"frames_in"`
+	FramesOut    uint64 `json:"frames_out"`
+	DecodeErrors uint64 `json:"decode_errors"`
+}
+
+// Streams reads the stream counters. Correct with or without a registry —
+// the counters are plain atomics, like the durability ones.
+func (s *Service) Streams() StreamStats {
+	return StreamStats{
+		Open:         s.strOpen.Load(),
+		FramesIn:     s.strFramesIn.Load(),
+		FramesOut:    s.strFramesOut.Load(),
+		DecodeErrors: s.strDecodeErrs.Load(),
+	}
+}
+
 // StatsResponse is the /session/statz payload. Durability is present only
 // when a session store is configured.
 type StatsResponse struct {
 	Sessions   int              `json:"sessions"`
 	Shards     []ShardStats     `json:"shards"`
+	Stream     StreamStats      `json:"stream"`
 	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
@@ -116,6 +138,11 @@ func (s *Service) Register(mux *http.ServeMux) {
 	mux.Handle("POST /session/observe", guard(s.handleObserve))
 	mux.Handle("POST /session/close", guard(s.handleClose))
 	mux.Handle("POST /session/decimate", guard(s.handleDecimate))
+	// The stream route is deliberately unguarded: TimeoutHandler neither
+	// supports Flush nor tolerates a response that outlives the timeout, and
+	// a body cap would sever a healthy long-lived stream. The wire codec's
+	// per-frame bounds and the stream's queue backpressure bound it instead.
+	mux.HandleFunc("POST /session/stream", s.handleStream)
 	mux.HandleFunc("GET /session/statz", s.handleStats)
 }
 
@@ -322,6 +349,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Shards[i] = ShardStats{Sessions: n, QueueDepth: len(sh.queue)}
 		resp.Sessions += n
 	}
+	resp.Stream = s.Streams()
 	if s.cfg.Store != nil {
 		d := s.Durability()
 		resp.Durability = &d

@@ -217,12 +217,26 @@ type Service struct {
 	metSnapRestoreMS *obs.Histogram
 	metStoreBytes    *obs.Gauge
 
+	// Stream-surface instruments (the binary /session/stream route).
+	metStreamOpens      *obs.Counter
+	metStreamFramesIn   *obs.Counter
+	metStreamFramesOut  *obs.Counter
+	metStreamDecodeErrs *obs.Counter
+	metStreamsOpen      *obs.Gauge
+	metStreamDurMS      *obs.Histogram
+
 	// Durability counters kept as plain atomics so /session/statz is
 	// correct without any registry attached.
 	durSaves    atomic.Uint64
 	durSaveErrs atomic.Uint64
 	durRestores atomic.Uint64
 	durCorrupt  atomic.Uint64
+
+	// Stream counters, same pattern: statz stays correct registry or not.
+	strOpen       atomic.Int64
+	strFramesIn   atomic.Uint64
+	strFramesOut  atomic.Uint64
+	strDecodeErrs atomic.Uint64
 }
 
 // batchSizeBuckets covers drain-pass sizes from singletons up to MaxBatch.
@@ -279,14 +293,21 @@ func (s *Service) SetObserver(reg *obs.Registry) {
 	s.metSnapRestores = reg.Counter("sessiond.snapshot_restores")
 	s.metSnapCorrupt = reg.Counter("sessiond.snapshot_corrupt")
 	s.metStoreBytes = reg.Gauge("sessiond.store_bytes")
+	s.metStreamOpens = reg.Counter("sessiond.stream_opens")
+	s.metStreamFramesIn = reg.Counter("sessiond.stream_frames_in")
+	s.metStreamFramesOut = reg.Counter("sessiond.stream_frames_out")
+	s.metStreamDecodeErrs = reg.Counter("sessiond.stream_decode_errors")
+	s.metStreamsOpen = reg.Gauge("sessiond.streams_open")
 	if reg != nil {
 		s.metBatchSize = reg.Histogram("sessiond.batch_size", batchSizeBuckets)
 		s.metSnapSaveMS = reg.Histogram("sessiond.snapshot_save_ms", obs.LatencyBucketsMS)
 		s.metSnapRestoreMS = reg.Histogram("sessiond.snapshot_restore_ms", obs.LatencyBucketsMS)
+		s.metStreamDurMS = reg.Histogram("sessiond.stream_open_ms", obs.LatencyBucketsMS)
 	} else {
 		s.metBatchSize = nil
 		s.metSnapSaveMS = nil
 		s.metSnapRestoreMS = nil
+		s.metStreamDurMS = nil
 	}
 }
 

@@ -1,7 +1,6 @@
 package sessiond
 
 import (
-	"hash/fnv"
 	"sync"
 )
 
@@ -17,11 +16,41 @@ type shard struct {
 	queue chan *suggestJob
 }
 
+// FNV-1a parameters, identical to hash/fnv's 32-bit variant. Inlined so the
+// hot request paths hash without the hash.Hash allocation — shard placement
+// must stay bit-identical to the original fnv.New32a mapping, because
+// placement decides eviction order and the determinism suite pins both.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnv32aString(id string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+func fnv32aBytes(id []byte) uint32 {
+	h := uint32(fnvOffset32)
+	for _, c := range id {
+		h ^= uint32(c)
+		h *= fnvPrime32
+	}
+	return h
+}
+
 // shardFor maps a session ID onto its stripe (FNV-1a).
 func (s *Service) shardFor(id string) *shard {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(id))
-	return s.shards[int(h.Sum32())%len(s.shards)]
+	return s.shards[int(fnv32aString(id))%len(s.shards)]
+}
+
+// shardForBytes is shardFor for an ID still aliasing a decode buffer.
+func (s *Service) shardForBytes(id []byte) *shard {
+	return s.shards[int(fnv32aBytes(id))%len(s.shards)]
 }
 
 // openResult reports what the open-path state machine did.
@@ -136,6 +165,31 @@ func (s *Service) peek(id string) (*session, bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sess, ok := sh.sessions[id]
+	return sess, ok
+}
+
+// lookupBytes is lookup for an ID aliasing a decode buffer: the
+// map index through string(id) compiles to a no-copy lookup, so the stream
+// hot path never materializes the ID as a string.
+func (s *Service) lookupBytes(id []byte) (*session, bool) {
+	sh := s.shardForBytes(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sess, ok := sh.sessions[string(id)]
+	if !ok {
+		return nil, false
+	}
+	sh.tick++
+	sess.lastTouch = sh.tick
+	return sess, true
+}
+
+// peekBytes is peek for an ID aliasing a decode buffer.
+func (s *Service) peekBytes(id []byte) (*session, bool) {
+	sh := s.shardForBytes(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sess, ok := sh.sessions[string(id)]
 	return sess, ok
 }
 

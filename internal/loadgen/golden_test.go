@@ -18,7 +18,7 @@ var update = flag.Bool("update", false, "rewrite golden files from the current o
 
 // runFixed executes the fixed golden configuration against a fresh session
 // service and returns the byte-exact trajectory dump.
-func runFixed(t *testing.T) []byte {
+func runFixed(t *testing.T, useStream bool) []byte {
 	t.Helper()
 	svc, err := sessiond.New(sessiond.DefaultConfig(), nil)
 	if err != nil {
@@ -34,6 +34,7 @@ func runFixed(t *testing.T) []byte {
 		Seed:       7,
 		Jobs:       1,
 		DurationMS: 30_000,
+		UseStream:  useStream,
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -61,8 +62,8 @@ func runFixed(t *testing.T) []byte {
 //
 //	go test ./internal/loadgen -run TestGoldenTrajectories -update
 func TestGoldenTrajectories(t *testing.T) {
-	first := runFixed(t)
-	second := runFixed(t)
+	first := runFixed(t, false)
+	second := runFixed(t, false)
 	if !bytes.Equal(first, second) {
 		t.Fatalf("two identical runs diverged:\n%s", firstDiff(first, second))
 	}
@@ -86,6 +87,24 @@ func TestGoldenTrajectories(t *testing.T) {
 		t.Fatalf("trajectories drifted from golden file %s:\n%s\n"+
 			"If the change is intentional, regenerate with -update.",
 			golden, firstDiff(want, first))
+	}
+}
+
+// TestGoldenTrajectoriesStream reruns the exact golden configuration over
+// the binary stream transport and holds it to the same checked-in bytes: the
+// wire protocol must be invisible to every trajectory, hex float bits
+// included. There is deliberately no separate stream golden file — JSON and
+// stream runs share one truth.
+func TestGoldenTrajectoriesStream(t *testing.T) {
+	got := runFixed(t, true)
+	golden := filepath.Join("testdata", "trajectories.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update on TestGoldenTrajectories): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stream-transport trajectories diverged from golden file %s:\n%s",
+			golden, firstDiff(want, got))
 	}
 }
 

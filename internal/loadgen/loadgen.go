@@ -65,6 +65,13 @@ type Config struct {
 	// UseLOD routes quality manipulation through the server's per-session
 	// mesh cache, with a local decimator as degradation fallback.
 	UseLOD bool
+	// UseStream carries each session's open/suggest/observe/close traffic
+	// over the binary /session/stream transport instead of JSON POSTs,
+	// falling back to JSON automatically against servers without the route.
+	// Each client gets its own stream connection (it already has its own
+	// edge client and fault-injection transport), so per-session trajectories
+	// stay bit-identical to the JSON path.
+	UseStream bool
 	// CacheCap is each client's local mesh-cache capacity (16 when zero).
 	CacheCap int
 	// Faults, when non-zero, wraps every client's transport in a seeded
@@ -275,6 +282,15 @@ func runOne(ctx context.Context, cfg Config, idx int, seed uint64) SessionResult
 	}
 	if cfg.Observer != nil {
 		sc.SetObserver(cfg.Observer)
+	}
+	if cfg.UseStream {
+		stream, err := sessiond.NewStreamClient(ec)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		sc.SetStream(stream)
+		defer func() { _ = stream.Close() }()
 	}
 	built.Runtime.SetBOBackend(sessiond.NewBackend(ctx, sc), boSeed)
 	if cfg.UseLOD {
