@@ -10,6 +10,8 @@
 //	hbobench -list           # list artifacts
 //	hbobench -jobs 8         # artifact parallelism (default GOMAXPROCS)
 //	hbobench -timing t.json  # write per-artifact wall-clock/alloc stats
+//	hbobench -arena          # run the optimizer tournament instead
+//	hbobench -arena -arena-json a.json -arena-oracle -arena-faults
 //
 // Artifacts run on a bounded worker pool (-jobs) and every report is
 // byte-identical to a serial run: reports are printed in paper order and
@@ -17,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,7 +42,19 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrently running artifacts (1 = serial; output is identical either way)")
 	timing := flag.String("timing", "", "write per-artifact wall-clock/allocation stats to this JSON file")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file (enables observability; with -jobs > 1 all artifacts aggregate into one registry)")
+	arena := flag.Bool("arena", false, "run the optimizer tournament (every registry policy across the Figure-7 grid) instead of the paper artifacts")
+	arenaRuns := flag.Int("arena-runs", 0, "runs per (scenario, policy) arena cell (6 when <= 0)")
+	arenaJSON := flag.String("arena-json", "", "write benchjson-compatible arena records to this file")
+	arenaOracle := flag.Bool("arena-oracle", false, "measure arena regret against the exhaustive oracle instead of the empirical minimum")
+	arenaFaults := flag.Bool("arena-faults", false, "also race every policy through the seeded loadgen fault bracket")
 	flag.Parse()
+	if *arena {
+		if err := runArena(*seed, *jobs, *arenaRuns, *arenaJSON, *arenaOracle, *arenaFaults, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *metrics != "" {
 		// Install before any simulation is built so scenario.Build wires the
 		// registry through every layer. The registry is concurrency-safe, so
@@ -56,6 +71,44 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runArena executes the optimizer tournament and prints the ranking table;
+// the JSON artifact (when requested) carries one benchjson-shaped record
+// per (scenario, policy) and is byte-identical for every -jobs value.
+func runArena(seed uint64, jobs, runs int, jsonPath string, oracle, faultBracket bool, csvDir string) error {
+	res, err := experiments.RunArena(context.Background(), experiments.ArenaConfig{
+		Seed:         seed,
+		Jobs:         jobs,
+		Runs:         runs,
+		Oracle:       oracle,
+		FaultBracket: faultBracket,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.String())
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(res.BenchRecords(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("[wrote %s]\n", jsonPath)
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(csvDir, "Arena.csv")
+		if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("[wrote %s]\n", path)
+	}
+	return nil
 }
 
 // writeMetrics dumps the process-wide registry snapshot to path.

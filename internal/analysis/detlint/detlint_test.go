@@ -8,5 +8,5 @@ import (
 )
 
 func TestDetlint(t *testing.T) {
-	analyzertest.Run(t, "testdata", detlint.Analyzer, "sim", "notcritical")
+	analyzertest.Run(t, "testdata", detlint.Analyzer, "sim", "notcritical", "policies")
 }

@@ -1,0 +1,34 @@
+// Package policies is a determinism-critical fixture: an optimizer policy
+// that draws from the global math/rand source (or reads the wall clock)
+// would replay differently after a restore, so detlint must flag it.
+package policies
+
+import (
+	"math/rand"
+	"time"
+)
+
+type leakyPolicy struct {
+	xs [][]float64
+}
+
+func (p *leakyPolicy) Next() ([]float64, error) {
+	// A policy sampling its suggestion from process-global randomness: the
+	// exact bug the Policy determinism contract forbids.
+	point := []float64{rand.Float64(), rand.Float64()} // want `rand\.Float64 uses the global math/rand source` `rand\.Float64 uses the global math/rand source`
+	p.xs = append(p.xs, point)
+	return point, nil
+}
+
+func (p *leakyPolicy) Observe(point []float64, cost float64) error {
+	if rand.Intn(2) == 0 { // want `rand\.Intn uses the global math/rand source`
+		p.xs = append(p.xs, point)
+	}
+	return nil
+}
+
+func timedSuggest(p *leakyPolicy) ([]float64, float64) {
+	start := time.Now() // want `un-gated wall-clock read time\.Now`
+	point, _ := p.Next()
+	return point, time.Since(start).Seconds() // want `un-gated wall-clock read time\.Since`
+}

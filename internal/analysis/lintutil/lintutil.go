@@ -36,6 +36,10 @@ var DeterminismCritical = map[string]bool{
 	"experiments": true,
 	"sessiond":    true,
 	"snapstore":   true,
+	// Policy entrants must draw every sample from their injected sim.RNG:
+	// a stray global-rand or clock read would desync replay-based restores
+	// and break the arena's jobs-invariant goldens.
+	"policies": true,
 	"loadgen":     true,
 	// The wire codec must re-encode every accepted frame byte-identically;
 	// any nondeterminism there breaks the canonical-encoding invariant.

@@ -1,0 +1,260 @@
+package policies
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/mar-hbo/hbo/internal/bo"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// CMAES is a separable (diagonal-covariance) CMA-ES over the joint domain,
+// following Ros & Hansen's sep-CMA-ES: full covariance adaptation is
+// overkill for the HBO decision space (a handful of dimensions, tens of
+// evaluations) and the diagonal restriction keeps every update O(d).
+//
+// The ask/tell shape is adapted to the Policy contract: Next pops the next
+// phenotype of the current generation (sampling it on demand from the
+// seeded RNG), Observe assigns fitness to outstanding phenotypes FIFO, and
+// the distribution update fires when a full generation of λ samples has
+// been scored. Observations that arrive with no outstanding phenotype
+// (e.g. a re-admission replay into a fresh instance) only extend the
+// history — the evolution state restarts from the replayed best, which is
+// exactly the ephemeral-policy contract: CMA-ES carries evolution paths an
+// OptimizerState cannot express, so it deliberately does NOT implement
+// bo.DurablePolicy.
+type CMAES struct {
+	dom bo.Domain
+	cfg bo.Config
+	rng *sim.RNG
+
+	xs [][]float64
+	ys []float64
+
+	// Strategy parameters, fixed at construction for d = dom.Dim().
+	lambda  int
+	mu      int
+	weights []float64
+	mueff   float64
+	csigma  float64
+	dsigma  float64
+	cc      float64
+	c1      float64
+	cmu     float64
+	chiN    float64
+
+	// Evolving distribution state; initialized lazily at the first
+	// post-warm-up Next from the best observed point.
+	started bool
+	mean    []float64
+	sigma   float64
+	diagC   []float64 // diagonal covariance
+	ps      []float64 // conjugate evolution path (step size)
+	pc      []float64 // evolution path (covariance)
+	gen     int       // completed generation count
+
+	// Current generation: phenotypes issued by Next awaiting fitness,
+	// scored FIFO by Observe.
+	pending []cmaSample
+	scored  int
+}
+
+// cmaSample is one issued phenotype and, once Observe assigns it, its cost.
+type cmaSample struct {
+	phen     []float64
+	cost     float64
+	observed bool
+}
+
+// NewCMAES builds the strategy over dom. cfg.InitSamples uniform draws seed
+// the history before the distribution starts from the best of them.
+func NewCMAES(dom bo.Domain, cfg bo.Config, rng *sim.RNG) (*CMAES, error) {
+	if err := dom.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitSamples < 1 {
+		return nil, fmt.Errorf("policies: cmaes InitSamples must be >= 1, got %d", cfg.InitSamples)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("policies: cmaes nil RNG")
+	}
+	d := float64(dom.Dim())
+	lambda := 4 + int(3*math.Log(d))
+	mu := lambda / 2
+	weights := make([]float64, mu)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = math.Log(float64(mu)+0.5) - math.Log(float64(i+1))
+		sum += weights[i]
+	}
+	sqsum := 0.0
+	for i := range weights {
+		weights[i] /= sum
+		sqsum += weights[i] * weights[i]
+	}
+	mueff := 1 / sqsum
+	csigma := (mueff + 2) / (d + mueff + 5)
+	c1 := 2 / ((d+1.3)*(d+1.3) + mueff) * (d + 2) / 3 // sep-CMA-ES ×(d+2)/3 rate boost
+	cmu := math.Min(1-c1, 2*(mueff-2+1/mueff)/((d+2)*(d+2)+mueff)*(d+2)/3)
+	return &CMAES{
+		dom:     dom,
+		cfg:     cfg,
+		rng:     rng,
+		lambda:  lambda,
+		mu:      mu,
+		weights: weights,
+		mueff:   mueff,
+		csigma:  csigma,
+		dsigma:  1 + 2*math.Max(0, math.Sqrt((mueff-1)/(d+1))-1) + csigma,
+		cc:      (4 + mueff/d) / (d + 4 + 2*mueff/d),
+		c1:      c1,
+		cmu:     cmu,
+		chiN:    math.Sqrt(d) * (1 - 1/(4*d) + 1/(21*d*d)),
+	}, nil
+}
+
+// Next suggests uniformly at random during warm-up, then samples the next
+// phenotype of the current generation from N(m, σ²·diag(C)) projected onto
+// the domain.
+func (c *CMAES) Next() ([]float64, error) {
+	if len(c.xs) < c.cfg.InitSamples {
+		return c.dom.Sample(c.rng), nil
+	}
+	if !c.started {
+		c.start()
+	}
+	d := c.dom.Dim()
+	phen := make([]float64, d)
+	for k := 0; k < d; k++ {
+		phen[k] = c.mean[k] + c.sigma*math.Sqrt(c.diagC[k])*c.rng.Norm()
+	}
+	c.dom.Project(phen)
+	c.pending = append(c.pending, cmaSample{phen: append([]float64(nil), phen...)})
+	return phen, nil
+}
+
+// start initializes the distribution from the warm-up's best observation.
+func (c *CMAES) start() {
+	d := c.dom.Dim()
+	best, _, ok := bestOf(c.xs, c.ys)
+	if !ok {
+		best = make([]float64, d)
+		for i := 0; i < c.dom.N; i++ {
+			best[i] = 1 / float64(c.dom.N)
+		}
+		best[c.dom.N] = (c.dom.RMin + 1) / 2
+	}
+	c.mean = best
+	c.sigma = 0.3
+	c.diagC = make([]float64, d)
+	for k := range c.diagC {
+		c.diagC[k] = 1
+	}
+	c.ps = make([]float64, d)
+	c.pc = make([]float64, d)
+	c.started = true
+}
+
+// Observe records the cost and assigns it FIFO to the oldest unscored
+// outstanding phenotype; a full generation triggers the distribution
+// update. Observations with nothing outstanding only extend the history.
+func (c *CMAES) Observe(p []float64, cost float64) error {
+	if !c.dom.Contains(p) {
+		return fmt.Errorf("policies: cmaes observed point %v outside domain", p)
+	}
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return fmt.Errorf("policies: cmaes non-finite cost %v", cost)
+	}
+	c.xs = append(c.xs, append([]float64(nil), p...))
+	c.ys = append(c.ys, cost)
+	if c.scored < len(c.pending) {
+		c.pending[c.scored].cost = cost
+		c.pending[c.scored].observed = true
+		c.scored++
+		if c.scored >= c.lambda {
+			c.update()
+		}
+	}
+	return nil
+}
+
+// Observations returns the number of recorded (point, cost) pairs.
+func (c *CMAES) Observations() int { return len(c.xs) }
+
+// Best returns the lowest-cost observed point.
+func (c *CMAES) Best() ([]float64, float64, bool) {
+	return bestOf(c.xs, c.ys)
+}
+
+// update performs one sep-CMA-ES generation step over the λ scored
+// phenotypes: rank by cost (ties broken by issue order), recombine the
+// mean from the top μ, and adapt the evolution paths, the step size, and
+// the diagonal covariance.
+func (c *CMAES) update() {
+	d := c.dom.Dim()
+	scored := c.pending[:c.lambda]
+	order := make([]int, c.lambda)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return scored[order[a]].cost < scored[order[b]].cost
+	})
+
+	// Effective steps are measured from the evaluated (projected)
+	// phenotypes, not the raw genotypes, so boundary clipping feeds back
+	// into the distribution consistently with what was scored.
+	oldMean := append([]float64(nil), c.mean...)
+	yw := make([]float64, d)
+	for i := 0; i < c.mu; i++ {
+		s := scored[order[i]]
+		for k := 0; k < d; k++ {
+			yw[k] += c.weights[i] * (s.phen[k] - oldMean[k]) / c.sigma
+		}
+	}
+	for k := 0; k < d; k++ {
+		c.mean[k] = oldMean[k] + c.sigma*yw[k]
+	}
+
+	psNorm := 0.0
+	for k := 0; k < d; k++ {
+		c.ps[k] = (1-c.csigma)*c.ps[k] +
+			math.Sqrt(c.csigma*(2-c.csigma)*c.mueff)*yw[k]/math.Sqrt(c.diagC[k])
+		psNorm += c.ps[k] * c.ps[k]
+	}
+	psNorm = math.Sqrt(psNorm)
+	c.gen++
+	hsig := 0.0
+	if psNorm/math.Sqrt(1-math.Pow(1-c.csigma, 2*float64(c.gen))) <
+		(1.4+2/float64(d+1))*c.chiN {
+		hsig = 1
+	}
+	for k := 0; k < d; k++ {
+		c.pc[k] = (1-c.cc)*c.pc[k] + hsig*math.Sqrt(c.cc*(2-c.cc)*c.mueff)*yw[k]
+	}
+	for k := 0; k < d; k++ {
+		rankMu := 0.0
+		for i := 0; i < c.mu; i++ {
+			y := (scored[order[i]].phen[k] - oldMean[k]) / c.sigma
+			rankMu += c.weights[i] * y * y
+		}
+		c.diagC[k] = (1-c.c1-c.cmu)*c.diagC[k] +
+			c.c1*(c.pc[k]*c.pc[k]+(1-hsig)*c.cc*(2-c.cc)*c.diagC[k]) +
+			c.cmu*rankMu
+		if c.diagC[k] < 1e-12 {
+			c.diagC[k] = 1e-12
+		}
+	}
+	c.sigma *= math.Exp(c.csigma / c.dsigma * (psNorm/c.chiN - 1))
+	if c.sigma < 1e-8 {
+		c.sigma = 1e-8
+	}
+	if c.sigma > 10 {
+		c.sigma = 10
+	}
+
+	// Carry any phenotypes issued past the generation boundary forward.
+	c.pending = append(c.pending[:0], c.pending[c.lambda:]...)
+	c.scored -= c.lambda
+}

@@ -1,0 +1,97 @@
+// Package policies hosts the optimizer arena's rival entrants for the joint
+// (c_t, x_t) search: a LinUCB contextual bandit over a discretized
+// allocation simplex × quality grid, a separable CMA-ES, and pure random
+// search. Each implements bo.Policy under the package's determinism
+// contract (all randomness via sim.RNG, no wall clock, bit-identical
+// replay from equal seeds); the GP-EI bo.Optimizer registers here too so
+// every serving and tournament path selects policies by name through one
+// registry.
+package policies
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mar-hbo/hbo/internal/bo"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// Canonical policy names. The empty string is an alias for NameGPEI
+// everywhere a name is accepted: the GP-EI optimizer is the paper's default
+// and pre-arena callers never named it.
+const (
+	NameGPEI   = "gp-ei"
+	NameLinUCB = "linucb"
+	NameCMAES  = "cmaes"
+	NameRandom = "random"
+)
+
+// Names returns the registered policy names, sorted.
+func Names() []string {
+	names := []string{NameGPEI, NameLinUCB, NameCMAES, NameRandom}
+	sort.Strings(names)
+	return names
+}
+
+// Valid reports whether name selects a registered policy. The empty string
+// is valid (it means the GP-EI default).
+func Valid(name string) bool {
+	switch name {
+	case "", NameGPEI, NameLinUCB, NameCMAES, NameRandom:
+		return true
+	}
+	return false
+}
+
+// Canonical maps a policy name to its canonical serving form: the GP-EI
+// default collapses to the empty string so pre-arena sessions, snapshots,
+// and wire frames compare equal to ones that name it explicitly.
+func Canonical(name string) string {
+	if name == NameGPEI {
+		return ""
+	}
+	return name
+}
+
+// Durable reports whether the named policy's sessions survive eviction via
+// snapshots. CMA-ES carries evolution paths an OptimizerState cannot
+// express, so it is ephemeral; everything else round-trips.
+func Durable(name string) bool {
+	return Canonical(name) != NameCMAES
+}
+
+// New constructs the named policy over dom. cfg supplies the shared search
+// parameters every entrant interprets for itself (InitSamples bounds the
+// warm-up phase; GP-specific fields are ignored by non-GP entrants). All
+// randomness flows from rng.
+func New(name string, dom bo.Domain, cfg bo.Config, rng *sim.RNG) (bo.Policy, error) {
+	switch Canonical(name) {
+	case "":
+		return bo.NewOptimizer(dom, cfg, rng)
+	case NameLinUCB:
+		return NewLinUCB(dom, cfg, rng)
+	case NameCMAES:
+		return NewCMAES(dom, cfg, rng)
+	case NameRandom:
+		return NewRandom(dom, cfg, rng)
+	}
+	return nil, fmt.Errorf("policies: unknown policy %q (have %v)", name, Names())
+}
+
+// Restore rebuilds the named policy from an exported state so its future
+// suggestion stream continues bit-identically. Only durable policies
+// restore; asking for an ephemeral one is an error the caller must map to
+// its replay fallback.
+func Restore(name string, dom bo.Domain, cfg bo.Config, st *bo.OptimizerState) (bo.Policy, error) {
+	switch Canonical(name) {
+	case "":
+		return bo.NewOptimizerFromState(dom, cfg, st)
+	case NameLinUCB:
+		return restoreLinUCB(dom, cfg, st)
+	case NameRandom:
+		return restoreRandom(dom, cfg, st)
+	case NameCMAES:
+		return nil, fmt.Errorf("policies: %s is ephemeral and cannot be restored from a snapshot", NameCMAES)
+	}
+	return nil, fmt.Errorf("policies: unknown policy %q (have %v)", name, Names())
+}

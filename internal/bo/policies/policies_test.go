@@ -1,0 +1,329 @@
+package policies
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/mar-hbo/hbo/internal/bo"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// testConfig shrinks the GP search budget so the battery's ≥1000 cases stay
+// fast; non-GP entrants only read InitSamples from it.
+func testConfig() bo.Config {
+	cfg := bo.DefaultConfig()
+	cfg.InitSamples = 3
+	cfg.Candidates = 32
+	cfg.RefineSteps = 5
+	return cfg
+}
+
+// testDomain derives a small but varied domain from quick's raw bytes.
+func testDomain(nRaw, rminRaw uint8) bo.Domain {
+	return bo.Domain{
+		N:    1 + int(nRaw%5),
+		RMin: float64(rminRaw%90) / 100,
+	}
+}
+
+// syntheticCost is the deterministic objective the battery evaluates
+// suggestions against: smooth, finite, and point-dependent so learning
+// policies have something to chew on.
+func syntheticCost(p []float64) float64 {
+	c := 0.0
+	for i, v := range p {
+		c += float64(i+1) * v * v
+	}
+	return c + 0.25*p[len(p)-1]
+}
+
+const propertyRounds = 12
+
+// TestPolicySuggestionsStayInDomain: every suggestion from every entrant
+// lies on the allocation simplex with the ratio inside [RMin, 1], across
+// random seeds and domain shapes. 4 policies × 100 cases × 12 rounds.
+func TestPolicySuggestionsStayInDomain(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint64, nRaw, rminRaw uint8) bool {
+				dom := testDomain(nRaw, rminRaw)
+				pol, err := New(name, dom, testConfig(), sim.NewRNG(seed))
+				if err != nil {
+					t.Fatalf("New(%s): %v", name, err)
+				}
+				for i := 0; i < propertyRounds; i++ {
+					p, err := pol.Next()
+					if err != nil {
+						t.Fatalf("Next %d: %v", i, err)
+					}
+					if !dom.Contains(p) {
+						t.Logf("suggestion %d = %v outside %+v", i, p, dom)
+						return false
+					}
+					if err := pol.Observe(p, syntheticCost(p)); err != nil {
+						t.Fatalf("Observe %d: %v", i, err)
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPolicyObserveNeverMutatesSuggestions: a slice returned by Next keeps
+// its exact bits through arbitrarily many later Observe/Next calls — the
+// caller owns it.
+func TestPolicyObserveNeverMutatesSuggestions(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint64, nRaw, rminRaw uint8) bool {
+				dom := testDomain(nRaw, rminRaw)
+				pol, err := New(name, dom, testConfig(), sim.NewRNG(seed))
+				if err != nil {
+					t.Fatalf("New(%s): %v", name, err)
+				}
+				var issued [][]float64
+				var snap [][]uint64
+				for i := 0; i < propertyRounds; i++ {
+					p, err := pol.Next()
+					if err != nil {
+						t.Fatalf("Next %d: %v", i, err)
+					}
+					bits := make([]uint64, len(p))
+					for j, v := range p {
+						bits[j] = math.Float64bits(v)
+					}
+					issued = append(issued, p)
+					snap = append(snap, bits)
+					if err := pol.Observe(p, syntheticCost(p)); err != nil {
+						t.Fatalf("Observe %d: %v", i, err)
+					}
+				}
+				for i, p := range issued {
+					for j, v := range p {
+						if math.Float64bits(v) != snap[i][j] {
+							t.Logf("suggestion %d mutated at dim %d", i, j)
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPolicyReseedReplaysIdentically: two instances built from the same
+// seed and fed the same observations emit bit-identical suggestion streams.
+func TestPolicyReseedReplaysIdentically(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint64, nRaw, rminRaw uint8) bool {
+				dom := testDomain(nRaw, rminRaw)
+				a, err := New(name, dom, testConfig(), sim.NewRNG(seed))
+				if err != nil {
+					t.Fatalf("New(%s): %v", name, err)
+				}
+				b, err := New(name, dom, testConfig(), sim.NewRNG(seed))
+				if err != nil {
+					t.Fatalf("New(%s): %v", name, err)
+				}
+				for i := 0; i < propertyRounds; i++ {
+					pa, err := a.Next()
+					if err != nil {
+						t.Fatalf("a.Next %d: %v", i, err)
+					}
+					pb, err := b.Next()
+					if err != nil {
+						t.Fatalf("b.Next %d: %v", i, err)
+					}
+					if !samePoint(pa, pb) {
+						t.Logf("suggestion %d diverged: %v vs %v", i, pa, pb)
+						return false
+					}
+					cost := syntheticCost(pa)
+					if err := a.Observe(pa, cost); err != nil {
+						t.Fatalf("a.Observe %d: %v", i, err)
+					}
+					if err := b.Observe(pb, cost); err != nil {
+						t.Fatalf("b.Observe %d: %v", i, err)
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// samePoint compares two suggestions bitwise — the determinism contract is
+// bit-identity, not approximate equality.
+func samePoint(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDurableRoundTrip drives each durable policy, snapshots it mid-stream,
+// restores through the registry, and requires the restored instance to
+// continue bit-identically with the uninterrupted original.
+func TestDurableRoundTrip(t *testing.T) {
+	dom := bo.Domain{N: 3, RMin: 0.1}
+	for _, name := range Names() {
+		if !Durable(name) {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pol, err := New(name, dom, testConfig(), sim.NewRNG(99))
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			for i := 0; i < 7; i++ {
+				p, err := pol.Next()
+				if err != nil {
+					t.Fatalf("Next %d: %v", i, err)
+				}
+				if err := pol.Observe(p, syntheticCost(p)); err != nil {
+					t.Fatalf("Observe %d: %v", i, err)
+				}
+			}
+			dp, ok := pol.(bo.DurablePolicy)
+			if !ok {
+				t.Fatalf("%s marked durable but does not implement bo.DurablePolicy", name)
+			}
+			restored, err := Restore(name, dom, testConfig(), dp.ExportState())
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if got, want := restored.Observations(), pol.Observations(); got != want {
+				t.Fatalf("restored observations = %d, want %d", got, want)
+			}
+			for i := 0; i < 5; i++ {
+				want, err := pol.Next()
+				if err != nil {
+					t.Fatalf("original Next: %v", err)
+				}
+				got, err := restored.Next()
+				if err != nil {
+					t.Fatalf("restored Next: %v", err)
+				}
+				if !samePoint(got, want) {
+					t.Fatalf("post-restore suggestion %d = %v, want bit-identical %v", i, got, want)
+				}
+				cost := syntheticCost(want)
+				if err := pol.Observe(want, cost); err != nil {
+					t.Fatalf("original Observe: %v", err)
+				}
+				if err := restored.Observe(got, cost); err != nil {
+					t.Fatalf("restored Observe: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestEphemeralPolicyRefusesRestore: CMA-ES must not pretend to restore.
+func TestEphemeralPolicyRefusesRestore(t *testing.T) {
+	if Durable(NameCMAES) {
+		t.Fatal("cmaes must be marked ephemeral")
+	}
+	if _, err := Restore(NameCMAES, bo.Domain{N: 3, RMin: 0.1}, testConfig(), &bo.OptimizerState{}); err == nil {
+		t.Fatal("Restore(cmaes) succeeded, want ephemeral error")
+	}
+	if _, ok := interface{}(&CMAES{}).(bo.DurablePolicy); ok {
+		t.Fatal("CMAES implements DurablePolicy; its evolution paths cannot round-trip an OptimizerState")
+	}
+}
+
+// TestRegistry pins the registry surface: name set, aliasing, validation.
+func TestRegistry(t *testing.T) {
+	want := []string{"cmaes", "gp-ei", "linucb", "random"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range append(want, "") {
+		if !Valid(name) {
+			t.Errorf("Valid(%q) = false", name)
+		}
+	}
+	if Valid("nope") {
+		t.Error("Valid(nope) = true")
+	}
+	if Canonical(NameGPEI) != "" || Canonical(NameLinUCB) != NameLinUCB {
+		t.Error("Canonical aliasing broken")
+	}
+	if _, err := New("nope", bo.Domain{N: 2, RMin: 0.1}, testConfig(), sim.NewRNG(1)); err == nil ||
+		!strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("New(nope) err = %v, want unknown policy", err)
+	}
+	// The GP-EI default resolves through both spellings to the same type.
+	a, err := New("", bo.Domain{N: 2, RMin: 0.1}, testConfig(), sim.NewRNG(1))
+	if err != nil {
+		t.Fatalf("New(\"\"): %v", err)
+	}
+	if _, ok := a.(*bo.Optimizer); !ok {
+		t.Fatalf("New(\"\") = %T, want *bo.Optimizer", a)
+	}
+}
+
+// TestGPEIBitIdenticalThroughRegistry: the registry-constructed GP-EI is
+// the same code path as a direct bo.NewOptimizer — the Policy extraction
+// must not perturb a single bit of the reference stream.
+func TestGPEIBitIdenticalThroughRegistry(t *testing.T) {
+	dom := bo.Domain{N: 3, RMin: 0.1}
+	cfg := testConfig()
+	viaRegistry, err := New(NameGPEI, dom, cfg, sim.NewRNG(7))
+	if err != nil {
+		t.Fatalf("registry: %v", err)
+	}
+	direct, err := bo.NewOptimizer(dom, cfg, sim.NewRNG(7))
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		pr, err := viaRegistry.Next()
+		if err != nil {
+			t.Fatalf("registry Next: %v", err)
+		}
+		pd, err := direct.Next()
+		if err != nil {
+			t.Fatalf("direct Next: %v", err)
+		}
+		if !samePoint(pr, pd) {
+			t.Fatalf("suggestion %d: registry %v != direct %v", i, pr, pd)
+		}
+		cost := syntheticCost(pr)
+		if err := viaRegistry.Observe(pr, cost); err != nil {
+			t.Fatal(err)
+		}
+		if err := direct.Observe(pd, cost); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package bo
+
+// Policy is the pluggable contract over the joint (c_t, x_t) search: any
+// sequential decision procedure that suggests points in a Domain and learns
+// from observed costs. The GP-EI Optimizer is the reference implementation;
+// rival entrants (bandits, evolution strategies, random search) live in
+// internal/bo/policies and race under internal/experiments' arena harness.
+//
+// The determinism contract every implementation must honor:
+//
+//   - All randomness flows through a seeded *sim.RNG supplied at
+//     construction. No wall clock, no global math/rand, no map-iteration
+//     order may influence a suggestion.
+//   - Next is a pure function of (construction parameters, RNG position,
+//     observation history): two policies built identically and fed the same
+//     Observe sequence emit bit-identical suggestion streams.
+//   - Observe must not retroactively mutate a slice previously returned by
+//     Next; suggestions are owned by the caller once returned.
+//
+// Policies are not safe for concurrent use; callers serialize access
+// (sessiond holds the per-session lock, the arena runs one policy per
+// goroutine).
+type Policy interface {
+	// Next suggests the next configuration to evaluate, encoded as
+	// [c_1 ... c_N, x] in the policy's Domain.
+	Next() ([]float64, error)
+	// Observe records the measured cost of a previously suggested point.
+	Observe(p []float64, cost float64) error
+	// Observations returns the number of recorded (point, cost) pairs.
+	Observations() int
+	// Best returns the lowest-cost observed point, ok=false before any
+	// observation.
+	Best() (p []float64, cost float64, ok bool)
+}
+
+// DurablePolicy is a Policy whose complete resumable state fits in an
+// OptimizerState: the RNG position plus the observation database (the GP
+// fields stay zero for non-GP entrants). sessiond snapshots DurablePolicy
+// sessions across evictions and restarts; policies that carry state an
+// OptimizerState cannot express (e.g. CMA-ES evolution paths) are
+// "ephemeral" — eviction drops them and re-admission rebuilds via client
+// replay.
+type DurablePolicy interface {
+	Policy
+	// ExportState deep-copies the policy's resumable state. Restoring via
+	// the policies registry must yield a policy whose future suggestion
+	// stream is bit-identical to the exporter's.
+	ExportState() *OptimizerState
+}
+
+var (
+	_ Policy        = (*Optimizer)(nil)
+	_ DurablePolicy = (*Optimizer)(nil)
+)

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/mar-hbo/hbo/internal/bo/policies"
 	"github.com/mar-hbo/hbo/internal/edge"
 	"github.com/mar-hbo/hbo/internal/mesh"
 	"github.com/mar-hbo/hbo/internal/obs"
@@ -57,6 +58,21 @@ func NewClient(ec *edge.Client, id string, resources int, rmin float64, seed uin
 	return &Client{ec: ec, id: id, p: p}, nil
 }
 
+// SetPolicy selects the server-side optimizer policy for this session (see
+// internal/bo/policies); empty (or "gp-ei") keeps the paper's GP-EI
+// default. Call before Open — the policy is part of the session's
+// parameters, and changing it after the server created the session would
+// rebuild it from scratch on the next open.
+func (c *Client) SetPolicy(name string) error {
+	p := c.p
+	p.policy = policies.Canonical(name)
+	if err := p.validate(); err != nil {
+		return err
+	}
+	c.p = p
+	return nil
+}
+
 // SetObserver attaches a metrics registry: a suggest round-trip latency
 // histogram (the load generator's tail-latency source) and a re-admission
 // counter. Passing nil detaches.
@@ -102,7 +118,7 @@ func (c *Client) Available() bool { return c.ec.Available() }
 // durable snapshot, and how many observations the server already holds —
 // the caller's cue to replay only the unseen tail of its history.
 func (c *Client) Open(ctx context.Context) (OpenResponse, error) {
-	req := OpenRequest{ID: c.id, Resources: c.p.resources, RMin: c.p.rmin, Seed: c.p.seed, Init: c.p.init}
+	req := OpenRequest{ID: c.id, Resources: c.p.resources, RMin: c.p.rmin, Seed: c.p.seed, Init: c.p.init, Policy: c.p.policy}
 	if c.stream != nil {
 		resp, err := c.stream.Open(ctx, req)
 		if err == nil || !useJSON(err) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/mar-hbo/hbo/internal/bo"
+	"github.com/mar-hbo/hbo/internal/bo/policies"
 )
 
 // SessionStore persists per-session snapshots as opaque blobs keyed by
@@ -47,7 +48,8 @@ type DurabilityStats struct {
 	StoreBytes int64 `json:"store_bytes"`
 }
 
-// snapshotLocked captures the session's durable state. Caller holds sess.mu.
+// snapshotLocked captures the session's durable state. Caller holds sess.mu
+// and has already checked sess.durable, so the assertion cannot fail.
 func (sess *session) snapshotLocked() *snapshot {
 	return &snapshot{
 		id:       sess.id,
@@ -55,18 +57,20 @@ func (sess *session) snapshotLocked() *snapshot {
 		suggests: uint64(sess.suggests),
 		observes: uint64(sess.observes),
 		window:   append([]float64(nil), sess.window...),
-		opt:      sess.opt.ExportState(),
+		opt:      sess.opt.(bo.DurablePolicy).ExportState(),
 		manifest: sess.meshes.manifest(),
 	}
 }
 
 // saveSession snapshots a dirty session into the store. A clean session
-// (nothing mutated since the last save) is skipped for free. Save errors
-// leave the session live and dirty — the next trigger retries — and are
-// surfaced only through counters, because every call site (eviction, drain,
-// periodic) must keep serving regardless.
+// (nothing mutated since the last save) is skipped for free, and so is an
+// ephemeral one — its policy carries state the snapshot cannot express, so
+// eviction drops it and the client's replay fallback rebuilds it. Save
+// errors leave the session live and dirty — the next trigger retries — and
+// are surfaced only through counters, because every call site (eviction,
+// drain, periodic) must keep serving regardless.
 func (s *Service) saveSession(sess *session) {
-	if s.cfg.Store == nil {
+	if s.cfg.Store == nil || !sess.durable {
 		return
 	}
 	sess.mu.Lock()
@@ -120,21 +124,25 @@ func (s *Service) timedRestore(restore func()) {
 }
 
 // restoreSession rebuilds a live session from a decoded snapshot: the
-// optimizer resumes from its exported factor and RNG position in O(m)
-// copies (no replay, no refit), and the mesh-cache manifest is reinstalled
-// as placeholders that re-decimate lazily.
+// policy resumes from its exported state via the registry (for GP-EI that
+// is O(m) factor/RNG copies — no replay, no refit), and the mesh-cache
+// manifest is reinstalled as placeholders that re-decimate lazily. A
+// snapshot naming an ephemeral policy cannot exist through the save path
+// and fails here, degrading to the replay fallback.
 func (s *Service) restoreSession(snap *snapshot) (*session, error) {
 	dom := bo.Domain{N: snap.p.resources, RMin: snap.p.rmin}
-	opt, err := bo.NewOptimizerFromState(dom, boConfig(snap.p), snap.opt)
+	opt, err := policies.Restore(snap.p.policy, dom, boConfig(snap.p), snap.opt)
 	if err != nil {
 		return nil, fmt.Errorf("sessiond: restoring %s: %w", snap.id, err)
 	}
+	_, durable := opt.(bo.DurablePolicy)
 	meshes := newMeshCache(s.cfg.MeshCacheCap)
 	meshes.restoreManifest(snap.manifest)
 	return &session{
 		id:       snap.id,
 		p:        snap.p,
 		opt:      opt,
+		durable:  durable,
 		window:   snap.window,
 		suggests: int(snap.suggests),
 		observes: int(snap.observes),

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/mar-hbo/hbo/internal/bo/policies"
 	"github.com/mar-hbo/hbo/internal/edge"
 )
 
@@ -19,13 +20,16 @@ const (
 )
 
 // OpenRequest creates (or idempotently re-finds) a session. Init is the BO
-// init-sample budget; zero means the paper's 5.
+// init-sample budget; zero means the paper's 5. Policy names the optimizer
+// entrant (see internal/bo/policies); empty (or "gp-ei") means the paper's
+// GP-EI default.
 type OpenRequest struct {
 	ID        string  `json:"id"`
 	Resources int     `json:"resources"`
 	RMin      float64 `json:"rmin"`
 	Seed      uint64  `json:"seed"`
 	Init      int     `json:"init,omitempty"`
+	Policy    string  `json:"policy,omitempty"`
 }
 
 // OpenResponse reports the open outcome. Existing means the session was
@@ -34,12 +38,16 @@ type OpenRequest struct {
 // this open displaced ("" when the shard had room). Observations is the
 // session's current database size — after a restore, the client replays
 // only the history past this point instead of all of it.
+// Ephemeral marks a session whose policy cannot snapshot (it carries state
+// the snapshot format cannot express): eviction drops it and re-admission
+// rebuilds via the client's full replay.
 type OpenResponse struct {
 	ID           string `json:"id"`
 	Existing     bool   `json:"existing,omitempty"`
 	Restored     bool   `json:"restored,omitempty"`
 	Evicted      string `json:"evicted,omitempty"`
 	Observations int    `json:"observations"`
+	Ephemeral    bool   `json:"ephemeral,omitempty"`
 }
 
 // SuggestRequest asks for the session's next configuration.
@@ -197,7 +205,13 @@ func (s *Service) handleOpen(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	p := params{resources: req.Resources, rmin: req.RMin, seed: req.Seed, init: req.Init}
+	p := params{
+		resources: req.Resources,
+		rmin:      req.RMin,
+		seed:      req.Seed,
+		init:      req.Init,
+		policy:    policies.Canonical(req.Policy),
+	}
 	if p.init == 0 {
 		p.init = 5
 	}
@@ -225,6 +239,7 @@ func (s *Service) handleOpen(w http.ResponseWriter, r *http.Request) {
 		Restored:     res.restored,
 		Evicted:      res.evicted,
 		Observations: sess.observations(),
+		Ephemeral:    !sess.durable,
 	})
 }
 

@@ -1,0 +1,306 @@
+package sessiond_test
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/bo"
+	"github.com/mar-hbo/hbo/internal/bo/policies"
+	"github.com/mar-hbo/hbo/internal/edge"
+	"github.com/mar-hbo/hbo/internal/edge/sessiond"
+	"github.com/mar-hbo/hbo/internal/edge/sessiond/snapstore"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// refPolicy mirrors exactly how the service builds a session's policy, so a
+// test can predict every suggestion a policy-selected session must produce.
+func refPolicy(t *testing.T, name string, seed uint64) bo.Policy {
+	t.Helper()
+	cfg := bo.DefaultConfig()
+	cfg.InitSamples = testInit
+	p, err := policies.New(name, bo.Domain{N: testResources, RMin: testRMin}, cfg, sim.NewRNG(seed))
+	if err != nil {
+		t.Fatalf("reference policy %q: %v", name, err)
+	}
+	return p
+}
+
+func newPolicyService(t *testing.T, store sessiond.SessionStore) *sessiond.Service {
+	t.Helper()
+	svc, err := sessiond.New(sessiond.Config{
+		Shards:           1,
+		SessionsPerShard: 1,
+		QueueBound:       8,
+		RetryAfterSec:    1,
+		MaxBatch:         4,
+		MeshCacheCap:     2,
+		Store:            store,
+	}, nil)
+	if err != nil {
+		t.Fatalf("service: %v", err)
+	}
+	return svc
+}
+
+func newPolicyClient(t *testing.T, baseURL, id, policy string, seed uint64, stream bool) *sessiond.Client {
+	t.Helper()
+	sc := newTestClient(t, baseURL, id, seed)
+	if err := sc.SetPolicy(policy); err != nil {
+		t.Fatalf("set policy %q: %v", policy, err)
+	}
+	if stream {
+		ec, err := edge.NewClient(baseURL, 4)
+		if err != nil {
+			t.Fatalf("stream edge client: %v", err)
+		}
+		str, err := sessiond.NewStreamClient(ec)
+		if err != nil {
+			t.Fatalf("stream client: %v", err)
+		}
+		t.Cleanup(func() { _ = str.Close() })
+		sc.SetStream(str)
+	}
+	return sc
+}
+
+// drivePolicySteps runs steps suggest/observe rounds through the client,
+// asserting bit-identity against the reference policy at every step.
+func drivePolicySteps(t *testing.T, ctx context.Context, sc *sessiond.Client, ref bo.Policy, seed uint64, from, to int) {
+	t.Helper()
+	for k := from; k < to; k++ {
+		got, err := sc.Suggest(ctx)
+		if err != nil {
+			t.Fatalf("suggest %d: %v", k, err)
+		}
+		want, err := ref.Next()
+		if err != nil {
+			t.Fatalf("reference next %d: %v", k, err)
+		}
+		for d := range want {
+			if math.Float64bits(got[d]) != math.Float64bits(want[d]) {
+				t.Fatalf("step %d dim %d: got %x want %x",
+					k, d, math.Float64bits(got[d]), math.Float64bits(want[d]))
+			}
+		}
+		cost := testCost(seed, k, want)
+		if err := ref.Observe(want, cost); err != nil {
+			t.Fatalf("reference observe %d: %v", k, err)
+		}
+		if err := sc.Observe(ctx, got, cost); err != nil {
+			t.Fatalf("observe %d: %v", k, err)
+		}
+	}
+}
+
+// TestLinUCBSessionSurvivesEviction drives a linucb session over both
+// transports through the full durability lifecycle: open with an explicit
+// policy, build history, get evicted by an intruder in a size-1 shard,
+// re-open from the snapshot (Restored=true), and continue bit-identically
+// with an uninterrupted reference policy. This is the acceptance criterion:
+// a non-default policy serves suggest/observe over JSON and stream and
+// survives eviction/re-admission.
+func TestLinUCBSessionSurvivesEviction(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		stream bool
+	}{
+		{"json", false},
+		{"stream", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			store := snapstore.NewMemStore()
+			svc := newPolicyService(t, store)
+			ts := httptest.NewServer(svc.Handler())
+			t.Cleanup(func() {
+				ts.Close()
+				svc.Close()
+			})
+
+			ctx := context.Background()
+			const seed = 42
+			sc := newPolicyClient(t, ts.URL, "victim", policies.NameLinUCB, seed, tc.stream)
+			res, err := sc.Open(ctx)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			if res.Ephemeral {
+				t.Fatal("linucb session reported ephemeral, want durable")
+			}
+			ref := refPolicy(t, policies.NameLinUCB, seed)
+			drivePolicySteps(t, ctx, sc, ref, seed, 0, 7)
+
+			// Evict the victim; its snapshot must land in the store.
+			intruder := newPolicyClient(t, ts.URL, "intruder", "", 7, tc.stream)
+			ires, err := intruder.Open(ctx)
+			if err != nil {
+				t.Fatalf("open intruder: %v", err)
+			}
+			if ires.Evicted != "victim" {
+				t.Fatalf("intruder evicted %q, want victim", ires.Evicted)
+			}
+			if _, ok, err := store.Get("victim"); err != nil || !ok {
+				t.Fatalf("store.Get(victim) = ok=%v err=%v, want snapshot present", ok, err)
+			}
+
+			// Re-open restores from the snapshot; the continuation must stay
+			// bit-identical to the never-evicted reference.
+			res, err = sc.Open(ctx)
+			if err != nil {
+				t.Fatalf("re-open: %v", err)
+			}
+			if !res.Restored {
+				t.Fatal("re-open did not restore from snapshot")
+			}
+			if res.Observations != 7 {
+				t.Fatalf("restored observations = %d, want 7", res.Observations)
+			}
+			drivePolicySteps(t, ctx, sc, ref, seed, 7, 12)
+		})
+	}
+}
+
+// TestEphemeralPolicySession checks the cmaes contract on both transports:
+// the open response carries the ephemeral marker, eviction writes no
+// snapshot, and a re-open starts a fresh session (Restored=false) whose
+// suggestion stream equals a fresh reference policy's.
+func TestEphemeralPolicySession(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		stream bool
+	}{
+		{"json", false},
+		{"stream", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			store := snapstore.NewMemStore()
+			svc := newPolicyService(t, store)
+			ts := httptest.NewServer(svc.Handler())
+			t.Cleanup(func() {
+				ts.Close()
+				svc.Close()
+			})
+
+			ctx := context.Background()
+			const seed = 11
+			sc := newPolicyClient(t, ts.URL, "eph", policies.NameCMAES, seed, tc.stream)
+			res, err := sc.Open(ctx)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			if !res.Ephemeral {
+				t.Fatal("cmaes session not marked ephemeral")
+			}
+			ref := refPolicy(t, policies.NameCMAES, seed)
+			drivePolicySteps(t, ctx, sc, ref, seed, 0, 6)
+
+			intruder := newPolicyClient(t, ts.URL, "intruder", "", 7, tc.stream)
+			if _, err := intruder.Open(ctx); err != nil {
+				t.Fatalf("open intruder: %v", err)
+			}
+			if _, ok, err := store.Get("eph"); err != nil || ok {
+				t.Fatalf("store.Get(eph) = ok=%v err=%v, want no snapshot for ephemeral policy", ok, err)
+			}
+
+			// Re-open is a fresh start, still marked ephemeral.
+			res, err = sc.Open(ctx)
+			if err != nil {
+				t.Fatalf("re-open: %v", err)
+			}
+			if res.Restored {
+				t.Fatal("ephemeral session claims restored")
+			}
+			if !res.Ephemeral {
+				t.Fatal("re-opened cmaes session not marked ephemeral")
+			}
+			fresh := refPolicy(t, policies.NameCMAES, seed)
+			drivePolicySteps(t, ctx, sc, fresh, seed, 0, 3)
+		})
+	}
+}
+
+// TestBackendReplayRecoversEphemeralPolicy checks that the client-side
+// replay fallback makes even a snapshot-less policy survive eviction: the
+// Backend re-opens the session and replays the full history, and the result
+// equals a fresh reference policy fed that history.
+func TestBackendReplayRecoversEphemeralPolicy(t *testing.T) {
+	store := snapstore.NewMemStore()
+	svc := newPolicyService(t, store)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Close()
+
+	ctx := context.Background()
+	const seed = 42
+	sc := newPolicyClient(t, ts.URL, "victim", policies.NameCMAES, seed, false)
+	backend := sessiond.NewBackend(ctx, sc)
+
+	ref := refPolicy(t, policies.NameCMAES, seed)
+	var points [][]float64
+	var costs []float64
+	for k := 0; k < 5; k++ {
+		got, err := backend.BONextPoint(testResources, testRMin, seed, points, costs)
+		if err != nil {
+			t.Fatalf("backend step %d: %v", k, err)
+		}
+		want, err := ref.Next()
+		if err != nil {
+			t.Fatalf("reference step %d: %v", k, err)
+		}
+		for d := range want {
+			if math.Float64bits(got[d]) != math.Float64bits(want[d]) {
+				t.Fatalf("pre-eviction step %d dim %d: got %x want %x",
+					k, d, math.Float64bits(got[d]), math.Float64bits(want[d]))
+			}
+		}
+		cost := testCost(seed, k, want)
+		if err := ref.Observe(want, cost); err != nil {
+			t.Fatalf("reference observe: %v", err)
+		}
+		points = append(points, want)
+		costs = append(costs, cost)
+	}
+
+	intruder := newTestClient(t, ts.URL, "intruder", 7)
+	if _, err := intruder.Open(ctx); err != nil {
+		t.Fatalf("open intruder: %v", err)
+	}
+
+	got, err := backend.BONextPoint(testResources, testRMin, seed, points, costs)
+	if err != nil {
+		t.Fatalf("backend after eviction: %v", err)
+	}
+	rebuilt := refPolicy(t, policies.NameCMAES, seed)
+	for i := range points {
+		if err := rebuilt.Observe(points[i], costs[i]); err != nil {
+			t.Fatalf("rebuilt reference observe: %v", err)
+		}
+	}
+	want, err := rebuilt.Next()
+	if err != nil {
+		t.Fatalf("rebuilt reference: %v", err)
+	}
+	for d := range want {
+		if math.Float64bits(got[d]) != math.Float64bits(want[d]) {
+			t.Fatalf("post-readmission dim %d: got %x want %x",
+				d, math.Float64bits(got[d]), math.Float64bits(want[d]))
+		}
+	}
+	if sc.Reopens() != 1 {
+		t.Fatalf("Reopens() = %d, want 1", sc.Reopens())
+	}
+}
+
+// TestPolicyRejectedWhenUnknown pins the validation surface: an unknown
+// policy name fails client-side in SetPolicy, and a raw request with a bad
+// name is rejected by the server.
+func TestPolicyRejectedWhenUnknown(t *testing.T) {
+	sc := newTestClient(t, "http://127.0.0.1:0", "x", 1)
+	if err := sc.SetPolicy("no-such-policy"); err == nil {
+		t.Fatal("SetPolicy accepted an unknown policy")
+	}
+	if err := sc.SetPolicy(policies.NameGPEI); err != nil {
+		t.Fatalf("SetPolicy rejected the gp-ei alias: %v", err)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"github.com/mar-hbo/hbo/internal/bo"
+	"github.com/mar-hbo/hbo/internal/bo/policies"
 	"github.com/mar-hbo/hbo/internal/mesh"
 	"github.com/mar-hbo/hbo/internal/obs"
 	"github.com/mar-hbo/hbo/internal/sim"
@@ -139,11 +140,15 @@ func (c Config) validate() error {
 }
 
 // params is the immutable per-session configuration fixed at open time.
+// policy is stored in canonical form (policies.Canonical): the GP-EI
+// default is "", so pre-arena clients and ones naming "gp-ei" explicitly
+// compare equal under the idempotent-open == check.
 type params struct {
 	resources int
 	rmin      float64
 	seed      uint64
 	init      int
+	policy    string
 }
 
 func (p params) validate() error {
@@ -155,6 +160,12 @@ func (p params) validate() error {
 	}
 	if p.init < 1 || p.init > maxInitSamples {
 		return fmt.Errorf("sessiond: init %d out of [1,%d]", p.init, maxInitSamples)
+	}
+	if p.policy != policies.Canonical(p.policy) {
+		return fmt.Errorf("sessiond: policy %q not canonical", p.policy)
+	}
+	if !policies.Valid(p.policy) {
+		return fmt.Errorf("sessiond: unknown policy %q (have %v)", p.policy, policies.Names())
 	}
 	return nil
 }
@@ -171,7 +182,11 @@ type session struct {
 	lastTouch uint64
 
 	mu  sync.Mutex
-	opt *bo.Optimizer
+	opt bo.Policy
+	// durable reports whether opt implements bo.DurablePolicy: durable
+	// sessions snapshot on eviction/drain, ephemeral ones (e.g. cmaes) are
+	// dropped and rebuilt via the client's replay fallback.
+	durable bool
 	// window is the activation window: the most recent rewards (−cost), a
 	// bounded ring surfaced through /session/statz.
 	window   []float64
@@ -332,17 +347,20 @@ func boConfig(p params) bo.Config {
 	return cfg
 }
 
-// newSession builds a fresh session for the given parameters.
+// newSession builds a fresh session for the given parameters, resolving the
+// optimizer through the policy registry (p.policy "" is the GP-EI default).
 func (s *Service) newSession(id string, p params) (*session, error) {
 	dom := bo.Domain{N: p.resources, RMin: p.rmin}
-	opt, err := bo.NewOptimizer(dom, boConfig(p), sim.NewRNG(p.seed))
+	opt, err := policies.New(p.policy, dom, boConfig(p), sim.NewRNG(p.seed))
 	if err != nil {
 		return nil, err
 	}
+	_, durable := opt.(bo.DurablePolicy)
 	return &session{
-		id:     id,
-		p:      p,
-		opt:    opt,
-		meshes: newMeshCache(s.cfg.MeshCacheCap),
+		id:      id,
+		p:       p,
+		opt:     opt,
+		durable: durable,
+		meshes:  newMeshCache(s.cfg.MeshCacheCap),
 	}, nil
 }

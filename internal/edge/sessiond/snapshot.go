@@ -13,7 +13,7 @@ import (
 //
 //	magic   u32  "HBSS" (0x48425353)
 //	version u16  snapshotVersion
-//	flags   u16  bit0: a GP factor is present
+//	flags   u16  bit0: a GP factor is present; bit1: a policy name follows
 //	id      u16 length + bytes                  (≤ maxIDLen)
 //	params  resources u32, rmin f64, seed u64, init u32
 //	counts  suggests u64, observes u64
@@ -21,6 +21,7 @@ import (
 //	window  u32 n + n×f64                       (≤ windowCap)
 //	obs     u32 n, u32 dim, n×dim f64 xs, n f64 ys
 //	gp      [flag] scale f64, rows u32, rows(rows+1)/2 f64 packed factor
+//	policy  [flag] u16 length + bytes           (≤ maxSnapshotPolicyLen)
 //	meshes  u32 n, n×(u16 len + object bytes, i32 ratioStep, u8 fast)
 //	crc     u32  IEEE CRC-32 of every preceding byte
 //
@@ -36,12 +37,21 @@ const (
 	snapshotVersion = 1
 
 	snapFlagGP = 1 << 0
+	// snapFlagPolicy marks a non-default optimizer policy name. The flag is
+	// set if and only if the name is non-empty (the GP-EI default is always
+	// the empty string), so pre-arena snapshots stay byte-identical and a
+	// flagged blob handed to a pre-arena decoder fails loudly instead of
+	// restoring under the wrong policy.
+	snapFlagPolicy = 1 << 1
 
 	// maxSnapshotManifest bounds the decoded mesh-LRU manifest; real caches
 	// are MeshCacheCap-sized (single digits), so this is pure decoder armor.
 	maxSnapshotManifest = 1024
 	// maxSnapshotObjectLen bounds one manifest object name.
 	maxSnapshotObjectLen = 256
+	// maxSnapshotPolicyLen bounds a decoded policy name (real names are
+	// single words; this is decoder armor).
+	maxSnapshotPolicyLen = 64
 )
 
 // snapshot is the decoded form of one session's durable state.
@@ -71,6 +81,10 @@ func encodeSnapshot(s *snapshot) []byte {
 	if hasGP {
 		size += 8 + 4 + 8*len(s.opt.GPFactor)
 	}
+	hasPolicy := s.p.policy != ""
+	if hasPolicy {
+		size += 2 + len(s.p.policy)
+	}
 	size += 4
 	for _, k := range s.manifest {
 		size += 2 + len(k.object) + 4 + 1
@@ -83,6 +97,9 @@ func encodeSnapshot(s *snapshot) []byte {
 	flags := uint16(0)
 	if hasGP {
 		flags |= snapFlagGP
+	}
+	if hasPolicy {
+		flags |= snapFlagPolicy
 	}
 	b = binary.LittleEndian.AppendUint16(b, flags)
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(s.id)))
@@ -114,6 +131,10 @@ func encodeSnapshot(s *snapshot) []byte {
 		for _, v := range s.opt.GPFactor {
 			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 		}
+	}
+	if hasPolicy {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(s.p.policy)))
+		b = append(b, s.p.policy...)
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.manifest)))
 	for _, k := range s.manifest {
@@ -224,7 +245,7 @@ func decodeSnapshot(blob []byte) (*snapshot, error) {
 		return nil, fmt.Errorf("sessiond: snapshot: unsupported version %d", v)
 	}
 	flags := r.u16()
-	if r.err == nil && flags&^uint16(snapFlagGP) != 0 {
+	if r.err == nil && flags&^uint16(snapFlagGP|snapFlagPolicy) != 0 {
 		// Unknown flags mean a future writer; refusing keeps decode∘encode
 		// canonical (every accepted blob re-encodes to identical bytes).
 		return nil, fmt.Errorf("sessiond: snapshot: unknown flags %04x", flags)
@@ -281,6 +302,22 @@ func decodeSnapshot(blob []byte) (*snapshot, error) {
 		}
 		s.opt.GPRows = rows
 		s.opt.GPFactor = r.f64s(rows * (rows + 1) / 2)
+	}
+
+	if flags&snapFlagPolicy != 0 {
+		polLen := int(r.u16())
+		if r.err == nil && (polLen < 1 || polLen > maxSnapshotPolicyLen) {
+			return nil, fmt.Errorf("sessiond: snapshot: policy name length %d out of [1,%d]", polLen, maxSnapshotPolicyLen)
+		}
+		s.p.policy = string(r.take(polLen))
+		if r.err == nil {
+			// Re-run the params check now that the policy is known: the name
+			// must be canonical (flag ⇔ non-empty keeps encode∘decode exact)
+			// and registered.
+			if err := s.p.validate(); err != nil {
+				return nil, fmt.Errorf("sessiond: snapshot: %w", err)
+			}
+		}
 	}
 
 	mn := int(r.u32())

@@ -428,6 +428,10 @@ func (sc *StreamClient) Open(ctx context.Context, req OpenRequest) (OpenResponse
 	c.req.RMin = req.RMin
 	c.req.Seed = req.Seed
 	c.req.Init = uint32(req.Init)
+	if req.Policy != "" {
+		c.req.Flags |= wire.FlagPolicy
+		c.req.Policy = append(c.req.Policy[:0], req.Policy...)
+	}
 	if err := sc.do(ctx, "stream open", c); err != nil {
 		return OpenResponse{}, err
 	}
@@ -440,6 +444,7 @@ func (sc *StreamClient) Open(ctx context.Context, req OpenRequest) (OpenResponse
 		Restored:     c.resp.Flags&wire.FlagRestored != 0,
 		Evicted:      string(c.resp.Evicted),
 		Observations: int(c.resp.Observations),
+		Ephemeral:    c.resp.Flags&wire.FlagEphemeral != 0,
 	}, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/mar-hbo/hbo/internal/bo/policies"
 	"github.com/mar-hbo/hbo/internal/edge/sessiond/wire"
 )
 
@@ -218,7 +219,13 @@ func (s *Service) streamOpen(req *wire.Frame, p *streamPending) {
 		errFrame(p, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
-	pr := params{resources: int(req.Resources), rmin: req.RMin, seed: req.Seed, init: int(req.Init)}
+	pr := params{
+		resources: int(req.Resources),
+		rmin:      req.RMin,
+		seed:      req.Seed,
+		init:      int(req.Init),
+		policy:    policies.Canonical(string(req.Policy)),
+	}
 	if pr.init == 0 {
 		pr.init = 5
 	}
@@ -246,6 +253,9 @@ func (s *Service) streamOpen(req *wire.Frame, p *streamPending) {
 	}
 	if res.restored {
 		p.f.Flags |= wire.FlagRestored
+	}
+	if !sess.durable {
+		p.f.Flags |= wire.FlagEphemeral
 	}
 	p.f.Evicted = append(p.f.Evicted[:0], res.evicted...)
 	p.f.Observations = uint32(sess.observations())

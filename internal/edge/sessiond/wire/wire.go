@@ -87,6 +87,15 @@ func (t Type) String() string {
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
 
+// OpenReq flags.
+const (
+	// FlagPolicy marks an OpenReq carrying an explicit optimizer-policy
+	// name after the fixed fields. The flag is set if and only if the name
+	// is non-empty, so pre-arena frames (GP-EI default) stay byte-identical
+	// and the codec stays canonical.
+	FlagPolicy uint16 = 1 << 0
+)
+
 // OpenResp flags.
 const (
 	// FlagExisting marks an open that found the session already live with
@@ -94,6 +103,9 @@ const (
 	FlagExisting uint16 = 1 << 0
 	// FlagRestored marks an open satisfied from a durable snapshot.
 	FlagRestored uint16 = 1 << 1
+	// FlagEphemeral marks a session whose policy cannot snapshot: eviction
+	// drops it and re-admission rebuilds via the client's full replay.
+	FlagEphemeral uint16 = 1 << 2
 )
 
 // NoIndex is the ObserveReq index meaning "no idempotency information:
@@ -108,9 +120,10 @@ const (
 	headerLen = 12 // version u8 + type u8 + flags u16 + seq u64
 	crcLen    = 4
 
-	maxIDLen    = 256
-	maxPointDim = 1024
-	maxMsgLen   = 1024
+	maxIDLen     = 256
+	maxPointDim  = 1024
+	maxMsgLen    = 1024
+	maxPolicyLen = 64
 
 	// MaxFrameBytes bounds one frame body (everything after the length
 	// prefix). The largest legitimate frame — an ObserveReq at the session
@@ -131,7 +144,8 @@ type Frame struct {
 	// Hello req/resp.
 	Version uint16
 
-	// OpenReq: ID, Resources, RMin, Seed, Init.
+	// OpenReq: ID, Resources, RMin, Seed, Init, and (under FlagPolicy) the
+	// optimizer-policy name.
 	// SuggestReq, CloseReq: ID.
 	// ObserveReq: ID, Index, Cost, Point.
 	ID        []byte
@@ -139,6 +153,7 @@ type Frame struct {
 	RMin      float64
 	Seed      uint64
 	Init      uint32
+	Policy    []byte
 	Index     uint32
 	Cost      float64
 	Point     []float64
@@ -175,14 +190,18 @@ func (f *Frame) CopyFrom(src *Frame) {
 	id := append(f.ID[:0], src.ID...)
 	evicted := append(f.Evicted[:0], src.Evicted...)
 	msg := append(f.Msg[:0], src.Msg...)
+	policy := append(f.Policy[:0], src.Policy...)
 	*f = *src
-	f.Point, f.ID, f.Evicted, f.Msg = point, id, evicted, msg
+	f.Point, f.ID, f.Evicted, f.Msg, f.Policy = point, id, evicted, msg, policy
 }
 
 // allowedFlags returns the flag bits a frame of type t may carry.
 func allowedFlags(t Type) uint16 {
-	if t == TOpenResp {
-		return FlagExisting | FlagRestored
+	switch t {
+	case TOpenReq:
+		return FlagPolicy
+	case TOpenResp:
+		return FlagExisting | FlagRestored | FlagEphemeral
 	}
 	return 0
 }
@@ -192,6 +211,11 @@ func allowedFlags(t Type) uint16 {
 func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	if err := validateFrame(f); err != nil {
 		return dst, err
+	}
+	if f.Type == TOpenReq && f.Flags&FlagPolicy != 0 && len(f.Policy) == 0 {
+		// Flag ⇔ non-empty keeps the encoding canonical (the empty name is
+		// spelled "no flag, no bytes", never "flag plus zero length").
+		return dst, fmt.Errorf("wire: FlagPolicy set with empty policy name")
 	}
 	lenAt := len(dst)
 	dst = binary.LittleEndian.AppendUint32(dst, 0) // patched below
@@ -208,6 +232,9 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f.RMin))
 		dst = binary.LittleEndian.AppendUint64(dst, f.Seed)
 		dst = binary.LittleEndian.AppendUint32(dst, f.Init)
+		if f.Flags&FlagPolicy != 0 {
+			dst = appendBytes16(dst, f.Policy)
+		}
 	case TOpenResp:
 		dst = binary.LittleEndian.AppendUint32(dst, f.Observations)
 		dst = appendBytes16(dst, f.Evicted)
@@ -261,6 +288,9 @@ func validateFrame(f *Frame) error {
 	}
 	if len(f.Point) > maxPointDim {
 		return fmt.Errorf("wire: point of %d dims over %d", len(f.Point), maxPointDim)
+	}
+	if len(f.Policy) > maxPolicyLen {
+		return fmt.Errorf("wire: policy name of %d bytes over %d", len(f.Policy), maxPolicyLen)
 	}
 	return nil
 }
@@ -404,6 +434,12 @@ func DecodeFrame(buf []byte, f *Frame) error {
 		f.RMin = r.f64()
 		f.Seed = r.u64()
 		f.Init = r.u32()
+		if f.Flags&FlagPolicy != 0 {
+			f.Policy = r.bytes16("policy", maxPolicyLen)
+			if r.err == nil && len(f.Policy) == 0 {
+				return fmt.Errorf("wire: FlagPolicy set with empty policy name")
+			}
+		}
 	case TOpenResp:
 		f.Observations = r.u32()
 		f.Evicted = r.bytes16("evicted id", maxIDLen)

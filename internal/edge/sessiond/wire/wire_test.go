@@ -14,7 +14,9 @@ func sampleFrames() []Frame {
 		{Type: THelloReq, Seq: 1, Version: Version},
 		{Type: THelloResp, Seq: 1, Version: Version},
 		{Type: TOpenReq, Seq: 2, ID: []byte("c0001"), Resources: 3, RMin: 0.1, Seed: 42, Init: 5},
+		{Type: TOpenReq, Seq: 2, Flags: FlagPolicy, ID: []byte("c0001"), Resources: 3, RMin: 0.1, Seed: 42, Init: 5, Policy: []byte("linucb")},
 		{Type: TOpenResp, Seq: 2, Flags: FlagExisting | FlagRestored, Observations: 7, Evicted: []byte("c0009")},
+		{Type: TOpenResp, Seq: 2, Flags: FlagEphemeral, Observations: 0},
 		{Type: TSuggestReq, Seq: 3, ID: []byte("c0001")},
 		{Type: TSuggestResp, Seq: 3, Observations: 7, Point: []float64{0.25, 0.5, 0.25, 0.75}},
 		{Type: TObserveReq, Seq: 4, ID: []byte("c0001"), Index: 7, Cost: -1.25, Point: []float64{0.25, 0.5, 0.25, 0.75}},
@@ -61,7 +63,8 @@ func assertFrameEqual(t *testing.T, want, got *Frame) {
 	if want.Type != got.Type || want.Flags != got.Flags || want.Seq != got.Seq {
 		t.Fatalf("header mismatch: want %+v got %+v", want, got)
 	}
-	if !bytes.Equal(want.ID, got.ID) || !bytes.Equal(want.Evicted, got.Evicted) || !bytes.Equal(want.Msg, got.Msg) {
+	if !bytes.Equal(want.ID, got.ID) || !bytes.Equal(want.Evicted, got.Evicted) ||
+		!bytes.Equal(want.Msg, got.Msg) || !bytes.Equal(want.Policy, got.Policy) {
 		t.Fatalf("%v: byte fields mismatch: want %+v got %+v", want.Type, want, got)
 	}
 	if len(want.Point) != len(got.Point) {
@@ -126,6 +129,32 @@ func TestDecodeRejects(t *testing.T) {
 		if err := DecodeFrame(b, &f); err == nil {
 			t.Errorf("%s: decode accepted %x", name, b)
 		}
+	}
+}
+
+// TestPolicyCanonicality pins the flag ⇔ non-empty invariant on both codec
+// sides: the empty policy is spelled "no flag, no bytes", never "flag plus
+// zero length", so pre-policy frames stay byte-identical and every encoding
+// of a policy name is unique.
+func TestPolicyCanonicality(t *testing.T) {
+	if _, err := AppendFrame(nil, &Frame{Type: TOpenReq, Seq: 1, Flags: FlagPolicy,
+		ID: []byte("c"), Resources: 3, RMin: 0.1, Seed: 1, Init: 5}); err == nil {
+		t.Fatal("AppendFrame accepted FlagPolicy with empty policy")
+	}
+	long := bytes.Repeat([]byte("p"), 65)
+	if _, err := AppendFrame(nil, &Frame{Type: TOpenReq, Seq: 1, Flags: FlagPolicy,
+		ID: []byte("c"), Resources: 3, RMin: 0.1, Seed: 1, Init: 5, Policy: long}); err == nil {
+		t.Fatal("AppendFrame accepted an oversize policy")
+	}
+	good := encode(t, &Frame{Type: TOpenReq, Seq: 1, Flags: FlagPolicy,
+		ID: []byte("c"), Resources: 3, RMin: 0.1, Seed: 1, Init: 5, Policy: []byte("x")})
+	body := append([]byte(nil), good[4:]...)
+	// The policy field (u16 length + 1 byte) is the last thing before the
+	// CRC; rewrite it as a zero-length payload with the flag still set.
+	cut := append(body[:len(body)-4-3], 0, 0)
+	var f Frame
+	if err := DecodeFrame(recrc(append(cut, 0, 0, 0, 0)), &f); err == nil {
+		t.Fatal("DecodeFrame accepted FlagPolicy with zero-length policy")
 	}
 }
 

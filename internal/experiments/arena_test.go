@@ -1,0 +1,203 @@
+package experiments_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/bo/policies"
+	"github.com/mar-hbo/hbo/internal/core"
+	"github.com/mar-hbo/hbo/internal/experiments"
+	"github.com/mar-hbo/hbo/internal/scenario"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// reducedArena is the fixed tournament the golden test fences: one scenario,
+// every registry entrant, two runs, a 3+5 budget — small enough for CI,
+// wide enough that every policy's full Next/Observe cycle is exercised.
+func reducedArena(jobs int) experiments.ArenaConfig {
+	return experiments.ArenaConfig{
+		Scenarios:   []string{"SC2-CF2"},
+		Policies:    policies.Names(),
+		Runs:        2,
+		InitSamples: 3,
+		Iterations:  5,
+		Seed:        42,
+		Jobs:        jobs,
+	}
+}
+
+func runReduced(t *testing.T, jobs int) *experiments.ArenaResult {
+	t.Helper()
+	res, err := experiments.RunArena(context.Background(), reducedArena(jobs))
+	if err != nil {
+		t.Fatalf("arena (jobs=%d): %v", jobs, err)
+	}
+	return res
+}
+
+func dumpArena(t *testing.T, res *experiments.ArenaResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.WriteTrajectories(&buf); err != nil {
+		t.Fatalf("write trajectories: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestArenaGolden is the tournament's regression fence: the fixed-seed
+// reduced grid must reproduce the checked-in per-policy cost/best/regret
+// trajectories byte for byte, hex float bits included. Regenerate
+// deliberately with:
+//
+//	go test ./internal/experiments -run TestArenaGolden -update
+func TestArenaGolden(t *testing.T) {
+	got := dumpArena(t, runReduced(t, 1))
+
+	golden := filepath.Join("testdata", "arena.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("arena trajectories drifted from golden file %s:\n%s\n"+
+			"If the change is intentional, regenerate with -update.",
+			golden, arenaFirstDiff(want, got))
+	}
+}
+
+// TestArenaJobsInvariance runs the same tournament serially and on eight
+// workers and requires byte-identical dumps and JSON artifacts — the
+// scheduler must be invisible in every emitted byte.
+func TestArenaJobsInvariance(t *testing.T) {
+	serial := runReduced(t, 1)
+	parallel := runReduced(t, 8)
+	if a, b := dumpArena(t, serial), dumpArena(t, parallel); !bytes.Equal(a, b) {
+		t.Fatalf("jobs=1 vs jobs=8 trajectory dumps diverge:\n%s", arenaFirstDiff(a, b))
+	}
+	aj, err := json.Marshal(serial.BenchRecords())
+	if err != nil {
+		t.Fatalf("marshal serial records: %v", err)
+	}
+	bj, err := json.Marshal(parallel.BenchRecords())
+	if err != nil {
+		t.Fatalf("marshal parallel records: %v", err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("jobs=1 vs jobs=8 JSON artifacts diverge:\n want %s\n got %s", aj, bj)
+	}
+}
+
+// TestArenaGPEIMatchesCoreActivation pins the tentpole's bit-identity
+// claim in the arena context: the gp-ei entrant's best-cost trajectory at
+// the paper's full budget must equal core.RunActivation's on the same seed
+// and scenario — the Policy seam and the tournament loop add nothing.
+func TestArenaGPEIMatchesCoreActivation(t *testing.T) {
+	res, err := experiments.RunArena(context.Background(), experiments.ArenaConfig{
+		Scenarios: []string{"SC2-CF2"},
+		Policies:  []string{policies.NameGPEI},
+		Runs:      1,
+		Seed:      42,
+		Jobs:      1,
+	})
+	if err != nil {
+		t.Fatalf("arena: %v", err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(res.Cells))
+	}
+	built, err := scenario.SC2CF2().Build(42 + 1000)
+	if err != nil {
+		t.Fatalf("build twin: %v", err)
+	}
+	act, err := core.RunActivation(built.Runtime, core.DefaultConfig(), sim.NewRNG(42+1000))
+	if err != nil {
+		t.Fatalf("core activation: %v", err)
+	}
+	want := act.BestCostTrajectory()
+	got := res.Cells[0].Best
+	if len(got) != len(want) {
+		t.Fatalf("trajectory length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("step %d: arena gp-ei %x, core activation %x — Policy seam not bit-identical",
+				i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestArenaRankingShape sanity-checks the derived boards: every entrant is
+// ranked exactly once in ascending mean-final-best order, regret curves are
+// monotone non-decreasing (costs can never beat the empirical baseline),
+// and the benchjson records cover the scenario × policy grid.
+func TestArenaRankingShape(t *testing.T) {
+	res := runReduced(t, 2)
+	if len(res.Ranking) != len(res.Policies) {
+		t.Fatalf("ranking has %d rows for %d policies", len(res.Ranking), len(res.Policies))
+	}
+	seen := map[string]bool{}
+	for i, s := range res.Ranking {
+		if s.Rank != i+1 {
+			t.Fatalf("row %d has rank %d", i, s.Rank)
+		}
+		if seen[s.Policy] {
+			t.Fatalf("policy %q ranked twice", s.Policy)
+		}
+		seen[s.Policy] = true
+		if i > 0 && s.MeanFinalBest < res.Ranking[i-1].MeanFinalBest {
+			t.Fatalf("ranking not ascending at row %d", i)
+		}
+	}
+	for _, c := range res.Cells {
+		for i := 1; i < len(c.Regret); i++ {
+			if c.Regret[i] < c.Regret[i-1] {
+				t.Fatalf("%s/%s run %d: regret decreases at step %d (baseline above an observed cost)",
+					c.Scenario, c.Policy, c.Run, i)
+			}
+		}
+	}
+	recs := res.BenchRecords()
+	if len(recs) != len(res.Scenarios)*len(res.Policies) {
+		t.Fatalf("%d bench records for a %d×%d grid", len(recs), len(res.Scenarios), len(res.Policies))
+	}
+	for _, r := range recs {
+		if r.Extra["rank"] < 1 || r.Extra["rank"] > float64(len(res.Policies)) {
+			t.Fatalf("record %s has rank %v", r.Name, r.Extra["rank"])
+		}
+	}
+}
+
+// arenaFirstDiff locates the first differing line of two dumps.
+func arenaFirstDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d, got %d", len(wl), len(gl))
+}

@@ -60,18 +60,60 @@ func RunOptimalityStudyJobs(seed uint64, jobs int) (*OptimalityResult, error) {
 	spec := scenario.SC2CF2()
 	cfg := core.DefaultConfig()
 
+	best, evaluated, err := oracleSearch(spec, seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := &OptimalityResult{Oracle: best, Evaluated: evaluated}
+
+	// HBO on an identical twin.
+	twin, err := spec.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	act, err := core.RunActivation(twin.Runtime, cfg, sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	res.HBO = OracleConfig{
+		Assignment: act.Assignment,
+		Ratio:      act.Ratio,
+		Cost:       act.Cost,
+		Quality:    act.Quality,
+		Epsilon:    act.Epsilon,
+	}
+	res.HBOEvaluations = len(act.Iterations)
+	oracleReward := -res.Oracle.Cost
+	hboReward := -res.HBO.Cost
+	scale := math.Abs(oracleReward)
+	if scale < 0.1 {
+		scale = 0.1
+	}
+	res.GapPercent = (oracleReward - hboReward) / scale * 100
+	return res, nil
+}
+
+// oracleSearch exhaustively measures every supported (allocation, grid
+// ratio) configuration of spec on a fresh twin each and returns the best one
+// plus the number evaluated. The supported configurations are enumerated
+// sequentially in the serial order and the minimum is taken in enumeration
+// order with strict improvement, so the result is byte-identical for every
+// jobs value. It backs both the optimality study and the arena's
+// oracle-regret baseline.
+func oracleSearch(spec scenario.Spec, seed uint64, jobs int) (OracleConfig, int, error) {
+	cfg := core.DefaultConfig()
+
 	// Enumerate every per-task allocation (skipping unsupported ones) at
 	// every grid ratio, each measured on a fresh twin so history does not
 	// leak between configurations.
 	built, err := spec.Build(seed)
 	if err != nil {
-		return nil, err
+		return OracleConfig{}, 0, err
 	}
 	ids := built.Runtime.TaskIDs()
 	m := len(ids)
 	dev := built.System.Device()
 
-	res := &OptimalityResult{Oracle: OracleConfig{Cost: math.Inf(1)}}
 	total := 1
 	for i := 0; i < m; i++ {
 		total *= tasks.NumResources
@@ -90,7 +132,7 @@ func RunOptimalityStudyJobs(seed uint64, jobs int) (*OptimalityResult, error) {
 			code /= tasks.NumResources
 			mp, err := dev.Model(modelOf(id))
 			if err != nil {
-				return nil, err
+				return OracleConfig{}, 0, err
 			}
 			if !mp.Supported(r) {
 				supported = false
@@ -137,41 +179,16 @@ func RunOptimalityStudyJobs(seed uint64, jobs int) (*OptimalityResult, error) {
 		}
 	})
 	if err := firstError(errs); err != nil {
-		return nil, err
+		return OracleConfig{}, 0, err
 	}
-	res.Evaluated = len(todo)
+	best := OracleConfig{Cost: math.Inf(1)}
 	for i := range measured {
-		if measured[i].Cost < res.Oracle.Cost {
-			res.Oracle = measured[i]
-			res.Oracle.Assignment = cloneAssignment(measured[i].Assignment)
+		if measured[i].Cost < best.Cost {
+			best = measured[i]
+			best.Assignment = cloneAssignment(measured[i].Assignment)
 		}
 	}
-
-	// HBO on an identical twin.
-	twin, err := spec.Build(seed)
-	if err != nil {
-		return nil, err
-	}
-	act, err := core.RunActivation(twin.Runtime, cfg, sim.NewRNG(seed))
-	if err != nil {
-		return nil, err
-	}
-	res.HBO = OracleConfig{
-		Assignment: act.Assignment,
-		Ratio:      act.Ratio,
-		Cost:       act.Cost,
-		Quality:    act.Quality,
-		Epsilon:    act.Epsilon,
-	}
-	res.HBOEvaluations = len(act.Iterations)
-	oracleReward := -res.Oracle.Cost
-	hboReward := -res.HBO.Cost
-	scale := math.Abs(oracleReward)
-	if scale < 0.1 {
-		scale = 0.1
-	}
-	res.GapPercent = (oracleReward - hboReward) / scale * 100
-	return res, nil
+	return best, len(todo), nil
 }
 
 func modelOf(id string) string {

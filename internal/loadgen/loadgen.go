@@ -74,6 +74,9 @@ type Config struct {
 	UseStream bool
 	// CacheCap is each client's local mesh-cache capacity (16 when zero).
 	CacheCap int
+	// Policy selects the server-side optimizer policy for every session
+	// (see internal/bo/policies); empty keeps the GP-EI default.
+	Policy string
 	// Faults, when non-zero, wraps every client's transport in a seeded
 	// fault injector.
 	Faults faults.Plan
@@ -279,6 +282,12 @@ func runOne(ctx context.Context, cfg Config, idx int, seed uint64) SessionResult
 	if err != nil {
 		res.Err = err.Error()
 		return res
+	}
+	if cfg.Policy != "" {
+		if err := sc.SetPolicy(cfg.Policy); err != nil {
+			res.Err = err.Error()
+			return res
+		}
 	}
 	if cfg.Observer != nil {
 		sc.SetObserver(cfg.Observer)
