@@ -1,17 +1,17 @@
 GO ?= go
 
-.PHONY: all vet lint tidy-check build test race bench fuzz cover cover-html check
+.PHONY: all vet lint allocgate tidy-check build test race bench fuzz cover cover-html check
 
 all: check
 
 vet:
 	$(GO) vet ./...
 
-# bin/hbovet is the project vettool: the four custom analyzers (detlint,
-# obslint, ctxlint, errlint — see internal/analysis/ and DESIGN.md §11)
-# compiled into a unitchecker binary that `go vet -vettool` drives. The
-# binary is cached under bin/ and only rebuilt when analyzer (or vendored
-# x/tools) sources change.
+# bin/hbovet is the project vettool: the eight custom analyzers (detlint,
+# obslint, ctxlint, errlint, locklint, copylint, leaklint, codeclint — see
+# internal/analysis/ and DESIGN.md §11/§16) compiled into a unitchecker
+# binary that `go vet -vettool` drives. The binary is cached under bin/ and
+# only rebuilt when analyzer (or vendored x/tools) sources change.
 HBOVET := bin/hbovet
 HBOVET_SRCS := $(shell find cmd/hbovet internal/analysis third_party -name '*.go' -not -path '*/testdata/*') go.mod
 
@@ -20,13 +20,28 @@ $(HBOVET): $(HBOVET_SRCS)
 	$(GO) build -o $(HBOVET) ./cmd/hbovet
 
 # lint runs the standard vet suite plus the custom analyzers over the whole
-# module, then summarizes how many findings are silenced by
-# `//lint:allow <analyzer> <reason>` comments so suppressions stay visible.
+# module, then enforces the suppression budget: the number of
+# `//lint:allow <analyzer> <reason>` comments must equal the count
+# committed in lint.budget, so adding (or removing) a suppression forces a
+# visible lint.budget change in the same diff. Test files are excluded —
+# most analyzers exempt them anyway, and lintutil's own parser tests embed
+# directive strings as fixtures.
+LINT_NAMES := detlint|obslint|ctxlint|errlint|locklint|copylint|leaklint|codeclint
 lint: $(HBOVET)
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(abspath $(HBOVET)) ./...
-	@n=$$(grep -rnE --include='*.go' '(^|[[:space:]])//lint:allow (detlint|obslint|ctxlint|errlint) ' . 2>/dev/null | grep -v testdata | grep -v third_party | wc -l); \
-	echo "lint: clean ($$n suppression(s) in tree; grep -rn 'lint:allow' for the list)"
+	@n=$$(grep -rnE --include='*.go' --exclude='*_test.go' '(^|[[:space:]])//lint:allow ($(LINT_NAMES)) ' . 2>/dev/null | grep -v testdata | grep -v third_party | wc -l); \
+	budget=$$(cat lint.budget); \
+	if [ "$$n" -ne "$$budget" ]; then \
+		echo "lint: $$n suppression(s) in tree but lint.budget says $$budget — update lint.budget in the same change (and justify it in the PR)"; \
+		exit 1; \
+	fi; \
+	echo "lint: clean ($$n suppression(s), within budget; grep -rn 'lint:allow' for the list)"
+
+# allocgate recompiles the //hbo:noalloc packages with escape diagnostics
+# and fails on any heap escape in an annotated hot-path function.
+allocgate:
+	$(GO) run ./cmd/allocgate
 
 # tidy-check fails if go.mod/go.sum drift from what `go mod tidy` would
 # write — CI runs it so the x/tools pin cannot rot silently.
@@ -86,5 +101,6 @@ cover-html:
 	@echo "cover-html: wrote cover.html"
 
 # check is the pre-commit gate: standard vet, the custom analyzer suite,
-# full build, and the test suite (race is the slower CI-side superset).
-check: vet lint build test
+# the zero-alloc gate, full build, and the test suite (race is the slower
+# CI-side superset).
+check: vet lint allocgate build test

@@ -1,0 +1,43 @@
+// allocgate is the zero-allocation build gate: it recompiles every package
+// containing an //hbo:noalloc function with `go build -gcflags=-m=2` and
+// fails (exit 1) if the compiler reports a heap escape inside one of them.
+// Run it from the module root:
+//
+//	go run ./cmd/allocgate          # or: make allocgate
+//
+// See internal/analysis/allocgate for the annotation and exemption rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mar-hbo/hbo/internal/analysis/allocgate"
+)
+
+func main() {
+	root := flag.String("C", ".", "module root to gate")
+	goBin := flag.String("go", "go", "go binary to build with")
+	verbose := flag.Bool("v", false, "list the gated functions")
+	flag.Parse()
+
+	targets, findings, err := allocgate.Check(*goBin, *root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocgate: %v\n", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, t := range targets {
+			fmt.Printf("gated: %s:%d %s\n", t.File, t.Start, t.Func)
+		}
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		fmt.Fprintf(os.Stderr, "allocgate: %d heap escape(s) in //hbo:noalloc functions\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("allocgate: %d function(s) gated, no heap escapes\n", len(targets))
+}

@@ -1,19 +1,31 @@
-// hbovet is the project's vettool: the four hbovet analyzers compiled into
-// a unitchecker binary that `go vet -vettool=bin/hbovet ./...` drives with
-// full type information per package. Build it with `make bin/hbovet` (or
-// just `make lint`, which builds it first).
+// hbovet is the project's vettool: the eight hbovet analyzers compiled
+// into a unitchecker binary that `go vet -vettool=bin/hbovet ./...` drives
+// with full type information per package. Build it with `make bin/hbovet`
+// (or just `make lint`, which builds it first).
+//
+// The first four passes (detlint, obslint, ctxlint, errlint) are AST-level
+// hygiene checks from PR 4. The second four guard the session tier's
+// concurrency and codec invariants: locklint (blocking ops under shard/
+// store locks, lock/unlock path mismatches), copylint (mutex-by-value
+// copies), leaklint (goroutines with no cancellation tie, time.After in
+// loops), and codeclint (encode/decode parity for //hbo:codec pairs).
 //
 // Findings are suppressed per line with `//lint:allow <analyzer> <reason>`;
-// `make lint` reports the suppression count alongside the run so silenced
-// findings stay visible in the vet summary.
+// `make lint` reports the suppression count alongside the run and fails if
+// it exceeds the committed lint.budget, so silenced findings stay visible
+// and cannot accrete silently.
 package main
 
 import (
 	"golang.org/x/tools/go/analysis/unitchecker"
 
+	"github.com/mar-hbo/hbo/internal/analysis/codeclint"
+	"github.com/mar-hbo/hbo/internal/analysis/copylint"
 	"github.com/mar-hbo/hbo/internal/analysis/ctxlint"
 	"github.com/mar-hbo/hbo/internal/analysis/detlint"
 	"github.com/mar-hbo/hbo/internal/analysis/errlint"
+	"github.com/mar-hbo/hbo/internal/analysis/leaklint"
+	"github.com/mar-hbo/hbo/internal/analysis/locklint"
 	"github.com/mar-hbo/hbo/internal/analysis/obslint"
 )
 
@@ -23,5 +35,9 @@ func main() {
 		obslint.Analyzer,
 		ctxlint.Analyzer,
 		errlint.Analyzer,
+		locklint.Analyzer,
+		copylint.Analyzer,
+		leaklint.Analyzer,
+		codeclint.Analyzer,
 	)
 }

@@ -1,0 +1,300 @@
+// Package allocgate turns the compiler's escape analysis into a build
+// gate: functions annotated `//hbo:noalloc` (the GP predict kernel, the
+// wire codec, the shard drain hot path) must stay free of heap escapes, so
+// a regression that would show up as AllocsPerRun creep in a benchmark
+// fails the build instead.
+//
+// The gate recompiles the packages containing annotations with
+// `go build -gcflags=-m=2`, parses the "escapes to heap" / "moved to heap"
+// diagnostics, and reports any that land inside an annotated function
+// body. Two exemptions, both visible in source:
+//
+//   - arguments to fmt.Errorf / errors.New / panic escape by construction
+//     but sit on cold error paths the hot loop never takes; lines spanned
+//     by such calls are exempt.
+//   - a line marked `//hbo:allowalloc <reason>` is exempt — the scratch
+//     warm-up allocation in GP.PredictInto is the canonical case. The
+//     reason is mandatory, same as //lint:allow.
+//
+// Escape positions are attributed to the allocation site, so helpers
+// called from an annotated function are gated only if annotated
+// themselves — annotate the helper too when it sits on the hot path.
+package allocgate
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Directive marks a function whose body must not allocate.
+const Directive = "hbo:noalloc"
+
+// AllowDirective exempts one line, with a mandatory reason.
+const AllowDirective = "hbo:allowalloc"
+
+// Target is one annotated function.
+type Target struct {
+	Func  string // name as declared ("PredictInto", "AppendFrame")
+	File  string // path relative to the module root, slash-separated
+	Start int    // first line of the declaration
+	End   int    // last line of the body
+	allow map[int]bool
+}
+
+// Finding is one escape diagnostic inside an annotated function, or a
+// malformed directive.
+type Finding struct {
+	File string
+	Line int
+	Col  int
+	Func string // enclosing annotated function ("" for directive errors)
+	Msg  string
+}
+
+func (f Finding) String() string {
+	if f.Func == "" {
+		return fmt.Sprintf("%s:%d: %s", f.File, f.Line, f.Msg)
+	}
+	return fmt.Sprintf("%s:%d:%d: %s in //hbo:noalloc %s", f.File, f.Line, f.Col, f.Msg, f.Func)
+}
+
+// skipDirs are tree roots that never hold gated code.
+var skipDirs = map[string]bool{
+	".git": true, "bin": true, "testdata": true, "third_party": true, "results": true,
+}
+
+// Scan walks the module rooted at root and returns every //hbo:noalloc
+// target plus findings for malformed directives.
+func Scan(root string) ([]Target, []Finding, error) {
+	var targets []Target
+	var findings []Finding
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && (skipDirs[d.Name()] || strings.HasPrefix(d.Name(), ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		ts, fs, err := scanFile(path, filepath.ToSlash(rel))
+		if err != nil {
+			return err
+		}
+		targets = append(targets, ts...)
+		findings = append(findings, fs...)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].File != targets[j].File {
+			return targets[i].File < targets[j].File
+		}
+		return targets[i].Start < targets[j].Start
+	})
+	return targets, findings, nil
+}
+
+func scanFile(path, rel string) ([]Target, []Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, nil, err
+	}
+	marked := false
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, Directive) || strings.Contains(c.Text, AllowDirective) {
+				marked = true
+			}
+		}
+	}
+	if !marked {
+		return nil, nil, nil
+	}
+
+	// Lines exempted by //hbo:allowalloc, shared by all targets in the file.
+	allow := map[int]bool{}
+	var findings []Finding
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			i := strings.Index(text, AllowDirective)
+			if i < 0 {
+				continue
+			}
+			if len(strings.Fields(text[i+len(AllowDirective):])) == 0 {
+				findings = append(findings, Finding{File: rel, Line: fset.Position(c.Pos()).Line,
+					Msg: AllowDirective + " directive needs a reason: say why this allocation is intended"})
+				continue
+			}
+			allow[fset.Position(c.Pos()).Line] = true
+		}
+	}
+
+	var targets []Target
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil || fd.Body == nil {
+			continue
+		}
+		annotated := false
+		for _, c := range fd.Doc.List {
+			if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), Directive) {
+				annotated = true
+			}
+		}
+		if !annotated {
+			continue
+		}
+		t := Target{
+			Func:  fd.Name.Name,
+			File:  rel,
+			Start: fset.Position(fd.Pos()).Line,
+			End:   fset.Position(fd.Body.End()).Line,
+			allow: map[int]bool{},
+		}
+		for l := range allow {
+			if l >= t.Start && l <= t.End {
+				t.allow[l] = true
+			}
+		}
+		// Cold error paths: every line spanned by a fmt.Errorf, errors.New,
+		// or panic call escapes its arguments by construction.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isErrCall(call) {
+				return true
+			}
+			from, to := fset.Position(call.Pos()).Line, fset.Position(call.End()).Line
+			for l := from; l <= to; l++ {
+				t.allow[l] = true
+			}
+			return true
+		})
+		targets = append(targets, t)
+	}
+	return targets, findings, nil
+}
+
+func isErrCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return (pkg.Name == "fmt" && fun.Sel.Name == "Errorf") ||
+			(pkg.Name == "errors" && fun.Sel.Name == "New")
+	}
+	return false
+}
+
+// diagRe matches one compiler escape diagnostic.
+var diagRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// Check runs the gate over the module rooted at root using the given go
+// binary ("go" for $PATH). It returns the targets gated, the findings, and
+// an error only for infrastructure failures (a broken build, an unreadable
+// tree) — findings are the caller's verdict to apply.
+func Check(goBin, root string) ([]Target, []Finding, error) {
+	targets, findings, err := Scan(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(targets) == 0 {
+		return nil, findings, nil
+	}
+
+	// Recompile only the packages that contain annotations.
+	pkgSet := map[string]bool{}
+	for _, t := range targets {
+		pkgSet["./"+filepath.ToSlash(filepath.Dir(t.File))] = true
+	}
+	pkgs := make([]string, 0, len(pkgSet))
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	args := append([]string{"build", "-gcflags=-m=2"}, pkgs...)
+	cmd := exec.Command(goBin, args...)
+	cmd.Dir = root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	runErr := cmd.Run()
+
+	byFile := map[string][]Target{}
+	for _, t := range targets {
+		byFile[t.File] = append(byFile[t.File], t)
+	}
+	if runErr != nil {
+		return targets, findings, fmt.Errorf("go build failed: %v\n%s", runErr, out.String())
+	}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := diagRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := strings.TrimSuffix(m[4], ":")
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := filepath.ToSlash(m[1])
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		for _, t := range byFile[file] {
+			if line < t.Start || line > t.End || t.allow[line] {
+				continue
+			}
+			// One finding per source position: -m=2 narrates the same escape
+			// several ways ("escapes to heap" with flow, "moved to heap: x").
+			key := fmt.Sprintf("%s:%d:%d", file, line, col)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			findings = append(findings, Finding{File: file, Line: line, Col: col, Func: t.Func, Msg: msg})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return targets, findings, err
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		if findings[i].Line != findings[j].Line {
+			return findings[i].Line < findings[j].Line
+		}
+		return findings[i].Col < findings[j].Col
+	})
+	return targets, findings, nil
+}

@@ -1,0 +1,165 @@
+package allocgate
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func requireGo(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go binary not on PATH")
+	}
+}
+
+const goMod = "module escapecheck\n\ngo 1.21\n"
+
+// TestDeliberateEscapeFails is the acceptance check: adding a heap escape
+// to a //hbo:noalloc function must fail the gate.
+func TestDeliberateEscapeFails(t *testing.T) {
+	requireGo(t)
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"esc/esc.go": `package esc
+
+//hbo:noalloc
+func Bad() *int {
+	x := 42
+	return &x // deliberate escape: x moves to the heap
+}
+
+//hbo:noalloc
+func Good(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Free is unannotated: its escape is not the gate's business.
+func Free() *int {
+	y := 1
+	return &y
+}
+`,
+	})
+	targets, findings, err := Check("go", root)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(targets) != 2 {
+		t.Fatalf("got %d targets, want 2 (Bad, Good): %v", len(targets), targets)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got findings %v, want exactly one (Bad's escape)", findings)
+	}
+	f := findings[0]
+	if f.Func != "Bad" || !strings.Contains(f.Msg, "heap") {
+		t.Fatalf("finding %v: want a heap escape attributed to Bad", f)
+	}
+}
+
+// TestExemptions: fmt.Errorf error paths and //hbo:allowalloc lines pass;
+// the same allocation without the marker fails.
+func TestExemptions(t *testing.T) {
+	requireGo(t)
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"esc/esc.go": `package esc
+
+import "fmt"
+
+//hbo:noalloc
+func ColdError(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n) // args escape, but this path is cold
+	}
+	return nil
+}
+
+type scratch struct{ buf []float64 }
+
+//hbo:noalloc
+func WarmUp(s *scratch, n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n) //hbo:allowalloc scratch warm-up, happens once
+	}
+}
+
+//hbo:noalloc
+func NoMarker(s *scratch, n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+}
+`,
+	})
+	_, findings, err := Check("go", root)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got findings %v, want exactly one (NoMarker's make)", findings)
+	}
+	if findings[0].Func != "NoMarker" {
+		t.Fatalf("finding %v: want NoMarker, not the exempted functions", findings[0])
+	}
+}
+
+// TestAllowallocNeedsReason: a bare marker is itself a finding.
+func TestAllowallocNeedsReason(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"esc/esc.go": `package esc
+
+//hbo:noalloc
+func F(n int) []int {
+	return make([]int, n) //hbo:allowalloc
+}
+`,
+	})
+	_, findings, err := Scan(root)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Msg, "reason") {
+		t.Fatalf("got findings %v, want one demanding a reason", findings)
+	}
+}
+
+// TestBrokenBuildIsAnError: compile failure must surface as err, not as a
+// silently clean gate.
+func TestBrokenBuildIsAnError(t *testing.T) {
+	requireGo(t)
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"esc/esc.go": `package esc
+
+//hbo:noalloc
+func F() int { return undefinedSymbol }
+`,
+	})
+	if _, _, err := Check("go", root); err == nil {
+		t.Fatal("Check on a broken build: got nil error, want failure")
+	}
+}

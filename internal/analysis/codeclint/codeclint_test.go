@@ -1,0 +1,12 @@
+package codeclint_test
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/analysis/analyzertest"
+	"github.com/mar-hbo/hbo/internal/analysis/codeclint"
+)
+
+func TestCodeclint(t *testing.T) {
+	analyzertest.Run(t, "testdata", codeclint.Analyzer, "codec")
+}

@@ -1,0 +1,195 @@
+// Fixture for codeclint: //hbo:codec pairs that agree (including the
+// loop-vs-f64s vector equivalence and flag-gated optional sections) and
+// pairs that diverge in width, tail length, or flag ties.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+const flagExtra = uint16(0x0001)
+
+var errShort = errors.New("codec: short input")
+
+type msg struct {
+	id    []byte
+	count uint32
+	extra []byte
+	vals  []float64
+}
+
+// reader mirrors the repo's bounds-checked decode idiom; codeclint maps
+// its methods by name.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.err = errShort
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.err = errShort
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.err = errShort
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.err = errShort
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *reader) f64s(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, float64(r.u64()))
+	}
+	return out
+}
+
+// good: full parity, including an optional section tied to flagExtra on
+// both sides (encode via the `if hasExtra { flags |= flagExtra }` idiom).
+//
+//hbo:codec good encode
+func encodeGood(m *msg) []byte {
+	var flags uint16
+	hasExtra := len(m.extra) > 0
+	if hasExtra {
+		flags |= flagExtra
+	}
+	b := make([]byte, 0, 64)
+	b = binary.LittleEndian.AppendUint16(b, flags)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.id)))
+	b = append(b, m.id...)
+	b = binary.LittleEndian.AppendUint32(b, m.count)
+	if hasExtra {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(m.extra)))
+		b = append(b, m.extra...)
+	}
+	return b
+}
+
+//hbo:codec good decode
+func decodeGood(b []byte) (*msg, error) {
+	r := &reader{b: b}
+	m := &msg{}
+	flags := r.u16()
+	n := int(r.u16())
+	m.id = r.take(n)
+	m.count = r.u32()
+	if flags&flagExtra != 0 {
+		en := int(r.u16())
+		m.extra = r.take(en)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}
+
+// vec: an encode loop of u64 writes reads back as one f64s vector.
+//
+//hbo:codec vec encode
+func encodeVec(m *msg) []byte {
+	b := binary.LittleEndian.AppendUint16(nil, uint16(len(m.vals)))
+	for _, v := range m.vals {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	return b
+}
+
+//hbo:codec vec decode
+func decodeVec(b []byte) []float64 {
+	r := &reader{b: b}
+	n := int(r.u16())
+	return r.f64s(n)
+}
+
+// width: encode writes 8 bytes where decode reads 4.
+//
+//hbo:codec width encode
+func encodeWidth(count uint64) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, count) // want "encode writes u64 where decode reads u32"
+	return b
+}
+
+//hbo:codec width decode
+func decodeWidth(b []byte) uint64 {
+	r := &reader{b: b}
+	return uint64(r.u32())
+}
+
+// untied: the optional section has no flag bit, so a decoder cannot know
+// whether the section is present.
+//
+//hbo:codec untied encode
+func encodeUntied(m *msg) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, m.count)
+	if len(m.extra) > 0 { // want "encode has an optional section with no flag tie"
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(m.extra)))
+		b = append(b, m.extra...)
+	}
+	return b
+}
+
+//hbo:codec untied decode
+func decodeUntied(b []byte, flags uint16) *msg {
+	r := &reader{b: b}
+	m := &msg{}
+	m.count = r.u32()
+	if flags&flagExtra != 0 {
+		en := int(r.u16())
+		m.extra = r.take(en)
+	}
+	return m
+}
+
+// tail: encode writes one op more than decode reads.
+//
+//hbo:codec tail encode
+func encodeTail(m *msg) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, m.count)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(m.vals))) // want "encode writes u64 with no matching read in decode"
+	return b
+}
+
+//hbo:codec tail decode
+func decodeTail(b []byte) uint32 {
+	r := &reader{b: b}
+	return r.u32()
+}
+
+// lonely: an annotated half with no counterpart is an annotation bug.
+//
+//hbo:codec lonely encode
+func encodeLonely(x uint32) []byte { // want `codec group "lonely" has no decode half`
+	return binary.LittleEndian.AppendUint32(nil, x)
+}

@@ -1,0 +1,142 @@
+// Package copylint flags mutexes copied by value: a copied sync.Mutex (or
+// any struct transitively containing one) forks the lock state, so the
+// copy and the original serialize nothing against each other — the classic
+// way a lock-striped store silently loses its striping. Three shapes:
+//
+//   - a function or method parameter taking a lock-bearing type by value;
+//   - a method declared on a lock-bearing value receiver;
+//   - an assignment whose right-hand side reads a lock-bearing value out
+//     of a variable, field, element, or pointer dereference (composite
+//     literals and call results are initialization, not aliasing, and
+//     stay legal).
+//
+// The standard vet copylocks pass covers the same ground module-wide;
+// copylint keeps the invariant inside the project's own analyzer suite so
+// the offline fixtures pin the exact shapes the session tier must never
+// reintroduce, with the same //lint:allow suppression protocol as the
+// rest of hbovet.
+package copylint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/mar-hbo/hbo/internal/analysis/lintutil"
+)
+
+const name = "copylint"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flag sync.Mutex/RWMutex values copied via parameters, value receivers, or assignments",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil), (*ast.AssignStmt)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				for _, f := range n.Recv.List {
+					checkFieldByValue(pass, f, "receiver")
+				}
+			}
+			checkParams(pass, n.Type)
+		case *ast.FuncLit:
+			checkParams(pass, n.Type)
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				checkCopyExpr(pass, rhs)
+			}
+		}
+	})
+	return nil, nil
+}
+
+func checkParams(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	for _, f := range ft.Params.List {
+		checkFieldByValue(pass, f, "parameter")
+	}
+}
+
+func checkFieldByValue(pass *analysis.Pass, f *ast.Field, what string) {
+	t := pass.TypesInfo.TypeOf(f.Type)
+	if t == nil {
+		return
+	}
+	if path := lockPath(t, nil); path != "" {
+		lintutil.Report(pass, f, name,
+			"%s passes %s by value: the copy contains %s, so caller and callee lock different mutexes",
+			what, t.String(), path)
+	}
+}
+
+// checkCopyExpr flags an assignment RHS that copies a lock-bearing value
+// out of existing storage. Composite literals and call results construct a
+// fresh value and are fine.
+func checkCopyExpr(pass *analysis.Pass, rhs ast.Expr) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := pass.TypesInfo.TypeOf(rhs)
+	if t == nil {
+		return
+	}
+	// Reading a pointer, interface, etc. is aliasing, not copying.
+	if path := lockPath(t, nil); path != "" {
+		lintutil.Report(pass, rhs, name,
+			"assignment copies a value containing %s: both copies think they own the lock", path)
+	}
+}
+
+// lockPath reports a dotted path to a mutex inside t ("" when none):
+// "sync.Mutex" itself, or "field mu (sync.Mutex)" for embedded cases.
+func lockPath(t types.Type, seen []*types.Named) string {
+	if named, ok := t.(*types.Named); ok {
+		for _, s := range seen {
+			if s == named {
+				return ""
+			}
+		}
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return "sync." + obj.Name()
+		}
+		seen = append(seen, named)
+		return lockPath(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p := lockPath(f.Type(), seen); p != "" {
+				if p2, ok := trimSelf(p); ok {
+					return "field " + f.Name() + " (" + p2 + ")"
+				}
+				return p
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return ""
+}
+
+// trimSelf reports the root mutex type for nested path rendering.
+func trimSelf(p string) (string, bool) {
+	if p == "sync.Mutex" || p == "sync.RWMutex" {
+		return p, true
+	}
+	return p, false
+}

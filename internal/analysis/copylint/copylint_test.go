@@ -1,0 +1,12 @@
+package copylint_test
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/analysis/analyzertest"
+	"github.com/mar-hbo/hbo/internal/analysis/copylint"
+)
+
+func TestCopylint(t *testing.T) {
+	analyzertest.Run(t, "testdata", copylint.Analyzer, "copyfix")
+}

@@ -1,0 +1,51 @@
+// Fixture for copylint: mutexes copied by value through parameters, value
+// receivers, and assignments — and the aliasing/construction shapes that
+// stay legal.
+package copyfix
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+func byValParam(s store) int { // want "parameter passes .*store by value"
+	return len(s.data)
+}
+
+func (s store) byValRecv() int { // want "receiver passes .*store by value"
+	return len(s.data)
+}
+
+func copyAssign(a *store) int {
+	b := *a // want "assignment copies a value containing"
+	return len(b.data)
+}
+
+func mutexCopy(m *sync.Mutex) {
+	c := *m // want "assignment copies a value containing sync.Mutex"
+	c.Lock()
+	c.Unlock()
+}
+
+func elemCopy(arr *[4]store) int {
+	e := arr[0] // want "assignment copies a value containing"
+	return len(e.data)
+}
+
+// fine: pointers alias, composite literals construct a fresh value.
+func fine() *store {
+	s := &store{data: map[string]int{}}
+	t := s // pointer copy: both point at the same lock
+	_ = t
+	u := store{} // construction, not a copy of live lock state
+	return &u
+}
+
+// fineParam: pointer parameters share the lock.
+func fineParam(s *store) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}

@@ -1,0 +1,193 @@
+// Package leaklint flags goroutines launched with no reachable
+// cancellation tie and timer churn in loops, scoped to the serving and
+// load-generation packages where an orphaned goroutine survives for the
+// life of a fleet process. Two rules:
+//
+//   - every `go` statement must launch work that can be told to stop: the
+//     launched closure (or the body of the same-package function it
+//     names, or the call's arguments) must reach a context.Context, a
+//     channel (done/queue/semaphore — any channel is a tie, since closing
+//     or draining it bounds the goroutine), a *sync.WaitGroup, or a
+//     *sync.Cond. A goroutine with none of these can only be abandoned.
+//   - time.After inside a for/range body allocates a timer per iteration
+//     that cannot be collected until it fires — the canonical slow leak in
+//     retry loops; hoist a time.NewTimer/NewTicker instead.
+//
+// Cross-package launches (e.g. `go srv.Serve(l)`) are assumed tied: their
+// bodies are out of reach, and flagging them would punish the stdlib.
+// Test files are exempt — test goroutines die with the test process.
+package leaklint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"github.com/mar-hbo/hbo/internal/analysis/lintutil"
+)
+
+const name = "leaklint"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag goroutine launches with no cancellation tie and " +
+		"time.After inside loops",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// scope lists the package basenames leaklint applies to: the session
+// service and its store, the edge client/server, and the long-running
+// load/experiment harnesses.
+var scope = map[string]bool{
+	"sessiond":    true,
+	"snapstore":   true,
+	"wire":        true,
+	"edge":        true,
+	"loadgen":     true,
+	"experiments": true,
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope[pathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Same-package function bodies, for `go s.worker(sh)`-style launches.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		d := n.(*ast.FuncDecl)
+		if d.Body == nil {
+			return
+		}
+		if fn, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok {
+			decls[fn] = d
+		}
+	})
+
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil), (*ast.ForStmt)(nil), (*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		if lintutil.IsTestFile(pass.Fset, n.Pos()) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			checkGo(pass, decls, n)
+		case *ast.ForStmt:
+			checkLoopTimers(pass, n.Body)
+		case *ast.RangeStmt:
+			checkLoopTimers(pass, n.Body)
+		}
+	})
+	return nil, nil
+}
+
+// checkGo reports a goroutine launch with no cancellation tie reachable
+// from the launch site.
+func checkGo(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) {
+	// The arguments are evaluated at launch and handed to the goroutine:
+	// a channel or context argument is a tie.
+	for _, arg := range g.Call.Args {
+		if exprHasTie(pass, arg) {
+			return
+		}
+	}
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		if nodeHasTie(pass, fun) {
+			return
+		}
+	default:
+		fn, _ := typeutil.Callee(pass.TypesInfo, g.Call).(*types.Func)
+		if fn == nil {
+			return // dynamic call: nothing to inspect, assume tied
+		}
+		decl, ok := decls[fn]
+		if !ok {
+			return // cross-package: body out of reach, assume tied
+		}
+		if nodeHasTie(pass, decl.Body) {
+			return
+		}
+	}
+	lintutil.Report(pass, g, name,
+		"goroutine launched with no cancellation tie: no context, channel, WaitGroup, "+
+			"or Cond is reachable from the closure, so nothing can stop or await it")
+}
+
+// nodeHasTie walks a function body or literal looking for any expression
+// whose type ties the goroutine to a canceler.
+func nodeHasTie(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := m.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if exprHasTie(pass, e) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprHasTie reports whether e's type is a cancellation primitive: a
+// channel, a context.Context, a sync.WaitGroup, or a sync.Cond (possibly
+// behind a pointer).
+func exprHasTie(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "context.Context", "sync.WaitGroup", "sync.Cond":
+		return true
+	}
+	return false
+}
+
+// checkLoopTimers flags time.After calls in a loop body.
+func checkLoopTimers(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			// Nested loops report at their own visit; closures run elsewhere.
+			return false
+		case *ast.CallExpr:
+			fn, _ := typeutil.Callee(pass.TypesInfo, n).(*types.Func)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "After" {
+				lintutil.Report(pass, n, name,
+					"time.After in a loop allocates a timer per iteration that lives until it fires; "+
+						"hoist a time.NewTimer or time.NewTicker outside the loop")
+			}
+		}
+		return true
+	})
+}

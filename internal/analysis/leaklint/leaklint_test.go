@@ -1,0 +1,12 @@
+package leaklint_test
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/analysis/analyzertest"
+	"github.com/mar-hbo/hbo/internal/analysis/leaklint"
+)
+
+func TestLeaklint(t *testing.T) {
+	analyzertest.Run(t, "testdata", leaklint.Analyzer, "loadgen")
+}

@@ -1,0 +1,76 @@
+// Fixture for leaklint: goroutine launches with and without a reachable
+// cancellation tie, and timer churn in loops. The package is named loadgen
+// so it lands in leaklint's scope.
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// orphan launches work nothing can stop.
+func orphan() {
+	go func() { // want "goroutine launched with no cancellation tie"
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+func pump() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// orphanNamed: the same, through a same-package function.
+func orphanNamed() {
+	go pump() // want "goroutine launched with no cancellation tie"
+}
+
+// retryLoop allocates a timer per iteration.
+func retryLoop(tries int) {
+	for i := 0; i < tries; i++ {
+		<-time.After(time.Millisecond) // want "time.After in a loop"
+	}
+}
+
+// withCtx: the context in the closure is the tie.
+func withCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// withDone: a done channel is the tie.
+func withDone(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// withWG: a WaitGroup is the tie.
+func withWG() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func worker(ch chan int) {
+	for range ch {
+	}
+}
+
+// withArg: a channel handed to the goroutine at launch is the tie.
+func withArg(ch chan int) {
+	go worker(ch)
+}
+
+// single: time.After outside a loop is the ordinary one-shot idiom.
+func single() {
+	<-time.After(time.Millisecond)
+}

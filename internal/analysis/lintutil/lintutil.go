@@ -40,7 +40,7 @@ var DeterminismCritical = map[string]bool{
 	// a stray global-rand or clock read would desync replay-based restores
 	// and break the arena's jobs-invariant goldens.
 	"policies": true,
-	"loadgen":     true,
+	"loadgen":  true,
 	// The wire codec must re-encode every accepted frame byte-identically;
 	// any nondeterminism there breaks the canonical-encoding invariant.
 	"wire": true,
@@ -102,12 +102,13 @@ func allowsAnalyzer(comment, analyzer string) bool {
 	text := strings.TrimPrefix(comment, "//")
 	text = strings.TrimPrefix(text, "/*")
 	text = strings.TrimSuffix(text, "*/")
-	text = strings.TrimSpace(text)
-	if !strings.HasPrefix(text, AllowPrefix) {
+	// Tokenize rather than prefix-match, so "lint:allowlocklint ..." (a
+	// glued directive) is malformed instead of silently suppressing.
+	fields := strings.Fields(text)
+	if len(fields) < 3 || fields[0] != AllowPrefix {
 		return false
 	}
-	fields := strings.Fields(strings.TrimPrefix(text, AllowPrefix))
-	return len(fields) >= 2 && fields[0] == analyzer
+	return fields[1] == analyzer
 }
 
 // Report emits the diagnostic unless a suppression comment covers node.

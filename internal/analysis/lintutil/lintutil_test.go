@@ -1,0 +1,198 @@
+package lintutil_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/mar-hbo/hbo/internal/analysis/lintutil"
+)
+
+// parsePass builds the minimal analysis.Pass that Suppressed consumes: a
+// FileSet and the parsed files, no type information.
+func parsePass(t *testing.T, src string) *analysis.Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return &analysis.Pass{Fset: fset, Files: []*ast.File{f}}
+}
+
+// posOf returns the position of the first occurrence of marker in src,
+// mapped into the pass's FileSet.
+func posOf(t *testing.T, pass *analysis.Pass, src, marker string) token.Pos {
+	t.Helper()
+	off := strings.Index(src, marker)
+	if off < 0 {
+		t.Fatalf("marker %q not in fixture", marker)
+	}
+	tf := pass.Fset.File(pass.Files[0].Pos())
+	return tf.Pos(off)
+}
+
+func TestSuppressedPlacement(t *testing.T) {
+	src := `package fix
+
+func sameLine() {
+	target1() //lint:allow locklint the store is a lock leaf
+}
+
+func lineAbove() {
+	//lint:allow locklint eviction save must stay under the shard lock
+	target2()
+}
+
+func twoAbove() {
+	//lint:allow locklint too far away to count
+	_ = 0
+	target3()
+}
+
+func target1() {}
+func target2() {}
+func target3() {}
+`
+	pass := parsePass(t, src)
+	cases := []struct {
+		marker string
+		want   bool
+	}{
+		{"target1()", true},  // trailing on the flagged line
+		{"target2()", true},  // alone on the line immediately above
+		{"target3()", false}, // a blank-ish line in between breaks the tie
+	}
+	for _, c := range cases {
+		if got := lintutil.Suppressed(pass, posOf(t, pass, src, c.marker), "locklint"); got != c.want {
+			t.Errorf("Suppressed(%s, locklint) = %v, want %v", c.marker, got, c.want)
+		}
+	}
+}
+
+func TestSuppressedRequiresReason(t *testing.T) {
+	src := `package fix
+
+func bare() {
+	target1() //lint:allow locklint
+}
+
+func spaced() {
+	target2() //lint:allow   locklint
+}
+
+func reasoned() {
+	target3() //lint:allow locklint single-flight dial gate
+}
+
+func target1() {}
+func target2() {}
+func target3() {}
+`
+	pass := parsePass(t, src)
+	// A bare //lint:allow <analyzer> with no reason is not a suppression:
+	// the reason is the whole point of the protocol.
+	if lintutil.Suppressed(pass, posOf(t, pass, src, "target1()"), "locklint") {
+		t.Error("bare suppression without a reason should not suppress")
+	}
+	if lintutil.Suppressed(pass, posOf(t, pass, src, "target2()"), "locklint") {
+		t.Error("extra whitespace between tokens is not a reason")
+	}
+	if !lintutil.Suppressed(pass, posOf(t, pass, src, "target3()"), "locklint") {
+		t.Error("well-formed suppression with a reason should suppress")
+	}
+}
+
+func TestSuppressedAnalyzerNameMustMatch(t *testing.T) {
+	src := `package fix
+
+func wrongName() {
+	target1() //lint:allow detlint reason aimed at a different analyzer
+}
+
+func prefixName() {
+	target2() //lint:allow locklintx reason with a near-miss analyzer name
+}
+
+func target1() {}
+func target2() {}
+`
+	pass := parsePass(t, src)
+	if lintutil.Suppressed(pass, posOf(t, pass, src, "target1()"), "locklint") {
+		t.Error("suppression for detlint must not silence locklint")
+	}
+	// The converse direction must still work for the named analyzer.
+	if !lintutil.Suppressed(pass, posOf(t, pass, src, "target1()"), "detlint") {
+		t.Error("suppression for detlint should silence detlint")
+	}
+	if lintutil.Suppressed(pass, posOf(t, pass, src, "target2()"), "locklint") {
+		t.Error("analyzer name match is exact, not a prefix match")
+	}
+}
+
+func TestSuppressedMalformedComments(t *testing.T) {
+	src := `package fix
+
+func noDirective() {
+	target1() // lint:allow locklint a plain comment, not a directive? still counts: the parser trims the space
+}
+
+func unrelated() {
+	target2() // TODO(lint): allow locklint someday
+}
+
+func doubled() {
+	target3() //lint:allowlocklint missing separator glues the tokens
+}
+
+func target1() {}
+func target2() {}
+func target3() {}
+`
+	pass := parsePass(t, src)
+	// "// lint:allow ..." (with a space) is accepted — the comment text is
+	// trimmed before the prefix check, matching how gofmt rewrites comments.
+	if !lintutil.Suppressed(pass, posOf(t, pass, src, "target1()"), "locklint") {
+		t.Error("space after // should be tolerated (gofmt adds it)")
+	}
+	if lintutil.Suppressed(pass, posOf(t, pass, src, "target2()"), "locklint") {
+		t.Error("prose mentioning lint:allow mid-comment is not a directive")
+	}
+	if lintutil.Suppressed(pass, posOf(t, pass, src, "target3()"), "locklint") {
+		t.Error("lint:allowlocklint with no separator is not a directive")
+	}
+}
+
+func TestSuppressedBlockComments(t *testing.T) {
+	src := `package fix
+
+func inlineBlock() {
+	target1() /*lint:allow locklint block comment form on the same line*/
+}
+
+func multiLine() {
+	/* lint:allow locklint
+	a multi-line block comment starts two lines above the flagged line,
+	so its position does not cover it */
+	target2()
+}
+
+func target1() {}
+func target2() {}
+`
+	pass := parsePass(t, src)
+	if !lintutil.Suppressed(pass, posOf(t, pass, src, "target1()"), "locklint") {
+		t.Error("single-line /* */ suppression on the flagged line should suppress")
+	}
+	// Suppression is keyed off the comment's starting line: a block comment
+	// sprawling over several lines anchors where it opens, which here is
+	// three lines above target2 — out of range by design, so suppressions
+	// stay visually adjacent to what they silence.
+	if lintutil.Suppressed(pass, posOf(t, pass, src, "target2()"), "locklint") {
+		t.Error("multi-line block comment starting far above should not suppress")
+	}
+}

@@ -1,0 +1,706 @@
+// Package locklint enforces the session tier's locking contract with a
+// flow-sensitive analysis over each function's control-flow graph (the
+// vendored x/tools go/cfg — the closest offline stand-in for an SSA pass).
+// It applies to the lock-striped serving packages (sessiond, snapstore),
+// where a blocking operation inside a shard or store critical section
+// stalls every session that hashes to the same stripe. Three rules:
+//
+//   - no blocking operation while a mutex is held: network/file I/O,
+//     channel sends/receives (select-with-default excepted), time.Sleep,
+//     WaitGroup/Cond waits, and SessionStore/FS/File method calls are
+//     flagged when the must-held set is non-empty. Calls into
+//     package-local functions are resolved through blocking summaries, so
+//     a helper that hides a Store.Put still trips the caller's critical
+//     section.
+//   - lock/unlock path symmetry: a function must not return with a lock
+//     it acquired still held (deferred unlocks count as released), and
+//     must not unlock a mutex no path has locked.
+//   - held state is tracked per mutex expression (sh.mu, sess.mu, ...) by
+//     must/may dataflow to a fixpoint, so branches, loops, and early
+//     returns are all modeled rather than pattern-matched.
+//
+// Two escape hatches, both explicit in source: a mutex field declared with
+// a `//hbo:lockleaf <reason>` comment is an intentional serialization point
+// for blocking work (the snapstore log mutex, the client's single-flight
+// dial mutex) — blocking under it is exempt, while lock/unlock balance is
+// still enforced; and the handful of store calls made inside shard critical
+// sections (the store is a deliberate lock leaf — DESIGN.md §16) carry
+// reasoned `//lint:allow locklint` suppressions. Anything new fails the
+// build.
+package locklint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"github.com/mar-hbo/hbo/internal/analysis/lintutil"
+)
+
+const name = "locklint"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag blocking operations under a held shard/store mutex and " +
+		"lock/unlock path mismatches in the session-tier packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// LeafDirective marks a mutex field whose critical sections intentionally
+// serialize blocking work: //hbo:lockleaf <reason>.
+const LeafDirective = "hbo:lockleaf"
+
+// scope lists the package basenames subject to locklint: the lock-striped
+// session service and its append-log store, where every critical section
+// sits on the multi-session serving path.
+var scope = map[string]bool{
+	"sessiond":  true,
+	"snapstore": true,
+}
+
+// blockingIfaces names interface types whose every method is assumed to
+// block: the snapshot store and the filesystem seam it writes through.
+var blockingIfaces = map[string]bool{
+	"SessionStore": true,
+	"FS":           true,
+	"File":         true,
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// event is one lock-relevant action in source order within a CFG node.
+type event struct {
+	kind eventKind
+	tok  string // normalized mutex expression, e.g. "sh.mu"
+	pos  token.Pos
+	desc string // human description for blocking events
+}
+
+type eventKind uint8
+
+const (
+	evLock eventKind = iota
+	evUnlock
+	evDeferUnlock
+	evBlock
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope[pathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	a := &analyzer{
+		pass:      pass,
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		summaries: map[*types.Func]string{},
+		nonBlock:  map[token.Pos]bool{},
+		leafVars:  map[types.Object]bool{},
+		leafToks:  map[string]bool{},
+	}
+	a.collectLeafVars()
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.SelectStmt)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil || lintutil.IsTestFile(pass.Fset, n.Pos()) {
+				return
+			}
+			if fn, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+				a.decls[fn] = n
+			}
+		case *ast.SelectStmt:
+			// Channel operations in a select that has a default clause are
+			// non-blocking by construction; remember their positions.
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				return
+			}
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				ast.Inspect(cc.Comm, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.SendStmt:
+						a.nonBlock[m.Arrow] = true
+					case *ast.UnaryExpr:
+						if m.Op == token.ARROW {
+							a.nonBlock[m.OpPos] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	})
+
+	a.buildSummaries()
+	// Deterministic function order: by source position.
+	fns := make([]*types.Func, 0, len(a.decls))
+	for fn := range a.decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return a.decls[fns[i]].Pos() < a.decls[fns[j]].Pos() })
+	for _, fn := range fns {
+		a.checkFunc(a.decls[fn])
+	}
+	return nil, nil
+}
+
+type analyzer struct {
+	pass      *analysis.Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]string // fn -> why it blocks ("" absent)
+	nonBlock  map[token.Pos]bool     // select-with-default channel ops
+	leafVars  map[types.Object]bool  // //hbo:lockleaf-annotated mutex fields
+	leafToks  map[string]bool        // normalized exprs resolving to leaf vars
+}
+
+// collectLeafVars records every struct field or variable declared with an
+// //hbo:lockleaf comment. The directive requires a reason, same as
+// //lint:allow: an unexplained exemption is itself a finding.
+func (a *analyzer) collectLeafVars() {
+	mark := func(names []*ast.Ident, groups ...*ast.CommentGroup) {
+		directive := false
+		for _, cg := range groups {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, LeafDirective) {
+					continue
+				}
+				if len(strings.Fields(strings.TrimPrefix(text, LeafDirective))) == 0 {
+					a.pass.Reportf(c.Pos(), "%s directive needs a reason: say why blocking under this mutex is intended", LeafDirective)
+					continue
+				}
+				directive = true
+			}
+		}
+		if !directive {
+			return
+		}
+		for _, id := range names {
+			if obj := a.pass.TypesInfo.Defs[id]; obj != nil {
+				a.leafVars[obj] = true
+			}
+		}
+	}
+	for _, f := range a.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field:
+				mark(n.Names, n.Doc, n.Comment)
+			case *ast.ValueSpec:
+				mark(n.Names, n.Doc, n.Comment)
+			}
+			return true
+		})
+	}
+}
+
+// isLeafExpr reports whether a mutex receiver expression resolves to an
+// //hbo:lockleaf-annotated field or variable.
+func (a *analyzer) isLeafExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return a.leafVars[a.pass.TypesInfo.ObjectOf(e)]
+	case *ast.SelectorExpr:
+		return a.leafVars[a.pass.TypesInfo.ObjectOf(e.Sel)]
+	case *ast.ParenExpr:
+		return a.isLeafExpr(e.X)
+	case *ast.StarExpr:
+		return a.isLeafExpr(e.X)
+	}
+	return false
+}
+
+// buildSummaries computes, to a fixpoint, which package-local functions
+// contain a blocking operation (directly or through package-local calls),
+// so a critical section cannot hide I/O behind one level of helper.
+func (a *analyzer) buildSummaries() {
+	for {
+		changed := false
+		for fn, decl := range a.decls {
+			if a.summaries[fn] != "" {
+				continue
+			}
+			if reason := a.scanBlocks(decl); reason != "" {
+				a.summaries[fn] = reason
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// scanBlocks reports the first blocking operation found in decl's body
+// (excluding nested function literals, which run on other goroutines or at
+// defer time), or "".
+func (a *analyzer) scanBlocks(decl *ast.FuncDecl) string {
+	reason := ""
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if desc, ok := a.blockingCall(n); ok {
+				reason = desc
+				return false
+			}
+		case *ast.SendStmt:
+			if !a.nonBlock[n.Arrow] {
+				reason = "channel send"
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !a.nonBlock[n.OpPos] {
+				reason = "channel receive"
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := a.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					reason = "channel-range receive"
+					return false
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, visit)
+	return reason
+}
+
+// blockingCall classifies one call expression: a known blocking callee, a
+// blocking interface method, or a package-local function whose summary says
+// it blocks.
+func (a *analyzer) blockingCall(call *ast.CallExpr) (string, bool) {
+	fn := typeutil.Callee(a.pass.TypesInfo, call)
+	callee, ok := fn.(*types.Func)
+	if !ok || callee.Pkg() == nil {
+		return "", false
+	}
+	if desc, ok := stdBlocking(callee); ok {
+		return desc, true
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if named, ok := recvNamed(sig.Recv().Type()); ok {
+			if _, isIface := named.Underlying().(*types.Interface); isIface && blockingIfaces[named.Obj().Name()] {
+				return fmt.Sprintf("%s.%s (store/file I/O)", named.Obj().Name(), callee.Name()), true
+			}
+		}
+	}
+	if callee.Pkg() == a.pass.Pkg {
+		if why := a.summaries[callee]; why != "" {
+			return fmt.Sprintf("call to %s (%s)", callee.Name(), why), true
+		}
+	}
+	return "", false
+}
+
+// stdBlocking recognizes standard-library calls that park the goroutine or
+// perform I/O.
+func stdBlocking(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg().Path()
+	recvName := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named, ok := recvNamed(sig.Recv().Type()); ok {
+			recvName = named.Obj().Name()
+		}
+	}
+	switch pkg {
+	case "time":
+		if recvName == "" && fn.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "os":
+		if recvName == "" {
+			switch fn.Name() {
+			case "ReadFile", "WriteFile", "Open", "OpenFile", "Create", "Remove",
+				"RemoveAll", "Rename", "Stat", "ReadDir", "Mkdir", "MkdirAll", "Truncate":
+				return "os." + fn.Name() + " (file I/O)", true
+			}
+		}
+		if recvName == "File" {
+			switch fn.Name() {
+			case "Read", "ReadAt", "Write", "WriteAt", "Sync", "Close", "Seek", "Truncate":
+				return "(*os.File)." + fn.Name() + " (file I/O)", true
+			}
+		}
+	case "net":
+		if recvName == "" {
+			switch fn.Name() {
+			case "Dial", "DialTimeout", "Listen":
+				return "net." + fn.Name() + " (network I/O)", true
+			}
+		}
+		if recvName == "Conn" || recvName == "TCPConn" {
+			switch fn.Name() {
+			case "Read", "Write", "Close":
+				return "net conn " + fn.Name() + " (network I/O)", true
+			}
+		}
+	case "net/http":
+		switch fn.Name() {
+		case "Get", "Post", "PostForm", "Head", "Do":
+			if recvName == "" || recvName == "Client" {
+				return "http " + fn.Name() + " (network I/O)", true
+			}
+		}
+	case "sync":
+		if recvName == "WaitGroup" && fn.Name() == "Wait" {
+			return "sync.WaitGroup.Wait", true
+		}
+		if recvName == "Cond" && fn.Name() == "Wait" {
+			return "sync.Cond.Wait", true
+		}
+	}
+	return "", false
+}
+
+func recvNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+// mutexMethod classifies a call as (*sync.Mutex)/(*sync.RWMutex) Lock or
+// Unlock family, returning the normalized receiver expression.
+func (a *analyzer) mutexMethod(call *ast.CallExpr) (tok, method string, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	fn, fnOK := typeutil.Callee(a.pass.TypesInfo, call).(*types.Func)
+	if !selOK || !fnOK || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	named, nok := recvNamed(sig.Recv().Type())
+	if !nok {
+		return "", "", false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		tok = types.ExprString(sel.X)
+		if a.isLeafExpr(sel.X) {
+			a.leafToks[tok] = true
+		}
+		return tok, fn.Name(), true
+	}
+	return "", "", false
+}
+
+// events lists the lock-relevant actions of one CFG node in source order.
+// Function literals are skipped (their bodies run elsewhere), except that a
+// `defer mu.Unlock()` or a deferred closure unlocking at its top level
+// registers the release.
+func (a *analyzer) events(n ast.Node) []event {
+	var evs []event
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if tok, m, ok := a.mutexMethod(n.Call); ok && (m == "Unlock" || m == "RUnlock") {
+				evs = append(evs, event{kind: evDeferUnlock, tok: tok, pos: n.Pos()})
+				return false
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				for _, st := range lit.Body.List {
+					es, ok := st.(*ast.ExprStmt)
+					if !ok {
+						continue
+					}
+					if call, ok := es.X.(*ast.CallExpr); ok {
+						if tok, m, ok := a.mutexMethod(call); ok && (m == "Unlock" || m == "RUnlock") {
+							evs = append(evs, event{kind: evDeferUnlock, tok: tok, pos: n.Pos()})
+						}
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if tok, m, ok := a.mutexMethod(n); ok {
+				switch m {
+				case "Lock", "RLock":
+					evs = append(evs, event{kind: evLock, tok: tok, pos: n.Pos()})
+				case "Unlock", "RUnlock":
+					evs = append(evs, event{kind: evUnlock, tok: tok, pos: n.Pos()})
+				}
+				return true
+			}
+			if desc, ok := a.blockingCall(n); ok {
+				evs = append(evs, event{kind: evBlock, pos: n.Pos(), desc: desc})
+			}
+		case *ast.SendStmt:
+			if !a.nonBlock[n.Arrow] {
+				evs = append(evs, event{kind: evBlock, pos: n.Pos(), desc: "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !a.nonBlock[n.OpPos] {
+				evs = append(evs, event{kind: evBlock, pos: n.Pos(), desc: "channel receive"})
+			}
+		}
+		return true
+	}
+	ast.Inspect(n, visit)
+	return evs
+}
+
+// lockState is the per-block dataflow fact: which mutexes may/must be held
+// at block entry, plus which have a registered deferred release.
+type lockState struct {
+	may    map[string]token.Pos // token -> position of an acquiring Lock
+	must   map[string]bool
+	defers map[string]bool
+	top    bool // unvisited (⊤ for the must-intersection)
+}
+
+func newTop() lockState {
+	return lockState{top: true}
+}
+
+func (s lockState) clone() lockState {
+	c := lockState{
+		may:    make(map[string]token.Pos, len(s.may)),
+		must:   make(map[string]bool, len(s.must)),
+		defers: make(map[string]bool, len(s.defers)),
+	}
+	for k, v := range s.may {
+		c.may[k] = v
+	}
+	for k := range s.must {
+		c.must[k] = true
+	}
+	for k := range s.defers {
+		c.defers[k] = true
+	}
+	return c
+}
+
+// join merges a predecessor's exit state into s (may/defers: union, must:
+// intersection). Reports whether s changed.
+func (s *lockState) join(o lockState) bool {
+	if s.top {
+		*s = o.clone()
+		return true
+	}
+	changed := false
+	for k, v := range o.may {
+		if _, ok := s.may[k]; !ok {
+			s.may[k] = v
+			changed = true
+		}
+	}
+	for k := range o.defers {
+		if !s.defers[k] {
+			s.defers[k] = true
+			changed = true
+		}
+	}
+	for k := range s.must {
+		if !o.must[k] {
+			delete(s.must, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// apply runs one event against the state (no reporting).
+func (s *lockState) apply(e event) {
+	switch e.kind {
+	case evLock:
+		s.may[e.tok] = e.pos
+		s.must[e.tok] = true
+	case evUnlock:
+		delete(s.may, e.tok)
+		delete(s.must, e.tok)
+	case evDeferUnlock:
+		s.defers[e.tok] = true
+	}
+}
+
+// checkFunc runs the dataflow over one function and reports violations.
+func (a *analyzer) checkFunc(decl *ast.FuncDecl) {
+	g := cfg.New(decl.Body, a.mayReturn)
+
+	// Quick skip: no lock events at all.
+	hasLock := false
+	blockEvents := make([][]event, len(g.Blocks))
+	for i, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			evs := a.events(n)
+			blockEvents[i] = append(blockEvents[i], evs...)
+			for _, e := range evs {
+				if e.kind != evBlock {
+					hasLock = true
+				}
+			}
+		}
+	}
+	if !hasLock {
+		return
+	}
+
+	entry := make([]lockState, len(g.Blocks))
+	for i := range entry {
+		entry[i] = newTop()
+	}
+	entry[0] = lockState{may: map[string]token.Pos{}, must: map[string]bool{}, defers: map[string]bool{}}
+
+	// Fixpoint over the (small) CFG.
+	for changed := true; changed; {
+		changed = false
+		for i, b := range g.Blocks {
+			if entry[i].top {
+				continue
+			}
+			out := entry[i].clone()
+			for _, e := range blockEvents[i] {
+				out.apply(e)
+			}
+			for _, succ := range b.Succs {
+				if entry[succ.Index].join(out) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Reporting pass, deterministic block order, deduped by position.
+	reported := map[token.Pos]bool{}
+	reportf := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] || lintutil.Suppressed(a.pass, pos, name) {
+			return
+		}
+		reported[pos] = true
+		a.pass.Reportf(pos, format, args...)
+	}
+	for i, b := range g.Blocks {
+		if entry[i].top || !b.Live {
+			continue
+		}
+		st := entry[i].clone()
+		for _, e := range blockEvents[i] {
+			switch e.kind {
+			case evBlock:
+				toks := heldTokens(st.must)
+				// Mutexes annotated //hbo:lockleaf serialize blocking work
+				// by design; only non-leaf holds make this a finding.
+				kept := toks[:0]
+				for _, t := range toks {
+					if !a.leafToks[t] {
+						kept = append(kept, t)
+					}
+				}
+				if len(kept) > 0 {
+					pos := st.may[kept[0]]
+					reportf(e.pos, "%s while %s is held (locked at %s): blocking in a critical section stalls every session on this stripe",
+						e.desc, strings.Join(kept, ", "), a.pass.Fset.Position(pos))
+				}
+			case evUnlock:
+				if _, held := st.may[e.tok]; !held {
+					reportf(e.pos, "unlock of %s which no path has locked (lock/unlock mismatch)", e.tok)
+				}
+			}
+			st.apply(e)
+		}
+		if ret := b.Return(); ret != nil {
+			for _, tok := range heldTokens(st.must) {
+				if !st.defers[tok] {
+					reportf(ret.Pos(), "return with %s still held (locked at %s) and no deferred unlock on this path",
+						tok, a.pass.Fset.Position(st.may[tok]))
+				}
+			}
+		}
+		// Implicit fallthrough off the end of the function body.
+		if len(b.Succs) == 0 && b.Return() == nil && b.Live && b.Kind != cfg.KindUnreachable {
+			for _, tok := range heldTokens(st.must) {
+				if !st.defers[tok] {
+					reportf(decl.Body.Rbrace, "function ends with %s still held (locked at %s) and no deferred unlock",
+						tok, a.pass.Fset.Position(st.may[tok]))
+				}
+			}
+		}
+	}
+}
+
+func heldTokens(must map[string]bool) []string {
+	toks := make([]string, 0, len(must))
+	for t := range must {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	return toks
+}
+
+// mayReturn treats panic, os.Exit, and log.Fatal* as terminating calls so
+// their branches do not feed the exit checks.
+func (a *analyzer) mayReturn(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if _, isBuiltin := a.pass.TypesInfo.ObjectOf(fun).(*types.Builtin); isBuiltin {
+				return false
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := typeutil.Callee(a.pass.TypesInfo, call).(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "os":
+				if fn.Name() == "Exit" {
+					return false
+				}
+			case "log":
+				if strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic") {
+					return false
+				}
+			case "runtime":
+				if fn.Name() == "Goexit" {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package locklint_test
+
+import (
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/analysis/analyzertest"
+	"github.com/mar-hbo/hbo/internal/analysis/locklint"
+)
+
+func TestLocklint(t *testing.T) {
+	analyzertest.Run(t, "testdata", locklint.Analyzer, "sessiond")
+}

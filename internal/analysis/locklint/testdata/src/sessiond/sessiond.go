@@ -1,0 +1,113 @@
+// Fixture for locklint: blocking operations under a held mutex, lock and
+// unlock path mismatches, and the //hbo:lockleaf / //lint:allow escape
+// hatches. The package is named sessiond so it lands in locklint's scope.
+package sessiond
+
+import (
+	"sync"
+	"time"
+)
+
+// SessionStore mirrors the real durability seam: locklint treats every
+// method on an interface with this name as blocking store I/O.
+type SessionStore interface {
+	Put(id string, blob []byte) error
+	Get(id string) ([]byte, bool, error)
+}
+
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string][]byte
+}
+
+type service struct {
+	store SessionStore
+	sh    shard
+	jobs  chan int
+}
+
+// bad blocks twice inside the critical section.
+func (s *service) bad(id string) {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	_ = s.store.Put(id, nil)     // want "SessionStore.Put .store/file I/O. while s.sh.mu is held"
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.sh.mu is held"
+}
+
+// save hides the store call one helper deep; the blocking summary carries
+// it back to the caller's critical section.
+func (s *service) save(id string) { _ = s.store.Put(id, nil) }
+
+func (s *service) badIndirect(id string) {
+	s.sh.mu.Lock()
+	s.save(id) // want "call to save .SessionStore.Put"
+	s.sh.mu.Unlock()
+}
+
+func (s *service) badSend() {
+	s.sh.mu.Lock()
+	s.jobs <- 1 // want "channel send while s.sh.mu is held"
+	s.sh.mu.Unlock()
+}
+
+// badReturn leaks the lock on the early-return path.
+func (s *service) badReturn(cond bool) {
+	s.sh.mu.Lock()
+	if cond {
+		return // want "return with s.sh.mu still held"
+	}
+	s.sh.mu.Unlock()
+}
+
+func (s *service) badUnlock() {
+	s.sh.mu.Unlock() // want "unlock of s.sh.mu which no path has locked"
+}
+
+// good collects under the lock, then does I/O after releasing — the
+// pattern the real saveSession/Flush paths follow.
+func (s *service) good(id string) {
+	s.sh.mu.Lock()
+	blob := s.sh.sessions[id]
+	s.sh.mu.Unlock()
+	_ = s.store.Put(id, blob)
+}
+
+// goodDefer: a deferred unlock balances every return path.
+func (s *service) goodDefer(id string) ([]byte, bool) {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	b, ok := s.sh.sessions[id]
+	return b, ok
+}
+
+// goodTrySend: select with a default clause never blocks.
+func (s *service) goodTrySend() bool {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	select {
+	case s.jobs <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// fileLog's mutex is a declared serialization point: blocking under it is
+// the design, so locklint stays quiet.
+type fileLog struct {
+	mu    sync.Mutex //hbo:lockleaf single-writer log: serializing I/O is this mutex's job
+	store SessionStore
+}
+
+func (l *fileLog) appendBlob(id string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.store.Put(id, nil)
+}
+
+// allowed demonstrates the reasoned per-line suppression protocol.
+func (s *service) allowed(id string) {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	_ = s.store.Put(id, nil) //lint:allow locklint fixture: atomic demote must happen under the shard lock
+}

@@ -371,12 +371,14 @@ func (g *GP) Predict(p []float64) (mean, variance float64) {
 // PredictInto is Predict with caller-owned scratch: zero allocations once
 // the scratch has warmed up, so a candidate-scoring loop can evaluate
 // thousands of points without touching the garbage collector.
+//
+//hbo:noalloc
 func (g *GP) PredictInto(p []float64, s *PredictScratch) (mean, variance float64) {
 	n := g.n
 	if n == 0 {
 		return g.yMean, g.ev.Eval(p, p)
 	}
-	ks := growFloats(s.buf, n)
+	ks := growFloats(s.buf, n) //hbo:allowalloc scratch warm-up: grows once, then every call reuses the buffer
 	s.buf = ks
 	for i := 0; i < n; i++ {
 		ks[i] = g.ev.Eval(p, g.x[i])

@@ -39,9 +39,11 @@ func (s *Service) enqueueSuggest(sess *session, job *suggestJob) bool {
 // more are taken without blocking. The whole pass shares one LRU tick (one
 // shard-lock acquisition per pass, and the source of eviction ties), then
 // each job runs against its own session's optimizer.
+//
+//hbo:noalloc
 func (s *Service) worker(sh *shard) {
 	for job := range sh.queue {
-		batch := make([]*suggestJob, 1, s.cfg.MaxBatch)
+		batch := make([]*suggestJob, 1, s.cfg.MaxBatch) //hbo:allowalloc one slice per batch pass, amortized over up to MaxBatch jobs
 		batch[0] = job
 	fill:
 		for len(batch) < s.cfg.MaxBatch {
@@ -71,6 +73,8 @@ func (s *Service) worker(sh *shard) {
 }
 
 // suggestOne serves one suggest against the session's persistent optimizer.
+//
+//hbo:noalloc
 func suggestOne(sess *session) suggestResult {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -95,6 +99,8 @@ func (sess *session) observe(point []float64, cost float64) (int, int, error) {
 // observeLocked is observe's body for callers already holding sess.mu (the
 // stream path's indexed observe checks the database size under the same
 // lock acquisition as the append).
+//
+//hbo:noalloc
 func (sess *session) observeLocked(point []float64, cost float64) (int, int, error) {
 	if sess.opt.Observations() >= maxSessionObservations {
 		return 0, 0, fmt.Errorf("sessiond: session %s at the %d-observation limit", sess.id, maxSessionObservations)

@@ -68,6 +68,8 @@ type snapshot struct {
 // encodeSnapshot serializes a snapshot. The layout above is append-only
 // within a version; any layout change bumps snapshotVersion so old decoders
 // refuse new blobs loudly instead of misparsing them.
+//
+//hbo:codec snapshot encode
 func encodeSnapshot(s *snapshot) []byte {
 	dim := s.p.resources + 1
 	n := len(s.opt.X)
@@ -229,6 +231,8 @@ func (r *snapReader) f64s(n int) []float64 {
 // panics: every read is bounds-checked, every count is validated against
 // both its semantic limit and the remaining input, and the CRC is verified
 // before any structure is trusted.
+//
+//hbo:codec snapshot decode
 func decodeSnapshot(blob []byte) (*snapshot, error) {
 	if len(blob) < 12 {
 		return nil, fmt.Errorf("sessiond: snapshot: %d bytes is shorter than any valid snapshot", len(blob))

@@ -111,7 +111,7 @@ type FileStore struct {
 	dir  string
 	opts Options
 
-	mu         sync.Mutex
+	mu         sync.Mutex //hbo:lockleaf the store IS the serialization point: single-writer append log, I/O under mu by design
 	blobs      map[string][]byte
 	liveBytes  int64
 	totalBytes int64

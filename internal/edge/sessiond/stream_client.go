@@ -45,7 +45,7 @@ type StreamClient struct {
 	// dialMu serializes dialing (and the first-contact support probe), so a
 	// burst of first calls against a JSON-only server costs one failed
 	// probe, not one per caller — never enough to trip the breaker.
-	dialMu sync.Mutex
+	dialMu sync.Mutex //hbo:lockleaf single-flight dial: serializing the blocking probe is this mutex's entire job
 
 	mu     sync.Mutex
 	mode   streamMode

@@ -208,6 +208,9 @@ func allowedFlags(t Type) uint16 {
 
 // AppendFrame appends the complete length-prefixed encoding of f to dst and
 // returns the extended slice. It allocates only when dst lacks capacity.
+//
+//hbo:codec frame encode
+//hbo:noalloc
 func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	if err := validateFrame(f); err != nil {
 		return dst, err
@@ -218,7 +221,7 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 		return dst, fmt.Errorf("wire: FlagPolicy set with empty policy name")
 	}
 	lenAt := len(dst)
-	dst = binary.LittleEndian.AppendUint32(dst, 0) // patched below
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // patched below //codec:skip length prefix is framing; Reader strips it before DecodeFrame sees the buffer
 	bodyAt := len(dst)
 	dst = append(dst, Version, byte(f.Type))
 	dst = binary.LittleEndian.AppendUint16(dst, f.Flags)
@@ -403,6 +406,9 @@ func (r *frameReader) point(dst []float64) []float64 {
 // capacity. It never panics on hostile input: the CRC is checked before any
 // field is trusted, every length against the bytes actually present, and
 // any accepted frame re-encodes to exactly buf (canonical codec).
+//
+//hbo:codec frame decode
+//hbo:noalloc
 func DecodeFrame(buf []byte, f *Frame) error {
 	if len(buf) < headerLen+crcLen {
 		return fmt.Errorf("wire: %d-byte frame shorter than any valid frame", len(buf))

@@ -117,6 +117,12 @@ type ArenaStanding struct {
 	MeanFinalBest float64 `json:"mean_final_best"`
 	// MeanFinalRegret averages the final cumulative regret.
 	MeanFinalRegret float64 `json:"mean_final_regret"`
+	// MeanOracleGap averages final-best minus the scenario baseline over
+	// every cell: how far the entrant lands from the oracle (or empirical
+	// minimum), in cost units. Zero means it matched the baseline in every
+	// bracket; unlike MeanFinalBest it is comparable across scenario mixes
+	// because each cell is measured against its own floor.
+	MeanOracleGap float64 `json:"mean_oracle_gap"`
 	// Wins counts (scenario, run) brackets this entrant won outright
 	// (lowest final best; ties go to the lexicographically first name).
 	Wins int `json:"wins"`
@@ -336,6 +342,7 @@ func (r *ArenaResult) rank() {
 	type agg struct {
 		finalBest   float64
 		finalRegret float64
+		oracleGap   float64
 		cells       int
 		wins        int
 	}
@@ -347,6 +354,7 @@ func (r *ArenaResult) rank() {
 		a := aggs[c.Policy]
 		a.finalBest += c.Best[len(c.Best)-1]
 		a.finalRegret += c.Regret[len(c.Regret)-1]
+		a.oracleGap += c.Best[len(c.Best)-1] - r.Baselines[c.Scenario]
 		a.cells++
 	}
 	// Bracket wins: for every (scenario, run), the lowest final best wins,
@@ -382,6 +390,7 @@ func (r *ArenaResult) rank() {
 			Policy:          p,
 			MeanFinalBest:   a.finalBest / n,
 			MeanFinalRegret: a.finalRegret / n,
+			MeanOracleGap:   a.oracleGap / n,
 			Wins:            a.wins,
 		})
 	}
@@ -477,9 +486,9 @@ type BenchRecord struct {
 
 // BenchRecords flattens the tournament into benchjson-compatible records,
 // one per (scenario, policy): Arena/<scenario>/<policy> with the cell's
-// mean final best cost, mean final cumulative regret, and the entrant's
-// global rank. Record order is deterministic (scenario-major, then the
-// configured policy order).
+// mean final best cost, its gap to the scenario baseline, mean final
+// cumulative regret, and the entrant's global rank. Record order is
+// deterministic (scenario-major, then the configured policy order).
 func (r *ArenaResult) BenchRecords() []BenchRecord {
 	rank := make(map[string]int, len(r.Ranking))
 	for _, s := range r.Ranking {
@@ -507,6 +516,7 @@ func (r *ArenaResult) BenchRecords() []BenchRecord {
 				Extra: map[string]float64{
 					"final_best_cost":  finalBest / float64(n),
 					"final_cum_regret": finalRegret / float64(n),
+					"oracle_gap":       finalBest/float64(n) - r.Baselines[sc],
 					"rank":             float64(rank[p]),
 				},
 			})
@@ -531,12 +541,13 @@ func (r *ArenaResult) String() string {
 		fmt.Fprintf(&b, "  %s baseline (%s): %.3f\n", sc, base, r.Baselines[sc])
 	}
 	b.WriteByte('\n')
-	rows := [][]string{{"Rank", "Policy", "Mean Final Cost", "Mean Cum Regret", "Wins"}}
+	rows := [][]string{{"Rank", "Policy", "Mean Final Cost", "Mean Oracle Gap", "Mean Cum Regret", "Wins"}}
 	for _, s := range r.Ranking {
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", s.Rank),
 			displayPolicy(s.Policy),
 			fmt.Sprintf("%.3f", s.MeanFinalBest),
+			fmt.Sprintf("%.3f", s.MeanOracleGap),
 			fmt.Sprintf("%.2f", s.MeanFinalRegret),
 			fmt.Sprintf("%d", s.Wins),
 		})

@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/mar-hbo/hbo/internal/bo/policies"
@@ -166,6 +167,16 @@ func TestArenaRankingShape(t *testing.T) {
 		if i > 0 && s.MeanFinalBest < res.Ranking[i-1].MeanFinalBest {
 			t.Fatalf("ranking not ascending at row %d", i)
 		}
+		// The baselines here are empirical minima over the same cells, so
+		// no entrant's final best can undercut them: the gap is >= 0, and
+		// exactly 0 only for an entrant that matched the floor everywhere.
+		if s.MeanOracleGap < 0 {
+			t.Fatalf("policy %q has negative oracle gap %v against an empirical baseline",
+				s.Policy, s.MeanOracleGap)
+		}
+	}
+	if !strings.Contains(res.String(), "Mean Oracle Gap") {
+		t.Fatalf("ranking table is missing the oracle-gap column:\n%s", res.String())
 	}
 	for _, c := range res.Cells {
 		for i := 1; i < len(c.Regret); i++ {
