@@ -77,12 +77,13 @@ fuzz:
 # cover runs the full suite with coverage and prints the per-function
 # summary; the HTML report lands in cover.html. It then enforces a coverage
 # floor over the determinism- and serving-critical packages
-# (internal/edge/... including sessiond, internal/core, the optimizer stack
-# internal/bo/... with the policy registry, and internal/experiments/...
-# with the arena) so the regression battery cannot silently rot; raise the
-# floor as coverage grows, never lower it casually.
+# (internal/edge/... including sessiond and the contend model,
+# internal/core, the optimizer stack internal/bo/... with the policy
+# registry, internal/experiments/... with the arena, and internal/loadgen
+# with the mobility/link model) so the regression battery cannot silently
+# rot; raise the floor as coverage grows, never lower it casually.
 COVER_FLOOR ?= 81.3
-COVER_PKGS := ./internal/edge/... ./internal/core ./internal/bo/... ./internal/experiments/...
+COVER_PKGS := ./internal/edge/... ./internal/core ./internal/bo/... ./internal/experiments/... ./internal/loadgen
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -5

@@ -12,6 +12,8 @@
 //	hbobench -timing t.json  # write per-artifact wall-clock/alloc stats
 //	hbobench -arena          # run the optimizer tournament instead
 //	hbobench -arena -arena-json a.json -arena-oracle -arena-faults
+//	hbobench -multiuser      # shared-edge contention sweep (fairness figure)
+//	hbobench -multiuser -mu-users 8,16,32 -mu-json mu.json
 //
 // Artifacts run on a bounded worker pool (-jobs) and every report is
 // byte-identical to a serial run: reports are printed in paper order and
@@ -47,9 +49,21 @@ func main() {
 	arenaJSON := flag.String("arena-json", "", "write benchjson-compatible arena records to this file")
 	arenaOracle := flag.Bool("arena-oracle", false, "measure arena regret against the exhaustive oracle instead of the empirical minimum")
 	arenaFaults := flag.Bool("arena-faults", false, "also race every policy through the seeded loadgen fault bracket")
+	arenaMultiUser := flag.Bool("arena-multiuser", false, "also drive the multi-user shared-edge scenario under the arena's fault plan")
+	multiuser := flag.Bool("multiuser", false, "run the multi-user shared-edge contention sweep instead of the paper artifacts")
+	muUsers := flag.String("mu-users", "", "comma-separated fleet sizes for -multiuser (default 4,8,16,24)")
+	muSlots := flag.Int("mu-slots", 0, "virtual slots per -multiuser cell (96 when <= 0)")
+	muJSON := flag.String("mu-json", "", "write benchjson-compatible multi-user records to this file")
 	flag.Parse()
 	if *arena {
-		if err := runArena(*seed, *jobs, *arenaRuns, *arenaJSON, *arenaOracle, *arenaFaults, *csvDir); err != nil {
+		if err := runArena(*seed, *jobs, *arenaRuns, *arenaJSON, *arenaOracle, *arenaFaults, *arenaMultiUser, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *multiuser {
+		if err := runMultiUser(*seed, *jobs, *muUsers, *muSlots, *muJSON, *csvDir); err != nil {
 			fmt.Fprintf(os.Stderr, "hbobench: %v\n", err)
 			os.Exit(1)
 		}
@@ -76,13 +90,14 @@ func main() {
 // runArena executes the optimizer tournament and prints the ranking table;
 // the JSON artifact (when requested) carries one benchjson-shaped record
 // per (scenario, policy) and is byte-identical for every -jobs value.
-func runArena(seed uint64, jobs, runs int, jsonPath string, oracle, faultBracket bool, csvDir string) error {
+func runArena(seed uint64, jobs, runs int, jsonPath string, oracle, faultBracket, multiUserBracket bool, csvDir string) error {
 	res, err := experiments.RunArena(context.Background(), experiments.ArenaConfig{
-		Seed:         seed,
-		Jobs:         jobs,
-		Runs:         runs,
-		Oracle:       oracle,
-		FaultBracket: faultBracket,
+		Seed:             seed,
+		Jobs:             jobs,
+		Runs:             runs,
+		Oracle:           oracle,
+		FaultBracket:     faultBracket,
+		MultiUserBracket: multiUserBracket,
 	})
 	if err != nil {
 		return err
@@ -103,6 +118,49 @@ func runArena(seed uint64, jobs, runs int, jsonPath string, oracle, faultBracket
 			return err
 		}
 		path := filepath.Join(csvDir, "Arena.csv")
+		if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("[wrote %s]\n", path)
+	}
+	return nil
+}
+
+// runMultiUser executes the shared-edge contention sweep and prints the
+// fairness table; the JSON artifact (when requested) carries one
+// benchjson-shaped record per (user count, mode) and is byte-identical for
+// every -jobs value.
+func runMultiUser(seed uint64, jobs int, usersCSV string, slots int, jsonPath, csvDir string) error {
+	cfg := experiments.MultiUserConfig{Seed: seed, Jobs: jobs, Slots: slots}
+	if usersCSV != "" {
+		for _, f := range strings.Split(usersCSV, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil {
+				return fmt.Errorf("bad -mu-users entry %q: %w", f, err)
+			}
+			cfg.UserCounts = append(cfg.UserCounts, n)
+		}
+	}
+	res, err := experiments.RunMultiUser(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.String())
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(res.BenchRecords(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("[wrote %s]\n", jsonPath)
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(csvDir, "MultiUser.csv")
 		if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
 			return err
 		}

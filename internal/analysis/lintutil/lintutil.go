@@ -44,6 +44,10 @@ var DeterminismCritical = map[string]bool{
 	// The wire codec must re-encode every accepted frame byte-identically;
 	// any nondeterminism there breaks the canonical-encoding invariant.
 	"wire": true,
+	// The shared-edge contention model is virtual-time physics: completion
+	// times must be a pure function of the submission sequence or the
+	// multi-user goldens break.
+	"contend": true,
 }
 
 // IsDeterminismCritical reports whether the package at path is subject to

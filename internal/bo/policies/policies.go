@@ -1,6 +1,7 @@
 // Package policies hosts the optimizer arena's rival entrants for the joint
 // (c_t, x_t) search: a LinUCB contextual bandit over a discretized
-// allocation simplex × quality grid, a separable CMA-ES, and pure random
+// allocation simplex × quality grid, Gaussian Thompson sampling over the
+// same arm set, a separable CMA-ES, and pure random
 // search. Each implements bo.Policy under the package's determinism
 // contract (all randomness via sim.RNG, no wall clock, bit-identical
 // replay from equal seeds); the GP-EI bo.Optimizer registers here too so
@@ -20,15 +21,16 @@ import (
 // everywhere a name is accepted: the GP-EI optimizer is the paper's default
 // and pre-arena callers never named it.
 const (
-	NameGPEI   = "gp-ei"
-	NameLinUCB = "linucb"
-	NameCMAES  = "cmaes"
-	NameRandom = "random"
+	NameGPEI     = "gp-ei"
+	NameLinUCB   = "linucb"
+	NameCMAES    = "cmaes"
+	NameRandom   = "random"
+	NameThompson = "thompson"
 )
 
 // Names returns the registered policy names, sorted.
 func Names() []string {
-	names := []string{NameGPEI, NameLinUCB, NameCMAES, NameRandom}
+	names := []string{NameGPEI, NameLinUCB, NameCMAES, NameRandom, NameThompson}
 	sort.Strings(names)
 	return names
 }
@@ -37,7 +39,7 @@ func Names() []string {
 // is valid (it means the GP-EI default).
 func Valid(name string) bool {
 	switch name {
-	case "", NameGPEI, NameLinUCB, NameCMAES, NameRandom:
+	case "", NameGPEI, NameLinUCB, NameCMAES, NameRandom, NameThompson:
 		return true
 	}
 	return false
@@ -74,6 +76,8 @@ func New(name string, dom bo.Domain, cfg bo.Config, rng *sim.RNG) (bo.Policy, er
 		return NewCMAES(dom, cfg, rng)
 	case NameRandom:
 		return NewRandom(dom, cfg, rng)
+	case NameThompson:
+		return NewThompson(dom, cfg, rng)
 	}
 	return nil, fmt.Errorf("policies: unknown policy %q (have %v)", name, Names())
 }
@@ -90,6 +94,8 @@ func Restore(name string, dom bo.Domain, cfg bo.Config, st *bo.OptimizerState) (
 		return restoreLinUCB(dom, cfg, st)
 	case NameRandom:
 		return restoreRandom(dom, cfg, st)
+	case NameThompson:
+		return restoreThompson(dom, cfg, st)
 	case NameCMAES:
 		return nil, fmt.Errorf("policies: %s is ephemeral and cannot be restored from a snapshot", NameCMAES)
 	}

@@ -257,7 +257,7 @@ func TestEphemeralPolicyRefusesRestore(t *testing.T) {
 
 // TestRegistry pins the registry surface: name set, aliasing, validation.
 func TestRegistry(t *testing.T) {
-	want := []string{"cmaes", "gp-ei", "linucb", "random"}
+	want := []string{"cmaes", "gp-ei", "linucb", "random", "thompson"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -1,0 +1,162 @@
+package policies
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mar-hbo/hbo/internal/bo"
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// thompsonPriorSigma is the prior standard deviation of each arm's cost
+// estimate. Costs on the HBO objective land in low single digits, so a
+// unit prior keeps unexplored arms competitive for a few rounds without
+// swamping observed means forever.
+const thompsonPriorSigma = 1.0
+
+// Thompson is Gaussian Thompson sampling over the same discretized
+// allocation-simplex × quality-ratio arm set LinUCB races on: each arm
+// keeps a conjugate-normal posterior over its cost (known-variance model,
+// prior mean = the global observed mean, prior weight = one pseudo-
+// observation); Next samples every posterior once and plays the arm with
+// the lowest sampled cost. Warm-up draws uniformly from the domain until
+// InitSamples observations arrive, mirroring the other entrants.
+//
+// Thompson is durable: posterior statistics are an RNG-free function of
+// the observation history, so an OptimizerState (RNG position + history)
+// fully determines the policy and restore is a replay of Observe calls.
+type Thompson struct {
+	dom bo.Domain
+	cfg bo.Config
+	rng *sim.RNG
+
+	arms   [][]float64 // discretized configurations, fixed at construction
+	counts []int       // per-arm observation counts
+	sums   []float64   // per-arm cost sums
+
+	xs [][]float64
+	ys []float64
+}
+
+// NewThompson builds the sampler over dom. cfg.InitSamples bounds the
+// uniform warm-up; GP-specific cfg fields are ignored.
+func NewThompson(dom bo.Domain, cfg bo.Config, rng *sim.RNG) (*Thompson, error) {
+	if err := dom.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitSamples < 1 {
+		return nil, fmt.Errorf("policies: thompson InitSamples must be >= 1, got %d", cfg.InitSamples)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("policies: thompson nil RNG")
+	}
+	arms := buildArms(dom)
+	return &Thompson{
+		dom:    dom,
+		cfg:    cfg,
+		rng:    rng,
+		arms:   arms,
+		counts: make([]int, len(arms)),
+		sums:   make([]float64, len(arms)),
+	}, nil
+}
+
+// Next suggests uniformly at random during warm-up, then samples every
+// arm's posterior and plays the lowest draw (strict minimum, so ties keep
+// the lowest arm index).
+func (t *Thompson) Next() ([]float64, error) {
+	if len(t.xs) < t.cfg.InitSamples {
+		return t.dom.Sample(t.rng), nil
+	}
+	prior := t.globalMean()
+	bestIdx := 0
+	bestDraw := math.Inf(1)
+	for i := range t.arms {
+		n := float64(t.counts[i])
+		mean := (prior + t.sums[i]) / (n + 1)
+		sigma := thompsonPriorSigma / math.Sqrt(n+1)
+		if draw := mean + sigma*t.rng.Norm(); draw < bestDraw {
+			bestDraw = draw
+			bestIdx = i
+		}
+	}
+	return append([]float64(nil), t.arms[bestIdx]...), nil
+}
+
+// Observe records the measured cost against the nearest arm. The update
+// consumes no randomness, so snapshot restores replay it exactly.
+func (t *Thompson) Observe(p []float64, cost float64) error {
+	if !t.dom.Contains(p) {
+		return fmt.Errorf("policies: thompson observed point %v outside domain", p)
+	}
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return fmt.Errorf("policies: thompson non-finite cost %v", cost)
+	}
+	t.xs = append(t.xs, append([]float64(nil), p...))
+	t.ys = append(t.ys, cost)
+	a := t.nearestArm(p)
+	t.counts[a]++
+	t.sums[a] += cost
+	return nil
+}
+
+// Observations returns the number of recorded (point, cost) pairs.
+func (t *Thompson) Observations() int { return len(t.xs) }
+
+// Best returns the lowest-cost observed point.
+func (t *Thompson) Best() ([]float64, float64, bool) {
+	return bestOf(t.xs, t.ys)
+}
+
+// ExportState deep-copies the sampler's resumable state (RNG position +
+// history; posteriors rebuild by replay, keeping the snapshot
+// policy-agnostic).
+func (t *Thompson) ExportState() *bo.OptimizerState {
+	return historyState(t.rng, t.xs, t.ys)
+}
+
+// restoreThompson rebuilds a sampler by replaying the exported history and
+// restoring the RNG position.
+func restoreThompson(dom bo.Domain, cfg bo.Config, st *bo.OptimizerState) (*Thompson, error) {
+	if st == nil {
+		return nil, fmt.Errorf("policies: nil thompson state")
+	}
+	t, err := NewThompson(dom, cfg, sim.NewRNG(st.RNGState))
+	if err != nil {
+		return nil, err
+	}
+	if err := replayHistory(t, st); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// globalMean is the prior mean: the average of every observed cost.
+func (t *Thompson) globalMean() float64 {
+	sum := 0.0
+	for _, y := range t.ys {
+		sum += y
+	}
+	return sum / float64(len(t.ys))
+}
+
+// nearestArm maps a point to the closest arm by squared L2 distance,
+// strict minimum so ties keep the lowest arm index.
+func (t *Thompson) nearestArm(p []float64) int {
+	bestIdx := 0
+	bestDist := math.Inf(1)
+	for i, arm := range t.arms {
+		d := 0.0
+		for k, v := range arm {
+			diff := p[k] - v
+			d += diff * diff
+		}
+		if d < bestDist {
+			bestDist = d
+			bestIdx = i
+		}
+	}
+	return bestIdx
+}
+
+var _ bo.DurablePolicy = (*Thompson)(nil)

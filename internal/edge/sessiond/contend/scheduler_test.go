@@ -1,0 +1,313 @@
+package contend
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/mar-hbo/hbo/internal/obs"
+)
+
+// reqsFromRaw derives a bounded request fleet from quick's raw bytes.
+func reqsFromRaw(demands []uint8) []Request {
+	n := len(demands)
+	if n > 16 {
+		n = 16
+	}
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		d := 10 + float64(demands[i])/2 // [10, 137.5] demand-ms
+		reqs = append(reqs, Request{User: i, Demand: d, MinDemand: 0.4 * d})
+	}
+	return reqs
+}
+
+// TestSchedulerLightLoadAdmitsAll: when the fleet's total demand fits the
+// slot budget, every session is fully admitted.
+func TestSchedulerLightLoadAdmitsAll(t *testing.T) {
+	s, err := NewScheduler(DefaultSchedulerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{User: 0, Demand: 50, MinDemand: 20},
+		{User: 1, Demand: 80, MinDemand: 30},
+		{User: 2, Demand: 100, MinDemand: 40},
+	}
+	for _, d := range s.Plan(reqs) {
+		if d.Action != ActionAdmit {
+			t.Fatalf("light load verdict = %v, want admit", d.Action)
+		}
+	}
+}
+
+// TestSchedulerDeterministic: two schedulers fed the identical request
+// sequence emit bit-identical decision streams. ~300 cases.
+func TestSchedulerDeterministic(t *testing.T) {
+	f := func(slots [][]uint8) bool {
+		a, err := NewScheduler(DefaultSchedulerConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewScheduler(DefaultSchedulerConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(slots) > 20 {
+			slots = slots[:20]
+		}
+		for _, raw := range slots {
+			reqs := reqsFromRaw(raw)
+			da, db := a.Plan(reqs), b.Plan(reqs)
+			for i := range da {
+				if da[i].Action != db[i].Action ||
+					math.Float64bits(da[i].Grant) != math.Float64bits(db[i].Grant) {
+					t.Logf("decision %d diverged: %+v vs %+v", i, da[i], db[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerStarvationBound: no session is ever deferred more than
+// MaxDefer consecutive slots, under arbitrary overload. ~200 cases.
+func TestSchedulerStarvationBound(t *testing.T) {
+	f := func(demands []uint8, slotsRaw uint8) bool {
+		cfg := DefaultSchedulerConfig()
+		s, err := NewScheduler(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := reqsFromRaw(demands)
+		if len(reqs) == 0 {
+			return true
+		}
+		// Inflate demand so the slot is heavily oversubscribed.
+		for i := range reqs {
+			reqs[i].Demand *= 8
+			reqs[i].MinDemand *= 8
+		}
+		slots := 5 + int(slotsRaw%40)
+		streak := make([]int, len(reqs))
+		for slot := 0; slot < slots; slot++ {
+			for i, d := range s.Plan(reqs) {
+				if d.Action == ActionDefer {
+					streak[i]++
+					if streak[i] > cfg.MaxDefer {
+						t.Logf("user %d deferred %d consecutive slots (bound %d)",
+							i, streak[i], cfg.MaxDefer)
+						return false
+					}
+				} else {
+					streak[i] = 0
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerCreditsZeroSum: the fleet's credits sum to ~zero after any
+// plan sequence — the deficit ledger never drifts. ~200 cases.
+func TestSchedulerCreditsZeroSum(t *testing.T) {
+	f := func(slots [][]uint8) bool {
+		s, err := NewScheduler(DefaultSchedulerConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(slots) > 20 {
+			slots = slots[:20]
+		}
+		users := map[int]bool{}
+		for _, raw := range slots {
+			reqs := reqsFromRaw(raw)
+			s.Plan(reqs)
+			for _, r := range reqs {
+				users[r.User] = true
+			}
+		}
+		ids := make([]int, 0, len(users))
+		for u := range users {
+			ids = append(ids, u)
+		}
+		sort.Ints(ids)
+		sum := 0.0
+		for _, u := range ids {
+			sum += s.Credit(u)
+		}
+		if math.Abs(sum) > 1e-6 {
+			t.Logf("credits sum to %v, want ~0", sum)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerForcedAdmitPastBudget: a session whose floor never fits the
+// budget is still admitted (degraded) once it hits the starvation bound,
+// and the forced-admit ledger records it.
+func TestSchedulerForcedAdmitPastBudget(t *testing.T) {
+	cfg := DefaultSchedulerConfig() // budget = 4*100*0.9 = 360
+	s, err := NewScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{User: 0, Demand: 300, MinDemand: 120},
+		{User: 1, Demand: 500, MinDemand: 400}, // never fits, even degraded
+	}
+	deferred, degraded := 0, 0
+	for slot := 0; slot < 6; slot++ {
+		d := s.Plan(reqs)
+		switch d[1].Action {
+		case ActionDefer:
+			deferred++
+		case ActionDegrade:
+			degraded++
+			if d[1].Grant != reqs[1].MinDemand {
+				t.Fatalf("forced admit grant = %v, want floor %v", d[1].Grant, reqs[1].MinDemand)
+			}
+		case ActionAdmit:
+			t.Fatal("oversized session fully admitted")
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("starved session never force-admitted")
+	}
+	if deferred > degraded*cfg.MaxDefer {
+		t.Fatalf("deferred %d slots with only %d admissions (bound %d)", deferred, degraded, cfg.MaxDefer)
+	}
+	if s.ForcedAdmits() == 0 {
+		t.Fatal("ForcedAdmits() = 0 after forced admissions")
+	}
+}
+
+// TestSchedulerLookAheadTightensBudget: identical present demand admits less
+// when the forecast predicts sustained overload.
+func TestSchedulerLookAheadTightensBudget(t *testing.T) {
+	plan := func(future []float64) (admits int) {
+		s, err := NewScheduler(DefaultSchedulerConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := make([]Request, 6)
+		for i := range reqs {
+			reqs[i] = Request{User: i, Demand: 55, MinDemand: 22, Future: future}
+		}
+		for _, d := range s.Plan(reqs) {
+			if d.Action == ActionAdmit {
+				admits++
+			}
+		}
+		return admits
+	}
+	calm := plan(nil)             // 6*55 = 330 fits the 360 budget
+	storm := plan([]float64{400}) // predicted 6*400 per slot vs 400 capacity
+	if calm != 6 {
+		t.Fatalf("calm forecast admits = %d, want 6", calm)
+	}
+	if storm >= calm {
+		t.Fatalf("overload forecast admits %d >= calm %d; look-ahead did not tighten", storm, calm)
+	}
+}
+
+// TestSchedulerInputOrderInvariant: permuting the request slice permutes the
+// decisions with it — outcome per user is order-independent.
+func TestSchedulerInputOrderInvariant(t *testing.T) {
+	mk := func() []Request {
+		return []Request{
+			{User: 0, Demand: 200, MinDemand: 80},
+			{User: 1, Demand: 150, MinDemand: 60},
+			{User: 2, Demand: 180, MinDemand: 70},
+			{User: 3, Demand: 90, MinDemand: 40},
+		}
+	}
+	a, _ := NewScheduler(DefaultSchedulerConfig())
+	b, _ := NewScheduler(DefaultSchedulerConfig())
+	for slot := 0; slot < 8; slot++ {
+		fwd := mk()
+		rev := mk()
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		da := a.Plan(fwd)
+		db := b.Plan(rev)
+		for i := range fwd {
+			// fwd[i] is rev[len-1-i].
+			mirror := db[len(rev)-1-i]
+			if da[i].Action != mirror.Action ||
+				math.Float64bits(da[i].Grant) != math.Float64bits(mirror.Grant) {
+				t.Fatalf("slot %d user %d: %+v forward vs %+v reversed",
+					slot, fwd[i].User, da[i], mirror)
+			}
+		}
+	}
+}
+
+// TestSchedulerConfigValidation rejects broken configs.
+func TestSchedulerConfigValidation(t *testing.T) {
+	bad := []SchedulerConfig{
+		{Capacity: 0, SlotMS: 100, TargetUtil: 0.9, Horizon: 4, MaxDefer: 2},
+		{Capacity: 4, SlotMS: 0, TargetUtil: 0.9, Horizon: 4, MaxDefer: 2},
+		{Capacity: 4, SlotMS: 100, TargetUtil: 0, Horizon: 4, MaxDefer: 2},
+		{Capacity: 4, SlotMS: 100, TargetUtil: 1.1, Horizon: 4, MaxDefer: 2},
+		{Capacity: 4, SlotMS: 100, TargetUtil: 0.9, Horizon: 0, MaxDefer: 2},
+		{Capacity: 4, SlotMS: 100, TargetUtil: 0.9, Horizon: 4, MaxDefer: 0},
+		{Capacity: math.NaN(), SlotMS: 100, TargetUtil: 0.9, Horizon: 4, MaxDefer: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewScheduler(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if len(NewSchedulerMust(t).Plan(nil)) != 0 {
+		t.Error("empty plan returned decisions")
+	}
+}
+
+func NewSchedulerMust(t *testing.T) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(DefaultSchedulerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSchedulerObserver: verdict counters fill when attached; planning is
+// identical without one.
+func TestSchedulerObserver(t *testing.T) {
+	reg := obs.New()
+	s := NewSchedulerMust(t)
+	s.SetObserver(reg)
+	reqs := []Request{
+		{User: 0, Demand: 300, MinDemand: 120},
+		{User: 1, Demand: 300, MinDemand: 120},
+		{User: 2, Demand: 300, MinDemand: 120},
+	}
+	for slot := 0; slot < 4; slot++ {
+		s.Plan(reqs)
+	}
+	snap := reg.Snapshot()
+	total := snap.Counters["contend.sched_admits"] +
+		snap.Counters["contend.sched_degrades"] +
+		snap.Counters["contend.sched_defers"]
+	if total != 12 {
+		t.Fatalf("verdict counters sum to %d, want 12 (3 users × 4 slots)", total)
+	}
+	if h, ok := snap.Histograms["contend.sched_plan_util"]; !ok || h.Count != 4 {
+		t.Fatalf("plan_util samples = %+v, want 4", snap.Histograms["contend.sched_plan_util"])
+	}
+}

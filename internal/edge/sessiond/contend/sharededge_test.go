@@ -1,0 +1,337 @@
+package contend
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/mar-hbo/hbo/internal/obs"
+)
+
+// jobSpec derives a bounded job mix from quick's raw bytes: up to 12 jobs,
+// demands in [0, 25.5] ms, arrivals packed into a few ticks so equal-time
+// submissions are common.
+type jobSpec struct {
+	Kinds   []uint8
+	Demands []uint8
+	Ticks   []uint8
+}
+
+func (s jobSpec) jobs() (kinds []JobKind, demands, ticks []float64) {
+	n := len(s.Kinds)
+	if len(s.Demands) < n {
+		n = len(s.Demands)
+	}
+	if len(s.Ticks) < n {
+		n = len(s.Ticks)
+	}
+	if n > 12 {
+		n = 12
+	}
+	tick := 0.0
+	for i := 0; i < n; i++ {
+		kind := Inference
+		if s.Kinds[i]%2 == 1 {
+			kind = Decimation
+		}
+		kinds = append(kinds, kind)
+		demands = append(demands, float64(s.Demands[i])/10)
+		// Non-decreasing arrivals; ~half the jobs share the previous tick.
+		if s.Ticks[i]%2 == 0 {
+			tick += float64(s.Ticks[i]) / 50
+		}
+		ticks = append(ticks, tick)
+	}
+	return kinds, demands, ticks
+}
+
+// TestWorkConservation: after draining an arbitrary job mix, every job is
+// done, the served-demand ledgers equal the submitted demand exactly (up to
+// relative float tolerance), and no job finished faster than its best
+// possible service time. ~400 cases.
+func TestWorkConservation(t *testing.T) {
+	f := func(spec jobSpec) bool {
+		kinds, demands, ticks := spec.jobs()
+		e, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jobs []*Job
+		var wantGPU, wantDecim float64
+		for i := range kinds {
+			j, err := e.Submit(kinds[i], i, ticks[i], demands[i])
+			if err != nil {
+				t.Fatalf("Submit %d: %v", i, err)
+			}
+			jobs = append(jobs, j)
+			if kinds[i] == Inference {
+				wantGPU += demands[i]
+			} else {
+				wantDecim += demands[i]
+			}
+		}
+		e.Drain()
+		if e.InFlight() != 0 {
+			t.Log("drain left jobs in flight")
+			return false
+		}
+		tol := 1e-6 * (1 + wantGPU + wantDecim)
+		if math.Abs(e.ServedGPU()-wantGPU) > tol || math.Abs(e.ServedDecim()-wantDecim) > tol {
+			t.Logf("served (%v, %v) != submitted (%v, %v)",
+				e.ServedGPU(), e.ServedDecim(), wantGPU, wantDecim)
+			return false
+		}
+		for i, j := range jobs {
+			if !j.Done || j.Finish < j.Arrival {
+				t.Logf("job %d not done or finished before arrival: %+v", i, j)
+				return false
+			}
+			// Best case: sole tenant at the capped rate (1 for the GPU,
+			// DecimRate for the pool).
+			minLat := j.Demand
+			if j.Kind == Decimation {
+				minLat = j.Demand / DefaultConfig().DecimRate
+			}
+			if j.Latency() < minLat-1e-9 {
+				t.Logf("job %d latency %v beats physics (min %v)", i, j.Latency(), minLat)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLatencyMonotoneInLoad: a probe job's latency never decreases when more
+// concurrent load shares the edge. ~400 cases.
+func TestLatencyMonotoneInLoad(t *testing.T) {
+	f := func(probeRaw, bgRaw, nRaw uint8) bool {
+		probe := 1 + float64(probeRaw)/20
+		bg := 1 + float64(bgRaw)/20
+		n := int(nRaw % 10)
+		lat := func(background int) float64 {
+			e, err := New(DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := e.Submit(Inference, 0, 0, probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < background; i++ {
+				if _, err := e.Submit(Inference, 1+i, 0, bg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e.Drain()
+			return p.Latency()
+		}
+		lo, hi := lat(n), lat(n+1)
+		// Completions segment the accrual differently between runs, so allow
+		// ulp-level float residue; anything beyond that is a real violation.
+		if hi < lo-1e-9*lo {
+			t.Logf("latency fell when load rose: %v with %d background jobs, %v with %d", lo, n, hi, n+1)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEqualArrivalDeterministicTieBreaks: identical runs produce bit-identical
+// finish times, and same-tick equal-demand jobs complete together with
+// submission order preserved in the completion sequence. ~300 cases.
+func TestEqualArrivalDeterministicTieBreaks(t *testing.T) {
+	f := func(spec jobSpec) bool {
+		kinds, demands, ticks := spec.jobs()
+		run := func() []*Job {
+			e, err := New(DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var jobs []*Job
+			for i := range kinds {
+				j, err := e.Submit(kinds[i], i, ticks[i], demands[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				jobs = append(jobs, j)
+			}
+			e.Drain()
+			return jobs
+		}
+		a, b := run(), run()
+		for i := range a {
+			if math.Float64bits(a[i].Finish) != math.Float64bits(b[i].Finish) {
+				t.Logf("job %d finish diverged between identical runs", i)
+				return false
+			}
+		}
+		// Same-tick, same-kind, same-demand GPU jobs are symmetric: they must
+		// finish at the identical instant.
+		for i := range a {
+			for k := i + 1; k < len(a); k++ {
+				if a[i].Kind == Inference && a[k].Kind == Inference &&
+					a[i].Arrival == a[k].Arrival && a[i].Demand == a[k].Demand {
+					if math.Float64bits(a[i].Finish) != math.Float64bits(a[k].Finish) {
+						t.Logf("symmetric jobs %d/%d finish apart: %v vs %v",
+							i, k, a[i].Finish, a[k].Finish)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProcessorSharingRates pins the PS arithmetic on hand-computed cases.
+func TestProcessorSharingRates(t *testing.T) {
+	// Sole tenant runs at the full-speed cap, not at GPUCapacity.
+	e, _ := New(DefaultConfig())
+	j, err := e.Submit(Inference, 0, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	if j.Finish != 10 {
+		t.Fatalf("sole job finish = %v, want 10 (rate capped at 1)", j.Finish)
+	}
+	// Eight equal jobs on a capacity-4 GPU share at rate 0.5.
+	e, _ = New(DefaultConfig())
+	var jobs []*Job
+	for i := 0; i < 8; i++ {
+		j, err := e.Submit(Inference, i, 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	e.Drain()
+	for i, j := range jobs {
+		if j.Finish != 20 {
+			t.Fatalf("job %d finish = %v, want 20 (rate 0.5)", i, j.Finish)
+		}
+	}
+}
+
+// TestDecimationPoolFIFO: the third decimation job waits for a worker, then
+// runs at the worker rate.
+func TestDecimationPoolFIFO(t *testing.T) {
+	e, _ := New(DefaultConfig()) // 2 workers at rate 2
+	a, _ := e.Submit(Decimation, 0, 0, 4)
+	b, _ := e.Submit(Decimation, 1, 0, 4)
+	c, _ := e.Submit(Decimation, 2, 0, 4)
+	e.Drain()
+	if a.Finish != 2 || b.Finish != 2 {
+		t.Fatalf("serving jobs finish = %v, %v, want 2, 2", a.Finish, b.Finish)
+	}
+	if c.Finish != 4 {
+		t.Fatalf("queued job finish = %v, want 4 (starts when a worker frees)", c.Finish)
+	}
+}
+
+// TestSubmitValidation: time travel and bad demands are rejected; zero
+// demand completes instantly.
+func TestSubmitValidation(t *testing.T) {
+	e, _ := New(DefaultConfig())
+	if _, err := e.Submit(Inference, 0, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(Inference, 0, 4, 1); err == nil {
+		t.Fatal("submit before now succeeded")
+	}
+	for _, d := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := e.Submit(Inference, 0, 6, d); err == nil {
+			t.Fatalf("demand %v accepted", d)
+		}
+	}
+	if _, err := e.Submit(JobKind(0), 0, 6, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	j, err := e.Submit(Inference, 0, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Done || j.Finish != 6 || j.Latency() != 0 {
+		t.Fatalf("zero-demand job = %+v, want instant completion at 6", j)
+	}
+}
+
+// TestConfigValidation rejects non-physical edges.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{GPUCapacity: 0, DecimWorkers: 1, DecimRate: 1},
+		{GPUCapacity: math.NaN(), DecimWorkers: 1, DecimRate: 1},
+		{GPUCapacity: 1, DecimWorkers: 0, DecimRate: 1},
+		{GPUCapacity: 1, DecimWorkers: 1, DecimRate: 0},
+		{GPUCapacity: 1, DecimWorkers: 1, DecimRate: math.Inf(1)},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestEdgeObserver: counters and histograms fill when attached and the model
+// behaves identically without one (instruments never feed back).
+func TestEdgeObserver(t *testing.T) {
+	reg := obs.New()
+	observed, _ := New(DefaultConfig())
+	observed.SetObserver(reg)
+	bare, _ := New(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		jo, err := observed.Submit(Inference, i, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := bare.Submit(Inference, i, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = jo
+		_ = jb
+	}
+	if _, err := observed.Submit(Decimation, 9, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.Submit(Decimation, 9, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	observed.Drain()
+	bare.Drain()
+	if math.Float64bits(observed.Now()) != math.Float64bits(bare.Now()) {
+		t.Fatalf("observer changed completion times: %v vs %v", observed.Now(), bare.Now())
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["contend.inference_submits"]; got != 5 {
+		t.Errorf("inference_submits = %d, want 5", got)
+	}
+	if got := snap.Counters["contend.decimation_submits"]; got != 1 {
+		t.Errorf("decimation_submits = %d, want 1", got)
+	}
+	if got := snap.Counters["contend.completions"]; got != 6 {
+		t.Errorf("completions = %d, want 6", got)
+	}
+	hist, ok := snap.Histograms["contend.gpu_queue_depth"]
+	if !ok || hist.Count != 5 {
+		t.Errorf("gpu_queue_depth samples = %+v, want 5", hist)
+	}
+	// Detach: further traffic must not touch the registry.
+	observed.SetObserver(nil)
+	if _, err := observed.Submit(Inference, 0, observed.Now(), 1); err != nil {
+		t.Fatal(err)
+	}
+	observed.Drain()
+	if got := reg.Snapshot().Counters["contend.inference_submits"]; got != 5 {
+		t.Errorf("detached observer still counted: %d", got)
+	}
+}

@@ -54,6 +54,11 @@ type ArenaConfig struct {
 	FaultBracket bool
 	// FaultSessions is the bracket's fleet size per policy (4 when <= 0).
 	FaultSessions int
+	// MultiUserBracket, when set, additionally drives the multi-user
+	// shared-edge contention scenario under the fault bracket's drop/error
+	// plan and attaches its fairness sweep — the arena's view of how the
+	// contention-aware scheduler holds up when the network misbehaves.
+	MultiUserBracket bool
 }
 
 func (c ArenaConfig) withDefaults() ArenaConfig {
@@ -162,6 +167,9 @@ type ArenaResult struct {
 	Ranking []ArenaStanding `json:"ranking"`
 	// Faults is the optional fault-bracket board (nil unless requested).
 	Faults []ArenaFaultRow `json:"faults,omitempty"`
+	// MultiUser is the optional shared-edge contention sweep run under the
+	// fault bracket's plan (nil unless requested).
+	MultiUser *MultiUserResult `json:"multi_user,omitempty"`
 }
 
 var _ fmt.Stringer = (*ArenaResult)(nil)
@@ -238,8 +246,27 @@ func RunArena(ctx context.Context, cfg ArenaConfig) (*ArenaResult, error) {
 		}
 		res.Faults = rows
 	}
+	if cfg.MultiUserBracket {
+		mu, err := RunMultiUser(MultiUserConfig{
+			UserCounts: []int{8, 16},
+			Slots:      48,
+			Seed:       cfg.Seed,
+			Jobs:       cfg.Jobs,
+			Faults:     arenaFaultPlan,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: arena multi-user bracket: %w", err)
+		}
+		res.MultiUser = mu
+	}
 	return res, nil
 }
+
+// arenaFaultPlan is the shared fault schedule both arena brackets inject:
+// the live loadgen bracket applies it at the transport and the multi-user
+// bracket reinterprets the same rates as deterministic per-slot offload
+// failures.
+var arenaFaultPlan = faults.Plan{DropRate: 0.05, ServerErrorRate: 0.05}
 
 // runArenaCell runs one policy's full activation loop on a freshly built
 // system, mirroring core.RunActivation's evaluate-observe cycle with the
@@ -440,10 +467,7 @@ func runFaultBracket(ctx context.Context, cfg ArenaConfig) ([]ArenaFaultRow, err
 			Jobs:       1,
 			DurationMS: 20_000,
 			Policy:     policy,
-			Faults: faults.Plan{
-				DropRate:        0.05,
-				ServerErrorRate: 0.05,
-			},
+			Faults:     arenaFaultPlan,
 		})
 		if err != nil {
 			errs[i] = fmt.Errorf("experiments: arena fault bracket %s: %w", policy, err)
@@ -567,6 +591,10 @@ func (r *ArenaResult) String() string {
 			})
 		}
 		b.WriteString(table(frows))
+	}
+	if r.MultiUser != nil {
+		b.WriteString("\nMulti-user bracket (shared-edge contention under the fault plan)\n")
+		b.WriteString(r.MultiUser.String())
 	}
 	return b.String()
 }

@@ -41,6 +41,9 @@ func Extensions() []Runner {
 			Run: func(seed uint64) (fmt.Stringer, error) { return RunMultiApp(seed) }},
 		{ID: "Heuristic", Description: "Algorithm 1's priority-queue assignment vs random assignments honoring the same counts",
 			Run: func(seed uint64) (fmt.Stringer, error) { return RunHeuristicStudy(seed) }},
+		{ID: "MultiUser", Description: "shared-edge contention: aggregate B_t and Jain fairness vs user count, independent HBO vs look-ahead scheduler",
+			Run:     func(seed uint64) (fmt.Stringer, error) { return RunMultiUserStudy(seed) },
+			RunJobs: func(seed uint64, jobs int) (fmt.Stringer, error) { return RunMultiUserStudyJobs(seed, jobs) }},
 	}
 }
 

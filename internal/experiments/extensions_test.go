@@ -7,7 +7,7 @@ import (
 
 func TestExtensionsRegistry(t *testing.T) {
 	ext := Extensions()
-	if len(ext) != 10 {
+	if len(ext) != 11 {
 		t.Fatalf("extensions registry has %d entries", len(ext))
 	}
 	all := AllWithExtensions()

@@ -1,0 +1,210 @@
+package experiments_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/mar-hbo/hbo/internal/experiments"
+	"github.com/mar-hbo/hbo/internal/faults"
+)
+
+// reducedMultiUser is the fixed sweep the golden test fences: one
+// uncontended and one contended fleet, short sessions — small enough for
+// CI, wide enough that the scheduler's degrade/defer machinery fires.
+func reducedMultiUser(jobs int) experiments.MultiUserConfig {
+	return experiments.MultiUserConfig{
+		UserCounts: []int{4, 16},
+		Slots:      48,
+		Seed:       42,
+		Jobs:       jobs,
+	}
+}
+
+func runReducedMultiUser(t *testing.T, jobs int) *experiments.MultiUserResult {
+	t.Helper()
+	res, err := experiments.RunMultiUser(reducedMultiUser(jobs))
+	if err != nil {
+		t.Fatalf("multiuser (jobs=%d): %v", jobs, err)
+	}
+	return res
+}
+
+func dumpMultiUser(t *testing.T, res *experiments.MultiUserResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.WriteTrajectories(&buf); err != nil {
+		t.Fatalf("write trajectories: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestMultiUserGolden is the contention model's regression fence: the
+// fixed-seed sweep must reproduce the checked-in aggregate-B_t and per-user
+// trajectories byte for byte, hex float bits included. Regenerate
+// deliberately with:
+//
+//	go test ./internal/experiments -run TestMultiUserGolden -update
+func TestMultiUserGolden(t *testing.T) {
+	got := dumpMultiUser(t, runReducedMultiUser(t, 1))
+	// In-process repetition first: a drift here is nondeterminism, not a
+	// stale golden.
+	if again := dumpMultiUser(t, runReducedMultiUser(t, 1)); !bytes.Equal(got, again) {
+		t.Fatalf("two in-process runs diverge:\n%s", arenaFirstDiff(got, again))
+	}
+
+	golden := filepath.Join("testdata", "multiuser.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("multiuser trajectories drifted from golden file %s:\n%s\n"+
+			"If the change is intentional, regenerate with -update.",
+			golden, arenaFirstDiff(want, got))
+	}
+}
+
+// TestMultiUserJobsInvariance runs the same sweep serially and on eight
+// workers and requires byte-identical dumps and JSON artifacts.
+func TestMultiUserJobsInvariance(t *testing.T) {
+	serial := runReducedMultiUser(t, 1)
+	parallel := runReducedMultiUser(t, 8)
+	if a, b := dumpMultiUser(t, serial), dumpMultiUser(t, parallel); !bytes.Equal(a, b) {
+		t.Fatalf("jobs=1 vs jobs=8 trajectory dumps diverge:\n%s", arenaFirstDiff(a, b))
+	}
+	aj, err := json.Marshal(serial.BenchRecords())
+	if err != nil {
+		t.Fatalf("marshal serial records: %v", err)
+	}
+	bj, err := json.Marshal(parallel.BenchRecords())
+	if err != nil {
+		t.Fatalf("marshal parallel records: %v", err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("jobs=1 vs jobs=8 JSON artifacts diverge:\n want %s\n got %s", aj, bj)
+	}
+}
+
+// TestJainIndex pins the fairness metric on hand-computed vectors.
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1, 1}, 1},                // perfect equality
+		{[]float64{5}, 1},                         // single user is trivially fair
+		{[]float64{1, 0, 0, 0}, 0.25},             // one user takes all: 1/n
+		{[]float64{2, 4}, 0.9},                    // (2+4)² / (2·(4+16)) = 36/40
+		{[]float64{1, 2, 3}, 36.0 / (3.0 * 14.0)}, // (6²)/(3·14)
+		{nil, 0},             // empty
+		{[]float64{0, 0}, 0}, // no service at all
+	}
+	for i, c := range cases {
+		if got := experiments.JainIndex(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: JainIndex(%v) = %v, want %v", i, c.xs, got, c.want)
+		}
+	}
+}
+
+// TestMultiUserSchedulerFairnessShape is the headline ranking assertion: on
+// the default sweep at the committed seed, the contention-aware scheduler
+// must beat independent per-session HBO on both Jain fairness and aggregate
+// reward at every contended fleet size (N >= 16), while staying neutral on
+// uncontended fleets.
+func TestMultiUserSchedulerFairnessShape(t *testing.T) {
+	res, err := experiments.RunMultiUserStudy(42)
+	if err != nil {
+		t.Fatalf("multiuser study: %v", err)
+	}
+	for _, n := range res.UserCounts {
+		ind, err := res.Cell(n, experiments.ModeIndependent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch, err := res.Cell(n, experiments.ModeScheduler)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n >= 16 {
+			if sch.Fairness <= ind.Fairness {
+				t.Errorf("N=%d: scheduler fairness %.4f <= independent %.4f",
+					n, sch.Fairness, ind.Fairness)
+			}
+			if sch.MeanAgg <= ind.MeanAgg {
+				t.Errorf("N=%d: scheduler mean B %.4f <= independent %.4f",
+					n, sch.MeanAgg, ind.MeanAgg)
+			}
+			if sch.Degrades+sch.Defers == 0 {
+				t.Errorf("N=%d: contended fleet but scheduler never degraded or deferred", n)
+			}
+		} else {
+			// Uncontended fleets: the scheduler must not distort anything —
+			// same admissions, same outcomes as laissez-faire.
+			if sch.Defers != 0 || sch.Degrades != 0 {
+				t.Errorf("N=%d: uncontended fleet saw %d degrades, %d defers",
+					n, sch.Degrades, sch.Defers)
+			}
+			if math.Abs(sch.MeanAgg-ind.MeanAgg) > 1e-12 {
+				t.Errorf("N=%d: uncontended modes diverge: %.6f vs %.6f",
+					n, sch.MeanAgg, ind.MeanAgg)
+			}
+		}
+	}
+}
+
+// TestMultiUserChaos drives a contended fleet through the loadgen fault
+// bracket's drop/error plan and asserts graceful degradation: the run
+// completes, fallbacks are counted, every reward stays finite and positive,
+// and neither aggregate performance nor fairness collapses.
+func TestMultiUserChaos(t *testing.T) {
+	cfg := experiments.MultiUserConfig{
+		UserCounts: []int{12},
+		Slots:      48,
+		Seed:       42,
+		Faults:     faults.Plan{DropRate: 0.25, ServerErrorRate: 0.15},
+	}
+	res, err := experiments.RunMultiUser(cfg)
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	clean, err := experiments.RunMultiUser(experiments.MultiUserConfig{
+		UserCounts: []int{12}, Slots: 48, Seed: 42,
+	})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	for _, c := range res.Cells {
+		if c.Drops == 0 {
+			t.Errorf("%d/%s: fault plan active but no drops recorded", c.Users, c.Mode)
+		}
+		for s, v := range c.AggB {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				t.Fatalf("%d/%s slot %d: aggregate reward %v not finite-positive", c.Users, c.Mode, s, v)
+			}
+		}
+		if c.Fairness <= 0.5 || c.Fairness > 1 {
+			t.Errorf("%d/%s: fairness %v collapsed under faults", c.Users, c.Mode, c.Fairness)
+		}
+		cc, err := clean.Cell(c.Users, c.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.MeanAgg <= 0.25*cc.MeanAgg {
+			t.Errorf("%d/%s: faulted mean B %v collapsed vs clean %v", c.Users, c.Mode, c.MeanAgg, cc.MeanAgg)
+		}
+	}
+}

@@ -62,6 +62,12 @@ type Config struct {
 	// distance in meters (4.0 when zero).
 	MoveAtMS     float64
 	MoveDistance float64
+	// Mobility, when set, replaces the single scripted move with a
+	// continuous per-client walk: each client's user-object distance
+	// follows its own seeded waypoint trajectory (see Mobility/LinkAt).
+	// Nil keeps the legacy MoveAtMS behavior and every existing golden
+	// trajectory byte-identical.
+	Mobility *MobilityConfig
 	// UseLOD routes quality manipulation through the server's per-session
 	// mesh cache, with a local decimator as degradation fallback.
 	UseLOD bool
@@ -246,6 +252,9 @@ func runOne(ctx context.Context, cfg Config, idx int, seed uint64) SessionResult
 	sessSeed := crng.Uint64()
 	faultSeed := crng.Uint64()
 	jitterSeed := crng.Uint64()
+	// Drawn after every pre-existing stream so enabling (or ignoring)
+	// mobility never shifts the seeds above.
+	mobSeed := crng.Uint64()
 
 	spec, err := scenario.ByName(cfg.Scenario)
 	if err != nil {
@@ -314,13 +323,23 @@ func runOne(ctx context.Context, cfg Config, idx int, seed uint64) SessionResult
 		return res
 	}
 
+	var mob *Mobility
+	if cfg.Mobility != nil {
+		mob = NewMobility(mobSeed, *cfg.Mobility, cfg.DurationMS)
+	}
 	moved := false
 	for built.System.Now() < cfg.DurationMS {
 		if err := ctx.Err(); err != nil {
 			res.Err = err.Error()
 			break
 		}
-		if !moved && cfg.MoveAtMS > 0 && built.System.Now() >= cfg.MoveAtMS {
+		if mob != nil {
+			d := mob.DistanceAt(built.System.Now())
+			for _, o := range built.Scene.Objects() {
+				o.Distance = d
+			}
+			built.Runtime.SyncRenderLoad()
+		} else if !moved && cfg.MoveAtMS > 0 && built.System.Now() >= cfg.MoveAtMS {
 			for _, o := range built.Scene.Objects() {
 				o.Distance = cfg.MoveDistance
 			}

@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"math"
+
+	"github.com/mar-hbo/hbo/internal/sim"
+)
+
+// MobilityConfig shapes a seeded user walk: a piecewise-linear distance
+// trajectory between random waypoints, generalizing the single scripted
+// MoveAtMS/MoveDistance step every load client performed before.
+type MobilityConfig struct {
+	// MinDistance and MaxDistance bound the walk in meters (0.5 and 6.0
+	// when zero).
+	MinDistance float64
+	MaxDistance float64
+	// SegmentMS is the mean dwell between waypoints in virtual
+	// milliseconds (5000 when zero); actual segment lengths vary
+	// uniformly in [0.5, 1.5] × SegmentMS.
+	SegmentMS float64
+}
+
+func (c MobilityConfig) withDefaults() MobilityConfig {
+	if c.MinDistance == 0 {
+		c.MinDistance = 0.5
+	}
+	if c.MaxDistance == 0 {
+		c.MaxDistance = 6.0
+	}
+	if c.SegmentMS == 0 {
+		c.SegmentMS = 5000
+	}
+	return c
+}
+
+// Mobility is one user's realized walk: waypoint times and distances,
+// fixed at construction. DistanceAt interpolates linearly, so the
+// trajectory is continuous — a user never teleports.
+type Mobility struct {
+	times []float64
+	dists []float64
+}
+
+// NewMobility draws a walk covering [0, durationMS] from the seed. Equal
+// (seed, cfg, durationMS) always yields the identical trajectory.
+func NewMobility(seed uint64, cfg MobilityConfig, durationMS float64) *Mobility {
+	cfg = cfg.withDefaults()
+	rng := sim.NewRNG(seed)
+	span := cfg.MaxDistance - cfg.MinDistance
+	m := &Mobility{
+		times: []float64{0},
+		dists: []float64{cfg.MinDistance + span*rng.Float64()},
+	}
+	t := 0.0
+	for t < durationMS {
+		t += cfg.SegmentMS * (0.5 + rng.Float64())
+		m.times = append(m.times, t)
+		m.dists = append(m.dists, cfg.MinDistance+span*rng.Float64())
+	}
+	return m
+}
+
+// DistanceAt returns the user-object distance at virtual time t,
+// interpolating between waypoints and clamping outside the walk.
+func (m *Mobility) DistanceAt(t float64) float64 {
+	if t <= m.times[0] {
+		return m.dists[0]
+	}
+	last := len(m.times) - 1
+	if t >= m.times[last] {
+		return m.dists[last]
+	}
+	// Segments are short (a few seconds of virtual time) and walks are
+	// queried in increasing t; a linear scan stays cheap and allocation
+	// free.
+	for i := 1; i <= last; i++ {
+		if t <= m.times[i] {
+			frac := (t - m.times[i-1]) / (m.times[i] - m.times[i-1])
+			return m.dists[i-1] + frac*(m.dists[i]-m.dists[i-1])
+		}
+	}
+	return m.dists[last]
+}
+
+// Link is one user's wireless link quality at a point in time.
+type Link struct {
+	// BandwidthMbps is the usable uplink/downlink throughput.
+	BandwidthMbps float64
+	// RTTMS is the round-trip time to the edge in milliseconds.
+	RTTMS float64
+}
+
+// Link-model constants: a log-distance path-loss shape calibrated to
+// indoor Wi-Fi/5G-mmWave numbers from the multi-user MAR literature —
+// ~90 Mbps and ~4 ms RTT within a meter of the AP, falling toward
+// ~15 Mbps and ~10 ms at six meters through furniture and bodies.
+const (
+	linkBaseMbps   = 90.0
+	linkRefMeters  = 1.5
+	linkLossExp    = 1.6
+	linkFloorMbps  = 4.0
+	linkBaseRTTMS  = 4.0
+	linkRTTPerM    = 1.0
+	linkMaxRTTDist = 12.0
+)
+
+// LinkAt maps a user-edge distance (meters) to link quality. Deterministic
+// and monotone: bandwidth never rises, RTT never falls, as distance grows.
+func LinkAt(distance float64) Link {
+	if distance < 0 || math.IsNaN(distance) {
+		distance = 0
+	}
+	bw := linkBaseMbps / (1 + math.Pow(distance/linkRefMeters, linkLossExp))
+	if bw < linkFloorMbps {
+		bw = linkFloorMbps
+	}
+	d := distance
+	if d > linkMaxRTTDist {
+		d = linkMaxRTTDist
+	}
+	return Link{BandwidthMbps: bw, RTTMS: linkBaseRTTMS + linkRTTPerM*d}
+}
+
+// TransferMS returns the time to move payloadKB kilobytes across the link,
+// round trip included.
+func (l Link) TransferMS(payloadKB float64) float64 {
+	if payloadKB < 0 {
+		payloadKB = 0
+	}
+	// Mbps → KB/ms: 1 Mbps = 0.125 KB/ms.
+	return l.RTTMS + payloadKB/(l.BandwidthMbps*0.125)
+}

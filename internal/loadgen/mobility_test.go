@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// mobCfg derives a varied but valid mobility config from quick's raw bytes.
+func mobCfg(minRaw, spanRaw, segRaw uint8) MobilityConfig {
+	return MobilityConfig{
+		MinDistance: 0.2 + float64(minRaw%30)/10,
+		MaxDistance: 0.2 + float64(minRaw%30)/10 + 0.5 + float64(spanRaw%50)/10,
+		SegmentMS:   500 + float64(segRaw%40)*250,
+	}
+}
+
+// TestMobilityDeterministic: equal (seed, cfg, duration) yields bit-identical
+// trajectories at every sampled instant.
+func TestMobilityDeterministic(t *testing.T) {
+	f := func(seed uint64, minRaw, spanRaw, segRaw uint8) bool {
+		cfg := mobCfg(minRaw, spanRaw, segRaw)
+		const dur = 30_000.0
+		a := NewMobility(seed, cfg, dur)
+		b := NewMobility(seed, cfg, dur)
+		for i := 0; i <= 300; i++ {
+			ti := dur * float64(i) / 300
+			if math.Float64bits(a.DistanceAt(ti)) != math.Float64bits(b.DistanceAt(ti)) {
+				t.Logf("trajectories diverge at t=%v", ti)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMobilityBounded: every sampled distance lies inside the configured
+// band, including queries before 0 and past the walk's end.
+func TestMobilityBounded(t *testing.T) {
+	f := func(seed uint64, minRaw, spanRaw, segRaw uint8) bool {
+		cfg := mobCfg(minRaw, spanRaw, segRaw)
+		const dur = 30_000.0
+		m := NewMobility(seed, cfg, dur)
+		for i := -5; i <= 305; i++ {
+			d := m.DistanceAt(dur * float64(i) / 300)
+			if d < cfg.MinDistance || d > cfg.MaxDistance || math.IsNaN(d) {
+				t.Logf("distance %v outside [%v,%v]", d, cfg.MinDistance, cfg.MaxDistance)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMobilityContinuous: the walk never teleports — between two instants the
+// distance changes by at most the steepest possible segment slope times the
+// elapsed time (span over the minimum segment length, plus fp slack).
+func TestMobilityContinuous(t *testing.T) {
+	f := func(seed uint64, minRaw, spanRaw, segRaw uint8) bool {
+		cfg := mobCfg(minRaw, spanRaw, segRaw)
+		const dur = 30_000.0
+		m := NewMobility(seed, cfg, dur)
+		maxSlope := (cfg.MaxDistance - cfg.MinDistance) / (0.5 * cfg.SegmentMS)
+		step := dur / 600
+		prev := m.DistanceAt(0)
+		for i := 1; i <= 600; i++ {
+			cur := m.DistanceAt(step * float64(i))
+			if math.Abs(cur-prev) > maxSlope*step*(1+1e-9) {
+				t.Logf("jump of %v over %v ms exceeds max slope %v", cur-prev, step, maxSlope)
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinkAtMonotone: farther users never see a faster link — bandwidth is
+// non-increasing and RTT non-decreasing in distance.
+func TestLinkAtMonotone(t *testing.T) {
+	prev := LinkAt(0)
+	if prev.BandwidthMbps <= 0 || prev.RTTMS <= 0 {
+		t.Fatalf("LinkAt(0) = %+v, want positive fields", prev)
+	}
+	for d := 0.1; d <= 20; d += 0.1 {
+		l := LinkAt(d)
+		if l.BandwidthMbps > prev.BandwidthMbps {
+			t.Fatalf("bandwidth rose from %v to %v at d=%v", prev.BandwidthMbps, l.BandwidthMbps, d)
+		}
+		if l.RTTMS < prev.RTTMS {
+			t.Fatalf("RTT fell from %v to %v at d=%v", prev.RTTMS, l.RTTMS, d)
+		}
+		prev = l
+	}
+	if far := LinkAt(100); far.BandwidthMbps < linkFloorMbps {
+		t.Fatalf("bandwidth %v fell below floor %v", far.BandwidthMbps, linkFloorMbps)
+	}
+}
+
+// TestLinkAtClampsBadInput: negative and NaN distances behave like zero.
+func TestLinkAtClampsBadInput(t *testing.T) {
+	want := LinkAt(0)
+	for _, d := range []float64{-1, -1e9, math.NaN()} {
+		got := LinkAt(d)
+		if got != want {
+			t.Fatalf("LinkAt(%v) = %+v, want %+v", d, got, want)
+		}
+	}
+}
+
+// TestTransferMS: transfer time includes the RTT, grows with payload, and
+// shrinks with bandwidth.
+func TestTransferMS(t *testing.T) {
+	near, far := LinkAt(1), LinkAt(6)
+	if got := near.TransferMS(0); got != near.RTTMS {
+		t.Fatalf("zero payload transfer = %v, want RTT %v", got, near.RTTMS)
+	}
+	if near.TransferMS(100) <= near.TransferMS(10) {
+		t.Fatal("transfer time not increasing in payload")
+	}
+	if far.TransferMS(100) <= near.TransferMS(100) {
+		t.Fatal("farther (slower) link not slower for equal payload")
+	}
+	if got := near.TransferMS(-5); got != near.RTTMS {
+		t.Fatalf("negative payload transfer = %v, want RTT %v", got, near.RTTMS)
+	}
+}
